@@ -1,0 +1,91 @@
+// Ablation: cols_per_chunk in the chunked iterative driver (Listing 3). The
+// paper pins 8192 on CPUs and 65535 on GPUs (the latter a hardware grid
+// limit). This sweep shows the sensitivity: chunking bounds the buffer
+// memory, and on a CPU the chunk size mainly trades loop overhead against
+// working-set size.
+#include "bench/common.hpp"
+#include "core/iterative_spline_builder.hpp"
+#include "parallel/view.hpp"
+#include "perf/report.hpp"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+namespace {
+
+using namespace pspl;
+using core::IterativeSplineBuilder;
+using iterative::IterativeKind;
+
+constexpr std::size_t kN = 512;
+
+IterativeSplineBuilder make_builder(std::size_t chunk)
+{
+    const auto basis = bench::make_basis(3, true, kN);
+    IterativeSplineBuilder::Options opts;
+    opts.kind = IterativeKind::BiCGStab;
+    opts.config.tolerance = 1e-14;
+    opts.cols_per_chunk = chunk;
+    opts.max_block_size = 8;
+    return IterativeSplineBuilder(basis, opts);
+}
+
+void bm_chunk(benchmark::State& state)
+{
+    const auto chunk = static_cast<std::size_t>(state.range(0));
+    const std::size_t batch = 2048;
+    auto builder = make_builder(chunk);
+    const auto basis = builder.basis();
+    View2D<double> b("b", kN, batch);
+    for (auto _ : state) {
+        bench::fill_rhs(basis, b);
+        builder.build_inplace(b);
+        benchmark::DoNotOptimize(b.data());
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations())
+                            * static_cast<int64_t>(kN * batch));
+}
+
+} // namespace
+
+BENCHMARK(bm_chunk)
+        ->Arg(64)
+        ->Arg(512)
+        ->Arg(2048)
+        ->Unit(benchmark::kMillisecond)
+        ->Name("iterative_build/cols_per_chunk");
+
+int main(int argc, char** argv)
+{
+    ::benchmark::Initialize(&argc, argv);
+    ::benchmark::RunSpecifiedBenchmarks();
+
+    const std::size_t batch = bench::env_size("PSPL_BENCH_BATCH", 4096);
+    std::printf("\nChunk-size ablation -- BiCGStab spline build, (n, batch) "
+                "= (%zu, %zu)\n\n",
+                kN, batch);
+    perf::Table table({"cols_per_chunk", "time", "iters", "buffer MB"});
+    for (const std::size_t chunk : {std::size_t{64}, std::size_t{512},
+                                    std::size_t{2048}, std::size_t{8192}}) {
+        auto builder = make_builder(chunk);
+        View2D<double> b("b", kN, batch);
+        bench::fill_rhs(builder.basis(), b);
+        builder.build_inplace(b); // warm-up
+        iterative::SolveStats stats;
+        const double t = bench::median_seconds(3, [&] {
+            bench::fill_rhs(builder.basis(), b);
+            stats = builder.build_inplace(b);
+        });
+        const double buffer_mb =
+                static_cast<double>(std::min(chunk, batch) * kN) * 8.0 / 1e6;
+        table.add_row({std::to_string(chunk), perf::fmt_time(t),
+                       std::to_string(stats.max_iterations),
+                       perf::fmt(buffer_mb, 1)});
+    }
+    std::printf("%s\nThe paper's motivation for chunking was GPU memory "
+                "exhaustion at full batch; iteration counts are unaffected "
+                "by the chunk size.\n",
+                table.str().c_str());
+    return 0;
+}

@@ -1,0 +1,104 @@
+// Ablation: transpose fusion. The paper (§V-C) suggests "further
+// optimizations may be possible by fusing transpose kernels with spline
+// building kernels"; this build implements that idea as a transpose-free
+// advection step (one streaming copy + a zero-copy transposed view for the
+// batched solve) and measures it against the standard Algorithm 2 path
+// (two strided transposes).
+#include "advection/semi_lagrangian.hpp"
+#include "bench/common.hpp"
+#include "parallel/profiling.hpp"
+#include "parallel/view.hpp"
+#include "perf/metrics.hpp"
+#include "perf/report.hpp"
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdio>
+
+namespace {
+
+using namespace pspl;
+
+constexpr std::size_t kNx = 1024;
+
+advection::BatchedAdvection1D make_advection(std::size_t nv, bool fused)
+{
+    const auto basis = bench::make_basis(3, true, kNx);
+    const auto v = advection::uniform_velocities(nv, -1.0, 1.0);
+    advection::BatchedAdvection1D::Config cfg;
+    cfg.fuse_transpose = fused;
+    return advection::BatchedAdvection1D(basis, v, 1e-3, cfg);
+}
+
+View2D<double> make_f(const advection::BatchedAdvection1D& adv)
+{
+    View2D<double> f("f", adv.nv(), adv.nx());
+    for (std::size_t j = 0; j < adv.nv(); ++j) {
+        for (std::size_t i = 0; i < adv.nx(); ++i) {
+            f(j, i) = 1.0 + 0.1 * std::sin(6.28 * adv.points()(i));
+        }
+    }
+    return f;
+}
+
+void bm_step(benchmark::State& state)
+{
+    const auto nv = static_cast<std::size_t>(state.range(0));
+    const bool fused = state.range(1) != 0;
+    auto adv = make_advection(nv, fused);
+    auto f = make_f(adv);
+    for (auto _ : state) {
+        adv.step(f);
+        benchmark::DoNotOptimize(f.data());
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations())
+                            * static_cast<int64_t>(kNx * nv));
+}
+
+} // namespace
+
+BENCHMARK(bm_step)
+        ->ArgNames({"Nv", "fused"})
+        ->Args({1000, 0})
+        ->Args({1000, 1})
+        ->Unit(benchmark::kMillisecond);
+
+int main(int argc, char** argv)
+{
+    ::benchmark::Initialize(&argc, argv);
+    ::benchmark::RunSpecifiedBenchmarks();
+
+    const std::size_t nv = bench::env_size("PSPL_BENCH_BATCH", 4000);
+    std::printf("\nTranspose-fusion ablation -- 1D advection step, (Nx, Nv) "
+                "= (%zu, %zu), degree 3 uniform\n\n",
+                kNx, nv);
+    perf::Table table({"path", "time/step", "GLUPS", "solve time",
+                       "transpose+copy time"});
+    for (const bool fused : {false, true}) {
+        auto adv = make_advection(nv, fused);
+        auto f = make_f(adv);
+        adv.step(f); // warm-up
+        const double t = bench::median_seconds(5, [&] { adv.step(f); });
+        // Per-kernel breakdown of exactly one step.
+        profiling::clear();
+        profiling::set_enabled(true);
+        adv.step(f);
+        profiling::set_enabled(false);
+        const double solve =
+                profiling::total_seconds_matching("pspl_splines_solve");
+        const double movement =
+                profiling::total_seconds_matching("transpose")
+                + profiling::total_seconds_matching("copy_f");
+        table.add_row({fused ? "fused (copy + transposed view)"
+                             : "standard (two transposes)",
+                       perf::fmt_time(t),
+                       perf::fmt(perf::glups(kNx, nv, t), 4),
+                       perf::fmt_time(solve), perf::fmt_time(movement)});
+    }
+    std::printf("%s\nThe fused path trades two strided transposes for one "
+                "streaming copy; the solve then reads contiguous rows, "
+                "which also helps CPU caches (cf. bench_ablation_layout).\n",
+                table.str().c_str());
+    return 0;
+}

@@ -1,0 +1,106 @@
+// Ablation: preconditioner choice for the iterative spline path. The paper
+// pins block-Jacobi with max_block_size tunable in [1, 32]; this sweep
+// quantifies that knob and adds ILU(0) (exact on the banded part of the
+// spline matrix, approximate only at the periodic corners) as the upper
+// bound on what a pattern-based preconditioner can do.
+#include "bench/common.hpp"
+#include "core/iterative_spline_builder.hpp"
+#include "parallel/view.hpp"
+#include "perf/report.hpp"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+namespace {
+
+using namespace pspl;
+using core::IterativeSplineBuilder;
+using iterative::IterativeKind;
+
+constexpr std::size_t kN = 1000;
+
+IterativeSplineBuilder make_builder(int degree, std::size_t block_size,
+                                    bool ilu0)
+{
+    const auto basis = bench::make_basis(degree, true, kN);
+    IterativeSplineBuilder::Options opts;
+    opts.kind = IterativeKind::BiCGStab;
+    opts.config.tolerance = 1e-15;
+    opts.max_block_size = block_size == 0 && !ilu0 ? 0 : block_size;
+    opts.use_ilu0 = ilu0;
+    return IterativeSplineBuilder(basis, opts);
+}
+
+void bm_precond(benchmark::State& state)
+{
+    const auto bs = static_cast<std::size_t>(state.range(0));
+    const bool ilu0 = state.range(1) != 0;
+    auto builder = make_builder(3, bs == 0 ? 1 : bs, ilu0);
+    View2D<double> b("b", kN, 256);
+    for (auto _ : state) {
+        bench::fill_rhs(builder.basis(), b);
+        builder.build_inplace(b);
+        benchmark::DoNotOptimize(b.data());
+    }
+}
+
+} // namespace
+
+BENCHMARK(bm_precond)
+        ->ArgNames({"block", "ilu0"})
+        ->Args({1, 0})
+        ->Args({8, 0})
+        ->Args({0, 1})
+        ->Unit(benchmark::kMillisecond);
+
+int main(int argc, char** argv)
+{
+    ::benchmark::Initialize(&argc, argv);
+    ::benchmark::RunSpecifiedBenchmarks();
+
+    const std::size_t batch = bench::env_size("PSPL_BENCH_BATCH", 512);
+    std::printf("\nPreconditioner ablation -- BiCGStab spline build, n = %zu, "
+                "batch = %zu, tol 1e-15\n\n",
+                kN, batch);
+    perf::Table table({"degree", "preconditioner", "iters", "time"});
+    for (const int degree : {3, 5}) {
+        struct Case {
+            const char* label;
+            std::size_t bs;
+            bool ilu0;
+        };
+        const Case cases[] = {{"none", 0, false},
+                              {"block-Jacobi(1)", 1, false},
+                              {"block-Jacobi(8)", 8, false},
+                              {"block-Jacobi(32)", 32, false},
+                              {"ILU(0)", 0, true}};
+        for (const auto& c : cases) {
+            const auto basis = bench::make_basis(degree, true, kN);
+            IterativeSplineBuilder::Options opts;
+            opts.kind = IterativeKind::BiCGStab;
+            opts.config.tolerance = 1e-15;
+            opts.max_block_size = c.bs;
+            opts.use_ilu0 = c.ilu0;
+            IterativeSplineBuilder builder(basis, opts);
+            View2D<double> b("b", kN, batch);
+            bench::fill_rhs(basis, b);
+            builder.build_inplace(b); // warm-up
+            iterative::SolveStats stats;
+            const double t = bench::median_seconds(3, [&] {
+                bench::fill_rhs(basis, b);
+                stats = builder.build_inplace(b);
+            });
+            table.add_row({std::to_string(degree), c.label,
+                           std::to_string(stats.max_iterations),
+                           perf::fmt_time(t)});
+        }
+    }
+    std::printf("%s\nILU(0) collapses the iteration count (the band "
+                "factorization is exact; only the periodic corners are "
+                "approximated) at a higher per-iteration cost; the paper's "
+                "block-Jacobi sits between plain Jacobi and ILU(0).\n",
+                table.str().c_str());
+    return 0;
+}

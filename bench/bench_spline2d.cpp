@@ -1,0 +1,99 @@
+// 2-D tensor-product spline build throughput: the N-D construction the
+// paper describes in §II-B ("For N-D splines, N equations ... batched over
+// the other dimensions") measured as two batched 1-D solves + transposes.
+// Reports GLUPS over the (nx * ny) plane and the per-phase breakdown.
+#include "bench/common.hpp"
+#include "core/spline_builder_2d.hpp"
+#include "parallel/profiling.hpp"
+#include "parallel/view.hpp"
+#include "perf/metrics.hpp"
+#include "perf/report.hpp"
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdio>
+
+namespace {
+
+using namespace pspl;
+using core::SplineBuilder2D;
+
+SplineBuilder2D make_builder(int degree, std::size_t n)
+{
+    return SplineBuilder2D(bench::make_basis(degree, true, n),
+                           bench::make_basis(degree, true, n));
+}
+
+void fill_plane(const SplineBuilder2D& builder, const View2D<double>& v)
+{
+    const auto px = builder.basis_x().interpolation_points();
+    const auto py = builder.basis_y().interpolation_points();
+    for (std::size_t i = 0; i < v.extent(0); ++i) {
+        for (std::size_t j = 0; j < v.extent(1); ++j) {
+            v(i, j) = std::sin(6.28 * px[i]) * std::cos(6.28 * py[j])
+                      + 0.1 * bench::hash_noise(i, j);
+        }
+    }
+}
+
+void bm_build2d(benchmark::State& state)
+{
+    const int degree = static_cast<int>(state.range(0));
+    const auto n = static_cast<std::size_t>(state.range(1));
+    auto builder = make_builder(degree, n);
+    View2D<double> v("v", n, n);
+    fill_plane(builder, v);
+    for (auto _ : state) {
+        builder.build_inplace(v);
+        benchmark::DoNotOptimize(v.data());
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations())
+                            * static_cast<int64_t>(n * n));
+}
+
+} // namespace
+
+BENCHMARK(bm_build2d)
+        ->ArgNames({"degree", "n"})
+        ->Args({3, 256})
+        ->Args({3, 512})
+        ->Args({5, 256})
+        ->Unit(benchmark::kMillisecond);
+
+int main(int argc, char** argv)
+{
+    ::benchmark::Initialize(&argc, argv);
+    ::benchmark::RunSpecifiedBenchmarks();
+
+    const std::size_t n = bench::env_size("PSPL_BENCH_N", 512);
+    std::printf("\n2D tensor-product spline build, (nx, ny) = (%zu, %zu)\n\n",
+                n, n);
+    perf::Table table({"degree", "time/build", "GLUPS", "x-solve", "y-solve",
+                       "transposes"});
+    for (const int degree : {3, 4, 5}) {
+        auto builder = make_builder(degree, n);
+        View2D<double> v("v", n, n);
+        fill_plane(builder, v);
+        builder.build_inplace(v); // warm-up
+        const double t = bench::median_seconds(
+                3, [&] { builder.build_inplace(v); });
+        profiling::clear();
+        profiling::set_enabled(true);
+        builder.build_inplace(v);
+        profiling::set_enabled(false);
+        const double solve =
+                profiling::total_seconds_matching("pspl_splines_solve");
+        const double transposes =
+                profiling::total_seconds_matching("spline2d_transpose");
+        table.add_row({std::to_string(degree), perf::fmt_time(t),
+                       perf::fmt(perf::glups(n, n, t), 4),
+                       perf::fmt_time(0.5 * solve), perf::fmt_time(0.5 * solve),
+                       perf::fmt_time(transposes)});
+    }
+    std::printf("%s\nBoth 1-D passes run the same batched kernels as the 1-D "
+                "benches; the y pass pays two extra transposes (cf. "
+                "bench_ablation_fused_transpose).\n",
+                table.str().c_str());
+    return 0;
+}

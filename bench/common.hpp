@@ -1,0 +1,106 @@
+// Shared helpers for the benchmark harnesses: basis construction, RHS block
+// filling, environment-controlled problem sizes and repetition timing.
+//
+// Sizes default to laptop-friendly values; set PSPL_BENCH_FULL=1 to run the
+// paper's full (Nx, Nv) = (1000, 100000) configuration.
+#pragma once
+
+#include "bsplines/basis.hpp"
+#include "bsplines/knots.hpp"
+#include "parallel/profiling.hpp"
+#include "parallel/view.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <numbers>
+#include <vector>
+
+namespace pspl::bench {
+
+inline bool full_scale()
+{
+    const char* env = std::getenv("PSPL_BENCH_FULL");
+    return env != nullptr && env[0] == '1';
+}
+
+inline std::size_t env_size(const char* name, std::size_t fallback)
+{
+    if (const char* env = std::getenv(name)) {
+        const long long v = std::atoll(env);
+        if (v > 0) {
+            return static_cast<std::size_t>(v);
+        }
+    }
+    return fallback;
+}
+
+inline bsplines::BSplineBasis make_basis(int degree, bool uniform,
+                                         std::size_t ncells)
+{
+    if (uniform) {
+        return bsplines::BSplineBasis::uniform(degree, ncells, 0.0, 1.0);
+    }
+    return bsplines::BSplineBasis::non_uniform(
+            degree, bsplines::stretched_breaks(ncells, 0.0, 1.0, 0.5));
+}
+
+/// Deterministic white noise in [-1, 1) (splitmix64 hash).
+inline double hash_noise(std::size_t i, std::size_t j)
+{
+    std::uint64_t h = (i + 1) * 0x9E3779B97F4A7C15ull
+                      ^ (j + 1) * 0xBF58476D1CE4E5B9ull;
+    h ^= h >> 31;
+    h *= 0x94D049BB133111EBull;
+    h ^= h >> 29;
+    return static_cast<double>(h >> 11) * (1.0 / 4503599627370496.0) - 1.0;
+}
+
+/// Interpolation values with a full spectrum: smooth waves plus noise.
+/// A pure sine would be a near-eigenvector of the (circulant-like)
+/// collocation matrix and make Krylov solvers converge unrealistically
+/// fast, so iteration-count experiments need spectrally rich data.
+template <class BView>
+void fill_rhs(const bsplines::BSplineBasis& basis, const BView& b)
+{
+    const auto pts = basis.interpolation_points();
+    const std::size_t n = b.extent(0);
+    const std::size_t batch = b.extent(1);
+    for (std::size_t i = 0; i < n; ++i) {
+        const double base = std::sin(2.0 * std::numbers::pi * pts[i])
+                            + 0.4 * std::cos(34.0 * pts[i] + 0.5);
+        for (std::size_t j = 0; j < batch; ++j) {
+            b(i, j) = base + 0.3 * hash_noise(i, j)
+                      + 1e-4 * static_cast<double>(j % 97);
+        }
+    }
+}
+
+/// Plain white-noise fill for kernels that do not need a basis.
+template <class BView>
+void fill_rhs_raw(const BView& b)
+{
+    for (std::size_t i = 0; i < b.extent(0); ++i) {
+        for (std::size_t j = 0; j < b.extent(1); ++j) {
+            b(i, j) = hash_noise(i, j);
+        }
+    }
+}
+
+/// Median wall time of `reps` calls to f().
+template <class F>
+double median_seconds(int reps, F&& f)
+{
+    std::vector<double> times;
+    times.reserve(static_cast<std::size_t>(reps));
+    for (int r = 0; r < reps; ++r) {
+        profiling::Timer t;
+        f();
+        times.push_back(t.seconds());
+    }
+    std::sort(times.begin(), times.end());
+    return times[times.size() / 2];
+}
+
+} // namespace pspl::bench

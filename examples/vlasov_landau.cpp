@@ -1,0 +1,80 @@
+// 1D1V Vlasov-Poisson with a Landau-damping initial condition -- the kind of
+// kinetic workload GYSELA's intro motivates, driven through the library's
+// VlasovPoisson1D1V module (Strang-split batched spline advections + the
+// periodic field solver).
+//
+//   $ ./vlasov_landau [nx] [nv] [steps]
+//
+// Prints the electric-field energy time trace; for k = 0.5, alpha = 0.01 the
+// linear Landau damping rate is gamma ~ -0.153, visible as the slope of the
+// log-energy envelope and fitted from the peaks at the end.
+#include "vlasov/vlasov_poisson.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <numbers>
+#include <vector>
+
+int main(int argc, char** argv)
+{
+    using pspl::bsplines::BSplineBasis;
+    using pspl::vlasov::VlasovPoisson1D1V;
+
+    const std::size_t nx =
+            argc > 1 ? static_cast<std::size_t>(std::atoll(argv[1])) : 64;
+    const std::size_t nv =
+            argc > 2 ? static_cast<std::size_t>(std::atoll(argv[2])) : 128;
+    const int steps = argc > 3 ? std::atoi(argv[3]) : 150;
+
+    const double k = 0.5;
+    const double alpha = 0.01;
+    const double lx = 2.0 * std::numbers::pi / k;
+    const double vmax = 6.0;
+    const double dt = 0.1;
+
+    const auto basis_x = BSplineBasis::uniform(3, nx, 0.0, lx);
+    const auto basis_v = BSplineBasis::uniform(3, nv, -vmax, vmax);
+    VlasovPoisson1D1V sim(basis_x, basis_v, dt);
+    const double norm = 1.0 / std::sqrt(2.0 * std::numbers::pi);
+    sim.initialize([=](double x, double v) {
+        return norm * std::exp(-0.5 * v * v)
+               * (1.0 + alpha * std::cos(k * x));
+    });
+
+    const auto d0 = sim.diagnostics();
+    std::printf("# Landau damping: k=%.2f alpha=%.3f (Nx, Nv)=(%zu, %zu) "
+                "dt=%.2f\n# initial mass %.6f momentum %.2e\n# t  "
+                "field_energy\n",
+                k, alpha, nx, nv, dt, d0.mass, d0.momentum);
+
+    std::vector<double> peak_t;
+    std::vector<double> peak_e;
+    double prev2 = 0.0;
+    double prev1 = 0.0;
+    for (int s = 0; s < steps; ++s) {
+        sim.step();
+        const double energy = sim.diagnostics().field_energy;
+        if (s % 5 == 0) {
+            std::printf("%6.2f  %.6e\n", sim.time(), energy);
+        }
+        if (s >= 2 && prev1 > prev2 && prev1 > energy) {
+            peak_t.push_back(sim.time() - dt);
+            peak_e.push_back(prev1);
+        }
+        prev2 = prev1;
+        prev1 = energy;
+    }
+    const auto d1 = sim.diagnostics();
+    std::printf("# mass drift %.2e, momentum drift %.2e, L2 ratio %.6f\n",
+                std::abs(d1.mass - d0.mass) / d0.mass,
+                std::abs(d1.momentum - d0.momentum), d1.l2_norm / d0.l2_norm);
+    if (peak_t.size() >= 2) {
+        const double gamma = 0.5 * std::log(peak_e.back() / peak_e.front())
+                             / (peak_t.back() - peak_t.front());
+        std::printf("# fitted damping rate gamma = %.4f (linear theory: "
+                    "-0.153 at k=0.5)\n",
+                    gamma);
+    }
+    return 0;
+}

@@ -1,0 +1,137 @@
+// 1-D batched semi-Lagrangian advection solver (paper Algorithm 2 and
+// §III-C): one time step of
+//     df/dt + v df/dx = 0
+// on an (Nv, Nx) phase-space block, periodic in x. Each velocity row is an
+// independent 1-D advection: splines are built along x batched over v, then
+// f is interpolated at the feet of the backward characteristics
+// x* = x - v*dt.
+//
+// This is the paper's benchmark application; GLUPS (Eq. 7) is measured over
+// whole calls to step().
+#pragma once
+
+#include "advection/transpose.hpp"
+#include "bsplines/basis.hpp"
+#include "core/iterative_spline_builder.hpp"
+#include "core/spline_builder.hpp"
+#include "core/spline_evaluator.hpp"
+#include "parallel/profiling.hpp"
+
+#include <optional>
+#include <utility>
+
+namespace pspl::advection {
+
+class BatchedAdvection1D
+{
+public:
+    enum class Method {
+        Direct,    ///< Schur/batched-serial path (Kokkos-kernels analogue)
+        Iterative, ///< chunked Krylov path (Ginkgo analogue)
+    };
+
+    struct Config {
+        Method method = Method::Direct;
+        core::BuilderVersion version = core::BuilderVersion::FusedSpmv;
+        core::IterativeSplineBuilder::Options iterative{};
+        /// Skip the two physical transposes of Algorithm 2 (the paper's
+        /// §V-C future-work idea): copy f contiguously into the coefficient
+        /// buffer and run the batched solve through a zero-copy transposed
+        /// view, so each RHS is a contiguous row. Direct method only.
+        bool fuse_transpose = false;
+    };
+
+    /// `velocities(j)` is the constant advection speed of row j; `dt` the
+    /// time-step length.
+    BatchedAdvection1D(bsplines::BSplineBasis basis_x,
+                       View1D<double> velocities, double dt);
+    BatchedAdvection1D(bsplines::BSplineBasis basis_x,
+                       View1D<double> velocities, double dt, Config config);
+
+    std::size_t nx() const { return m_basis.nbasis(); }
+    std::size_t nv() const { return m_velocities.extent(0); }
+    const bsplines::BSplineBasis& basis() const { return m_basis; }
+    /// Interpolation points (the x grid); position of column i of f.
+    const View1D<double>& points() const { return m_points; }
+    const View1D<double>& velocities() const { return m_velocities; }
+    double dt() const { return m_dt; }
+
+    /// Advance f (shape (Nv, Nx), x contiguous) by one time step in place.
+    /// Returns iteration statistics when the iterative method is active.
+    template <class Exec = DefaultExecutionSpace>
+    iterative::SolveStats step(const View2D<double>& f) const
+    {
+        PSPL_EXPECT(f.extent(0) == nv() && f.extent(1) == nx(),
+                    "step: f must be (Nv, Nx)");
+        profiling::ScopedRegion region("pspl_advection_step");
+        iterative::SolveStats stats;
+
+        if (m_config.fuse_transpose
+            && m_config.method == Method::Direct) {
+            // Transpose-free variant: contiguous copy f -> eta, then solve
+            // through a zero-copy transposed view so each RHS is a
+            // contiguous row of eta. Replaces two strided transposes with
+            // one streaming copy.
+            const auto f_src = f;
+            const auto eta = m_eta;
+            parallel_for("pspl::advection::copy_f", RangePolicy<Exec>(nv()),
+                         [=](std::size_t j) {
+                             for (std::size_t i = 0; i < f_src.extent(1);
+                                  ++i) {
+                                 eta(j, i) = f_src(j, i);
+                             }
+                         });
+            m_builder->template build_inplace<Exec>(transposed_view(m_eta));
+        } else {
+            // 1. Transpose so the batch (v) index is contiguous.
+            transpose<Exec>("pspl::advection::transpose_fwd", f, m_ft);
+
+            // 2. Build spline coefficients in place, batched over v.
+            if (m_config.method == Method::Direct) {
+                m_builder->template build_inplace<Exec>(m_ft);
+            } else {
+                stats = m_iterative_builder->build_inplace(m_ft);
+            }
+
+            // 3. Transpose coefficients back to the x-contiguous layout.
+            transpose<Exec>("pspl::advection::transpose_bwd", m_ft, m_eta);
+        }
+
+        // 4. Interpolate at the feet of the backward characteristics.
+        const auto eta = m_eta;
+        const auto points = m_points;
+        const auto velocities = m_velocities;
+        const double dt = m_dt;
+        const auto evaluator = m_evaluator;
+        const std::size_t nx_ = nx();
+        parallel_for("pspl::advection::interpolate",
+                     RangePolicy<Exec>(nv()), [=](std::size_t j) {
+                         const auto coeffs = subview(eta, j, ALL);
+                         const double v = velocities(j);
+                         for (std::size_t i = 0; i < nx_; ++i) {
+                             const double foot = points(i) - v * dt;
+                             f(j, i) = evaluator(foot, coeffs);
+                         }
+                     });
+        return stats;
+    }
+
+private:
+    bsplines::BSplineBasis m_basis;
+    View1D<double> m_velocities;
+    double m_dt = 0.0;
+    Config m_config;
+    std::optional<core::SplineBuilder> m_builder;
+    std::optional<core::IterativeSplineBuilder> m_iterative_builder;
+    core::SplineEvaluator m_evaluator;
+    View1D<double> m_points;
+    // Scratch blocks reused across steps (allocated once, like the paper's
+    // persistent device buffers).
+    View2D<double> m_ft;  ///< (Nx, Nv) transposed values / coefficients
+    View2D<double> m_eta; ///< (Nv, Nx) coefficients, x contiguous
+};
+
+/// Uniformly spaced velocity grid on [vmin, vmax] with nv points.
+View1D<double> uniform_velocities(std::size_t nv, double vmin, double vmax);
+
+} // namespace pspl::advection

@@ -1,0 +1,10 @@
+#include "advection/transpose.hpp"
+
+namespace pspl::advection {
+
+void transpose_host(const View2D<double>& in, const View2D<double>& out)
+{
+    transpose<Serial>("pspl::advection::transpose_host", in, out);
+}
+
+} // namespace pspl::advection

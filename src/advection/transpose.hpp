@@ -1,0 +1,49 @@
+// Parallel 2-D transpose kernels (Algorithm 2 lines 3 and 5): the
+// distribution function is stored x-contiguous per velocity, while the
+// spline solver wants the batch (velocity) index contiguous, so each step
+// packs/unpacks across layouts.
+#pragma once
+
+#include "parallel/parallel.hpp"
+#include "parallel/view.hpp"
+
+#include <string>
+
+namespace pspl::advection {
+
+/// out(j, i) = in(i, j).
+template <class Exec = DefaultExecutionSpace, class InView, class OutView>
+void transpose(const std::string& label, const InView& in, const OutView& out)
+{
+    const std::size_t n0 = in.extent(0);
+    const std::size_t n1 = in.extent(1);
+    PSPL_EXPECT(out.extent(0) == n1 && out.extent(1) == n0,
+                "transpose: extent mismatch");
+    parallel_for(label, MDRangePolicy<2, Exec>({n0, n1}),
+                 [=](std::size_t i, std::size_t j) { out(j, i) = in(i, j); });
+}
+
+/// Rank-3 permutation of the two leading dimensions, keeping the batch
+/// index contiguous: out(j, i, k) = in(i, j, k).
+template <class Exec = DefaultExecutionSpace, class InView, class OutView>
+void transpose_01(const std::string& label, const InView& in,
+                  const OutView& out)
+{
+    const std::size_t n0 = in.extent(0);
+    const std::size_t n1 = in.extent(1);
+    const std::size_t nb = in.extent(2);
+    PSPL_EXPECT(out.extent(0) == n1 && out.extent(1) == n0
+                        && out.extent(2) == nb,
+                "transpose_01: extent mismatch");
+    parallel_for(label, MDRangePolicy<2, Exec>({n0, n1}),
+                 [=](std::size_t i, std::size_t j) {
+                     for (std::size_t k = 0; k < nb; ++k) {
+                         out(j, i, k) = in(i, j, k);
+                     }
+                 });
+}
+
+/// Concrete host instantiation used by tools and tests.
+void transpose_host(const View2D<double>& in, const View2D<double>& out);
+
+} // namespace pspl::advection

@@ -1,0 +1,16 @@
+// Umbrella header for the batched-serial solver kernels (the paper's core
+// contribution: getrs/gbtrs/pbtrs/pttrs in KokkosBatched Serial format).
+#pragma once
+
+#include "batched/blas_gemm.hpp"
+#include "batched/serial_gbtrs.hpp"
+#include "batched/serial_gemv.hpp"
+#include "batched/serial_getrf.hpp"
+#include "batched/serial_getrs.hpp"
+#include "batched/serial_gttrs.hpp"
+#include "batched/serial_pbtrs.hpp"
+#include "batched/serial_pttrs.hpp"
+#include "batched/serial_spmv.hpp"
+#include "batched/serial_tbsv.hpp"
+#include "batched/serial_trsv.hpp"
+#include "batched/types.hpp"

@@ -1,0 +1,35 @@
+// Global (non-fused) GEMM used by the baseline spline builder, standing in
+// for KokkosBlas::gemm in paper Listing 2: C = alpha*A*B + beta*C where B
+// and C are (rows, batch) right-hand-side blocks. Parallelism is over the
+// contiguous batch index, the GPU-coalesced mapping the paper uses.
+#pragma once
+
+#include "parallel/parallel.hpp"
+#include "parallel/view.hpp"
+
+#include <string>
+
+namespace pspl::blas {
+
+template <class Exec = DefaultExecutionSpace, class AView, class BView,
+          class CView>
+void gemm(const std::string& label, double alpha, const AView& a,
+          const BView& b, double beta, const CView& c)
+{
+    const std::size_t m = a.extent(0);
+    const std::size_t k = a.extent(1);
+    const std::size_t batch = b.extent(1);
+    PSPL_EXPECT(b.extent(0) == k && c.extent(0) == m && c.extent(1) == batch,
+                "blas::gemm: extent mismatch");
+    parallel_for(label, RangePolicy<Exec>(batch), [=](std::size_t col) {
+        for (std::size_t i = 0; i < m; ++i) {
+            double acc = 0.0;
+            for (std::size_t l = 0; l < k; ++l) {
+                acc += a(i, l) * b(l, col);
+            }
+            c(i, col) = alpha * acc + beta * c(i, col);
+        }
+    });
+}
+
+} // namespace pspl::blas

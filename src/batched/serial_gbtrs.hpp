@@ -1,0 +1,70 @@
+// Batched-serial GBTRS: solve one general banded system with the LU band
+// factorization (from hostlapack::gbtrf) in-place for a single right-hand
+// side inside a parallel region. Band storage is the LAPACK layout: entry
+// (i, j) of the factored matrix lives at ab(kl+ku+i-j, j).
+#pragma once
+
+#include "batched/types.hpp"
+#include "parallel/macros.hpp"
+
+#include <cstddef>
+
+namespace pspl::batched {
+
+struct SerialGbtrsInternal {
+    template <typename ValueType>
+    PSPL_INLINE_FUNCTION static int
+    invoke(const int n, const int kl, const int ku,
+           const ValueType* PSPL_RESTRICT ab, const int abs0, const int abs1,
+           const int* PSPL_RESTRICT ipiv, const int ipivs0,
+           ValueType* PSPL_RESTRICT b, const int bs0)
+    {
+        const int kv = kl + ku;
+        // Forward: apply the row interchanges and the unit-lower band L.
+        if (kl > 0) {
+            for (int j = 0; j < n - 1; j++) {
+                const int p = ipiv[j * ipivs0];
+                if (p != j) {
+                    const ValueType t = b[j * bs0];
+                    b[j * bs0] = b[p * bs0];
+                    b[p * bs0] = t;
+                }
+                const int km = kl < n - 1 - j ? kl : n - 1 - j;
+                const ValueType bj = b[j * bs0];
+                for (int i = 1; i <= km; i++) {
+                    b[(j + i) * bs0] -= ab[(kv + i) * abs0 + j * abs1] * bj;
+                }
+            }
+        }
+        // Backward: U has bandwidth kv.
+        for (int j = n - 1; j >= 0; j--) {
+            ValueType acc = b[j * bs0];
+            const int reach = kv < n - 1 - j ? kv : n - 1 - j;
+            for (int i = 1; i <= reach; i++) {
+                acc -= ab[(kv - i) * abs0 + (j + i) * abs1] * b[(j + i) * bs0];
+            }
+            b[j * bs0] = acc / ab[kv * abs0 + j * abs1];
+        }
+        return 0;
+    }
+};
+
+template <typename ArgTrans = Trans::NoTranspose,
+          typename ArgAlgo = Algo::Gbtrs::Unblocked>
+struct SerialGbtrs {
+    /// `ab` is the (2*kl+ku+1, n) gbtrf factor; `ipiv` its pivot indices.
+    template <typename ABViewType, typename PivViewType, typename BViewType>
+    PSPL_INLINE_FUNCTION static int invoke(const ABViewType& ab, const int kl,
+                                           const int ku,
+                                           const PivViewType& ipiv,
+                                           const BViewType& b)
+    {
+        return SerialGbtrsInternal::invoke(
+                static_cast<int>(ab.extent(1)), kl, ku, ab.data(),
+                static_cast<int>(ab.stride(0)), static_cast<int>(ab.stride(1)),
+                ipiv.data(), static_cast<int>(ipiv.stride(0)), b.data(),
+                static_cast<int>(b.stride(0)));
+    }
+};
+
+} // namespace pspl::batched

@@ -1,0 +1,59 @@
+// Batched-serial GEMV: y = alpha*A*x + beta*y for one right-hand side inside
+// a parallel region (the kernel-fusion replacement for the baseline's global
+// GEMM, paper Listing 4).
+#pragma once
+
+#include "batched/types.hpp"
+#include "parallel/macros.hpp"
+
+#include <cstddef>
+#include <type_traits>
+
+namespace pspl::batched {
+
+struct SerialGemvInternal {
+    template <typename ValueType>
+    PSPL_INLINE_FUNCTION static int
+    invoke(const int m, const int n, const ValueType alpha,
+           const ValueType* PSPL_RESTRICT a, const int as0, const int as1,
+           const ValueType* PSPL_RESTRICT x, const int xs0,
+           const ValueType beta, ValueType* PSPL_RESTRICT y, const int ys0)
+    {
+        for (int i = 0; i < m; i++) {
+            ValueType acc = 0;
+            for (int j = 0; j < n; j++) {
+                acc += a[i * as0 + j * as1] * x[j * xs0];
+            }
+            y[i * ys0] = alpha * acc + beta * y[i * ys0];
+        }
+        return 0;
+    }
+};
+
+template <typename ArgTrans = Trans::NoTranspose,
+          typename ArgAlgo = Algo::Gemv::Unblocked>
+struct SerialGemv {
+    template <typename AViewType, typename XViewType, typename YViewType>
+    PSPL_INLINE_FUNCTION static int
+    invoke(const double alpha, const AViewType& a, const XViewType& x,
+           const double beta, const YViewType& y)
+    {
+        if constexpr (std::is_same_v<ArgTrans, Trans::Transpose>) {
+            return SerialGemvInternal::invoke(
+                    static_cast<int>(a.extent(1)), static_cast<int>(a.extent(0)),
+                    alpha, a.data(), static_cast<int>(a.stride(1)),
+                    static_cast<int>(a.stride(0)), x.data(),
+                    static_cast<int>(x.stride(0)), beta, y.data(),
+                    static_cast<int>(y.stride(0)));
+        } else {
+            return SerialGemvInternal::invoke(
+                    static_cast<int>(a.extent(0)), static_cast<int>(a.extent(1)),
+                    alpha, a.data(), static_cast<int>(a.stride(0)),
+                    static_cast<int>(a.stride(1)), x.data(),
+                    static_cast<int>(x.stride(0)), beta, y.data(),
+                    static_cast<int>(y.stride(0)));
+        }
+    }
+};
+
+} // namespace pspl::batched

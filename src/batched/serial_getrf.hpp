@@ -1,0 +1,85 @@
+// Batched-serial GETRF: in-place dense LU with partial pivoting for ONE
+// matrix inside a parallel region. This is the "classic" batched-LAPACK
+// mode the paper contrasts with (§II-B: "most of the batched solvers are
+// optimized to deal with multiple matrices as well as multiple right-hand
+// sides"): every batch entry factorizes its own matrix. The spline problem
+// has a single fixed matrix, which is why the paper factorizes once on the
+// host instead -- bench_ablation_multimatrix quantifies that difference.
+#pragma once
+
+#include "batched/types.hpp"
+#include "parallel/macros.hpp"
+
+#include <cstddef>
+
+namespace pspl::batched {
+
+struct SerialGetrfInternal {
+    template <typename ValueType>
+    PSPL_INLINE_FUNCTION static int
+    invoke(const int n, ValueType* PSPL_RESTRICT a, const int as0,
+           const int as1, int* PSPL_RESTRICT ipiv, const int ipivs0)
+    {
+        int info = 0;
+        for (int k = 0; k < n; k++) {
+            // Pivot search in column k.
+            int p = k;
+            ValueType pmax = a[k * as0 + k * as1];
+            if (pmax < 0) {
+                pmax = -pmax;
+            }
+            for (int i = k + 1; i < n; i++) {
+                ValueType v = a[i * as0 + k * as1];
+                if (v < 0) {
+                    v = -v;
+                }
+                if (v > pmax) {
+                    pmax = v;
+                    p = i;
+                }
+            }
+            ipiv[k * ipivs0] = p;
+            if (pmax == ValueType(0)) {
+                if (info == 0) {
+                    info = k + 1;
+                }
+                continue;
+            }
+            if (p != k) {
+                for (int j = 0; j < n; j++) {
+                    const ValueType t = a[k * as0 + j * as1];
+                    a[k * as0 + j * as1] = a[p * as0 + j * as1];
+                    a[p * as0 + j * as1] = t;
+                }
+            }
+            const ValueType inv_piv = ValueType(1) / a[k * as0 + k * as1];
+            for (int i = k + 1; i < n; i++) {
+                a[i * as0 + k * as1] *= inv_piv;
+            }
+            for (int i = k + 1; i < n; i++) {
+                const ValueType lik = a[i * as0 + k * as1];
+                if (lik != ValueType(0)) {
+                    for (int j = k + 1; j < n; j++) {
+                        a[i * as0 + j * as1] -= lik * a[k * as0 + j * as1];
+                    }
+                }
+            }
+        }
+        return info;
+    }
+};
+
+template <typename ArgAlgo = Algo::Getrs::Unblocked>
+struct SerialGetrf {
+    template <typename AViewType, typename PivViewType>
+    PSPL_INLINE_FUNCTION static int invoke(const AViewType& a,
+                                           const PivViewType& ipiv)
+    {
+        return SerialGetrfInternal::invoke(
+                static_cast<int>(a.extent(0)), a.data(),
+                static_cast<int>(a.stride(0)), static_cast<int>(a.stride(1)),
+                ipiv.data(), static_cast<int>(ipiv.stride(0)));
+    }
+};
+
+} // namespace pspl::batched

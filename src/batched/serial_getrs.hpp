@@ -1,0 +1,65 @@
+// Batched-serial GETRS: solve one dense system with the LU factorization
+// (from hostlapack::getrf, partial pivoting) in-place for a single
+// right-hand side inside a parallel region. Used for the Schur complement
+// block delta' in Algorithm 1.
+#pragma once
+
+#include "batched/types.hpp"
+#include "parallel/macros.hpp"
+
+#include <cstddef>
+
+namespace pspl::batched {
+
+struct SerialGetrsInternal {
+    template <typename ValueType>
+    PSPL_INLINE_FUNCTION static int
+    invoke(const int n, const ValueType* PSPL_RESTRICT lu, const int as0,
+           const int as1, const int* PSPL_RESTRICT ipiv, const int ipivs0,
+           ValueType* PSPL_RESTRICT b, const int bs0)
+    {
+        // Apply row interchanges.
+        for (int k = 0; k < n; k++) {
+            const int p = ipiv[k * ipivs0];
+            if (p != k) {
+                const ValueType t = b[k * bs0];
+                b[k * bs0] = b[p * bs0];
+                b[p * bs0] = t;
+            }
+        }
+        // Forward substitution with unit-diagonal L.
+        for (int i = 1; i < n; i++) {
+            ValueType acc = b[i * bs0];
+            for (int j = 0; j < i; j++) {
+                acc -= lu[i * as0 + j * as1] * b[j * bs0];
+            }
+            b[i * bs0] = acc;
+        }
+        // Backward substitution with U.
+        for (int i = n - 1; i >= 0; i--) {
+            ValueType acc = b[i * bs0];
+            for (int j = i + 1; j < n; j++) {
+                acc -= lu[i * as0 + j * as1] * b[j * bs0];
+            }
+            b[i * bs0] = acc / lu[i * as0 + i * as1];
+        }
+        return 0;
+    }
+};
+
+template <typename ArgTrans = Trans::NoTranspose,
+          typename ArgAlgo = Algo::Getrs::Unblocked>
+struct SerialGetrs {
+    template <typename LUViewType, typename PivViewType, typename BViewType>
+    PSPL_INLINE_FUNCTION static int
+    invoke(const LUViewType& lu, const PivViewType& ipiv, const BViewType& b)
+    {
+        return SerialGetrsInternal::invoke(
+                static_cast<int>(lu.extent(0)), lu.data(),
+                static_cast<int>(lu.stride(0)), static_cast<int>(lu.stride(1)),
+                ipiv.data(), static_cast<int>(ipiv.stride(0)), b.data(),
+                static_cast<int>(b.stride(0)));
+    }
+};
+
+} // namespace pspl::batched

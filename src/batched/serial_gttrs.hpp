@@ -1,0 +1,70 @@
+// Batched-serial GTTRS: solve one general tridiagonal system with the
+// pivoted LU factorization (from hostlapack::gttrf) in-place for a single
+// right-hand side inside a parallel region. Complements SerialPttrs for
+// tridiagonal matrices that are not symmetric positive definite.
+#pragma once
+
+#include "batched/types.hpp"
+#include "parallel/macros.hpp"
+
+#include <cstddef>
+
+namespace pspl::batched {
+
+struct SerialGttrsInternal {
+    template <typename ValueType>
+    PSPL_INLINE_FUNCTION static int
+    invoke(const int n, const ValueType* PSPL_RESTRICT dl, const int dls0,
+           const ValueType* PSPL_RESTRICT d, const int ds0,
+           const ValueType* PSPL_RESTRICT du, const int dus0,
+           const ValueType* PSPL_RESTRICT du2, const int du2s0,
+           const int* PSPL_RESTRICT ipiv, const int ipivs0,
+           ValueType* PSPL_RESTRICT b, const int bs0)
+    {
+        // Forward: apply L and the recorded interchanges.
+        for (int i = 0; i + 1 < n; i++) {
+            if (ipiv[i * ipivs0] == i) {
+                b[(i + 1) * bs0] -= dl[i * dls0] * b[i * bs0];
+            } else {
+                const ValueType temp = b[i * bs0];
+                b[i * bs0] = b[(i + 1) * bs0];
+                b[(i + 1) * bs0] = temp - dl[i * dls0] * b[i * bs0];
+            }
+        }
+        // Backward with U (d, du, du2).
+        b[(n - 1) * bs0] /= d[(n - 1) * ds0];
+        if (n > 1) {
+            b[(n - 2) * bs0] = (b[(n - 2) * bs0]
+                                - du[(n - 2) * dus0] * b[(n - 1) * bs0])
+                               / d[(n - 2) * ds0];
+        }
+        for (int i = n - 3; i >= 0; i--) {
+            b[i * bs0] = (b[i * bs0] - du[i * dus0] * b[(i + 1) * bs0]
+                          - du2[i * du2s0] * b[(i + 2) * bs0])
+                         / d[i * ds0];
+        }
+        return 0;
+    }
+};
+
+template <typename ArgTrans = Trans::NoTranspose,
+          typename ArgAlgo = Algo::Getrs::Unblocked>
+struct SerialGttrs {
+    template <typename DLView, typename DView, typename DUView,
+              typename DU2View, typename PivView, typename BView>
+    PSPL_INLINE_FUNCTION static int
+    invoke(const DLView& dl, const DView& d, const DUView& du,
+           const DU2View& du2, const PivView& ipiv, const BView& b)
+    {
+        return SerialGttrsInternal::invoke(
+                static_cast<int>(d.extent(0)), dl.data(),
+                static_cast<int>(dl.stride(0)), d.data(),
+                static_cast<int>(d.stride(0)), du.data(),
+                static_cast<int>(du.stride(0)), du2.data(),
+                static_cast<int>(du2.stride(0)), ipiv.data(),
+                static_cast<int>(ipiv.stride(0)), b.data(),
+                static_cast<int>(b.stride(0)));
+    }
+};
+
+} // namespace pspl::batched

@@ -1,0 +1,59 @@
+// Batched-serial PBTRS: solve one SPD banded system L*L^T x = b in-place for
+// a single right-hand side inside a parallel region. The Cholesky band
+// factor (lower storage, shape (kd+1, n)) comes from hostlapack::pbtrf and
+// is shared across the batch.
+#pragma once
+
+#include "batched/types.hpp"
+#include "parallel/macros.hpp"
+
+#include <cstddef>
+
+namespace pspl::batched {
+
+struct SerialPbtrsInternal {
+    template <typename ValueType>
+    PSPL_INLINE_FUNCTION static int
+    invoke(const int n, const int kd, const ValueType* PSPL_RESTRICT ab,
+           const int abs0, const int abs1, ValueType* PSPL_RESTRICT b,
+           const int bs0)
+    {
+        // L y = b (forward substitution over the band).
+        for (int j = 0; j < n; j++) {
+            const ValueType bj = b[j * bs0] / ab[j * abs1];
+            b[j * bs0] = bj;
+            const int km = kd < n - 1 - j ? kd : n - 1 - j;
+            for (int i = 1; i <= km; i++) {
+                b[(j + i) * bs0] -= ab[i * abs0 + j * abs1] * bj;
+            }
+        }
+        // L^T x = y (backward substitution).
+        for (int j = n - 1; j >= 0; j--) {
+            ValueType acc = b[j * bs0];
+            const int km = kd < n - 1 - j ? kd : n - 1 - j;
+            for (int i = 1; i <= km; i++) {
+                acc -= ab[i * abs0 + j * abs1] * b[(j + i) * bs0];
+            }
+            b[j * bs0] = acc / ab[j * abs1];
+        }
+        return 0;
+    }
+};
+
+template <typename ArgUplo = Uplo::Lower,
+          typename ArgAlgo = Algo::Pbtrs::Unblocked>
+struct SerialPbtrs {
+    /// `ab` is the (kd+1, n) lower band Cholesky factor; `b` one RHS.
+    template <typename ABViewType, typename BViewType>
+    PSPL_INLINE_FUNCTION static int invoke(const ABViewType& ab,
+                                           const BViewType& b)
+    {
+        return SerialPbtrsInternal::invoke(
+                static_cast<int>(ab.extent(1)),
+                static_cast<int>(ab.extent(0)) - 1, ab.data(),
+                static_cast<int>(ab.stride(0)), static_cast<int>(ab.stride(1)),
+                b.data(), static_cast<int>(b.stride(0)));
+    }
+};
+
+} // namespace pspl::batched

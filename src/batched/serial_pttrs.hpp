@@ -1,0 +1,51 @@
+// Batched-serial PTTRS: solve one positive-definite symmetric tridiagonal
+// system L*D*L^T x = b in-place, designed to be called for one right-hand
+// side inside a parallel region (paper Listing 1). The factorization (d, e)
+// is produced once on the host by hostlapack::pttrf and shared by every
+// batch entry; only b differs per batch.
+#pragma once
+
+#include "batched/types.hpp"
+#include "parallel/macros.hpp"
+
+#include <cstddef>
+
+namespace pspl::batched {
+
+struct SerialPttrsInternal {
+    template <typename ValueType>
+    PSPL_INLINE_FUNCTION static int
+    invoke(const int n, const ValueType* PSPL_RESTRICT d, const int ds0,
+           const ValueType* PSPL_RESTRICT e, const int es0,
+           ValueType* PSPL_RESTRICT b, const int bs0)
+    {
+        // Solve A * x = b using the factorization L * D * L**T.
+        for (int i = 1; i < n; i++) {
+            b[i * bs0] -= e[(i - 1) * es0] * b[(i - 1) * bs0];
+        }
+        b[(n - 1) * bs0] /= d[(n - 1) * ds0];
+        for (int i = n - 2; i >= 0; i--) {
+            b[i * bs0] = b[i * bs0] / d[i * ds0] - b[(i + 1) * bs0] * e[i * es0];
+        }
+        return 0;
+    }
+};
+
+template <typename ArgUplo = Uplo::Lower,
+          typename ArgAlgo = Algo::Pttrs::Unblocked>
+struct SerialPttrs {
+    template <typename DViewType, typename EViewType, typename BViewType>
+    PSPL_INLINE_FUNCTION static int
+    invoke(const DViewType& d, const EViewType& e, const BViewType& b)
+    {
+        // For real symmetric matrices the Upper/Lower factorizations solve
+        // identically; the tag is kept for LAPACK API fidelity.
+        return SerialPttrsInternal::invoke(
+                static_cast<int>(d.extent(0)), d.data(),
+                static_cast<int>(d.stride(0)), e.data(),
+                static_cast<int>(e.stride(0)), b.data(),
+                static_cast<int>(b.stride(0)));
+    }
+};
+
+} // namespace pspl::batched

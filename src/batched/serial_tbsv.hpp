@@ -1,0 +1,85 @@
+// Batched-serial TBSV: banded triangular solve for one right-hand side
+// inside a parallel region, on LAPACK-style band storage. The band
+// counterpart of SerialTrsv; pbtrs is exactly a lower tbsv followed by an
+// upper (transposed) tbsv on the Cholesky band factor.
+//
+// Storage (lower): entry L(i, j), j <= i <= j+kd, lives at ab(i-j, j) of a
+// (kd+1, n) view -- the hostlapack::SymBandMatrix layout.
+#pragma once
+
+#include "batched/types.hpp"
+#include "parallel/macros.hpp"
+
+#include <cstddef>
+#include <type_traits>
+
+namespace pspl::batched {
+
+struct SerialTbsvInternal {
+    /// Solve L x = b with a lower band matrix in (kd+1, n) storage.
+    template <typename ValueType>
+    PSPL_INLINE_FUNCTION static int
+    lower(const int n, const int kd, const ValueType* PSPL_RESTRICT ab,
+          const int abs0, const int abs1, ValueType* PSPL_RESTRICT b,
+          const int bs0)
+    {
+        for (int j = 0; j < n; j++) {
+            const ValueType bj = b[j * bs0] / ab[j * abs1];
+            b[j * bs0] = bj;
+            const int km = kd < n - 1 - j ? kd : n - 1 - j;
+            for (int i = 1; i <= km; i++) {
+                b[(j + i) * bs0] -= ab[i * abs0 + j * abs1] * bj;
+            }
+        }
+        return 0;
+    }
+
+    /// Solve L^T x = b with the same lower band factor (i.e. an upper
+    /// banded solve against the stored transpose).
+    template <typename ValueType>
+    PSPL_INLINE_FUNCTION static int
+    lower_transpose(const int n, const int kd,
+                    const ValueType* PSPL_RESTRICT ab, const int abs0,
+                    const int abs1, ValueType* PSPL_RESTRICT b, const int bs0)
+    {
+        for (int j = n - 1; j >= 0; j--) {
+            ValueType acc = b[j * bs0];
+            const int km = kd < n - 1 - j ? kd : n - 1 - j;
+            for (int i = 1; i <= km; i++) {
+                acc -= ab[i * abs0 + j * abs1] * b[(j + i) * bs0];
+            }
+            b[j * bs0] = acc / ab[j * abs1];
+        }
+        return 0;
+    }
+};
+
+template <typename ArgUplo = Uplo::Lower,
+          typename ArgTrans = Trans::NoTranspose>
+struct SerialTbsv {
+    /// `ab` is a (kd+1, n) lower band factor.
+    template <typename ABViewType, typename BViewType>
+    PSPL_INLINE_FUNCTION static int invoke(const ABViewType& ab,
+                                           const BViewType& b)
+    {
+        static_assert(std::is_same_v<ArgUplo, Uplo::Lower>,
+                      "only lower band storage is implemented");
+        if constexpr (std::is_same_v<ArgTrans, Trans::NoTranspose>) {
+            return SerialTbsvInternal::lower(
+                    static_cast<int>(ab.extent(1)),
+                    static_cast<int>(ab.extent(0)) - 1, ab.data(),
+                    static_cast<int>(ab.stride(0)),
+                    static_cast<int>(ab.stride(1)), b.data(),
+                    static_cast<int>(b.stride(0)));
+        } else {
+            return SerialTbsvInternal::lower_transpose(
+                    static_cast<int>(ab.extent(1)),
+                    static_cast<int>(ab.extent(0)) - 1, ab.data(),
+                    static_cast<int>(ab.stride(0)),
+                    static_cast<int>(ab.stride(1)), b.data(),
+                    static_cast<int>(b.stride(0)));
+        }
+    }
+};
+
+} // namespace pspl::batched

@@ -1,0 +1,80 @@
+// Batched-serial TRSV: dense triangular solve for one right-hand side
+// inside a parallel region. The building block the higher-level solvers
+// (getrs = P + unit-lower trsv + upper trsv) decompose into; exposed
+// publicly because spline applications also need raw triangular solves
+// (e.g. applying only the L or U factor during preconditioning research).
+#pragma once
+
+#include "batched/types.hpp"
+#include "parallel/macros.hpp"
+
+#include <cstddef>
+#include <type_traits>
+
+namespace pspl::batched {
+
+struct Diag {
+    struct Unit {
+    };
+    struct NonUnit {
+    };
+};
+
+struct SerialTrsvInternal {
+    template <typename ValueType>
+    PSPL_INLINE_FUNCTION static int
+    lower(const bool unit_diag, const int n, const ValueType* PSPL_RESTRICT a,
+          const int as0, const int as1, ValueType* PSPL_RESTRICT b,
+          const int bs0)
+    {
+        for (int i = 0; i < n; i++) {
+            ValueType acc = b[i * bs0];
+            for (int j = 0; j < i; j++) {
+                acc -= a[i * as0 + j * as1] * b[j * bs0];
+            }
+            b[i * bs0] = unit_diag ? acc : acc / a[i * as0 + i * as1];
+        }
+        return 0;
+    }
+
+    template <typename ValueType>
+    PSPL_INLINE_FUNCTION static int
+    upper(const bool unit_diag, const int n, const ValueType* PSPL_RESTRICT a,
+          const int as0, const int as1, ValueType* PSPL_RESTRICT b,
+          const int bs0)
+    {
+        for (int i = n - 1; i >= 0; i--) {
+            ValueType acc = b[i * bs0];
+            for (int j = i + 1; j < n; j++) {
+                acc -= a[i * as0 + j * as1] * b[j * bs0];
+            }
+            b[i * bs0] = unit_diag ? acc : acc / a[i * as0 + i * as1];
+        }
+        return 0;
+    }
+};
+
+template <typename ArgUplo, typename ArgDiag = Diag::NonUnit>
+struct SerialTrsv {
+    template <typename AViewType, typename BViewType>
+    PSPL_INLINE_FUNCTION static int invoke(const AViewType& a,
+                                           const BViewType& b)
+    {
+        constexpr bool unit = std::is_same_v<ArgDiag, Diag::Unit>;
+        if constexpr (std::is_same_v<ArgUplo, Uplo::Lower>) {
+            return SerialTrsvInternal::lower(
+                    unit, static_cast<int>(a.extent(0)), a.data(),
+                    static_cast<int>(a.stride(0)),
+                    static_cast<int>(a.stride(1)), b.data(),
+                    static_cast<int>(b.stride(0)));
+        } else {
+            return SerialTrsvInternal::upper(
+                    unit, static_cast<int>(a.extent(0)), a.data(),
+                    static_cast<int>(a.stride(0)),
+                    static_cast<int>(a.stride(1)), b.data(),
+                    static_cast<int>(b.stride(0)));
+        }
+    }
+};
+
+} // namespace pspl::batched

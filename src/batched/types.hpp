@@ -1,0 +1,44 @@
+// Tag types mirroring the KokkosBatched template vocabulary (Trans, Uplo,
+// Algo) so the solver call sites read like the paper's listings.
+#pragma once
+
+namespace pspl::batched {
+
+struct Trans {
+    struct NoTranspose {
+    };
+    struct Transpose {
+    };
+};
+
+struct Uplo {
+    struct Lower {
+    };
+    struct Upper {
+    };
+};
+
+struct Algo {
+    struct Pttrs {
+        struct Unblocked {
+        };
+    };
+    struct Pbtrs {
+        struct Unblocked {
+        };
+    };
+    struct Gbtrs {
+        struct Unblocked {
+        };
+    };
+    struct Getrs {
+        struct Unblocked {
+        };
+    };
+    struct Gemv {
+        struct Unblocked {
+        };
+    };
+};
+
+} // namespace pspl::batched

@@ -1,0 +1,140 @@
+// B-spline basis of arbitrary degree on uniform or non-uniform break
+// points (Cox-de Boor recursion, de Boor's BSPLVB algorithm), with two
+// boundary treatments:
+//
+//   Periodic -- knots wrap around the domain; nbasis == ncells. This is
+//               the paper's case (tokamak angles are periodic) and yields
+//               the banded+corners matrices of Fig. 1.
+//   Clamped  -- open knot vector (end knots repeated degree+1 times);
+//               nbasis == ncells + degree. This covers GYSELA's radial /
+//               velocity dimensions; collocation at the Greville points
+//               yields a plain banded matrix (no corners), exercising the
+//               k = 0 path of the Schur solver.
+//
+// The class is cheap to copy (knot storage is a shared View) so it can be
+// captured by value inside parallel kernels, which the batched spline
+// evaluator relies on.
+#pragma once
+
+#include "parallel/view.hpp"
+
+#include <cstddef>
+#include <vector>
+
+namespace pspl::bsplines {
+
+enum class Boundary {
+    Periodic,
+    Clamped,
+};
+
+class BSplineBasis
+{
+public:
+    /// Maximum supported spline degree (stack scratch inside kernels).
+    static constexpr int max_degree = 9;
+
+    BSplineBasis() = default;
+
+    /// Basis on the given break points (breaks.front() = xmin,
+    /// breaks.back() = xmax).
+    BSplineBasis(int degree, const std::vector<double>& breaks, bool uniform,
+                 Boundary boundary);
+
+    static BSplineBasis uniform(int degree, std::size_t ncells, double xmin,
+                                double xmax);
+    static BSplineBasis non_uniform(int degree,
+                                    const std::vector<double>& breaks);
+    static BSplineBasis clamped_uniform(int degree, std::size_t ncells,
+                                        double xmin, double xmax);
+    static BSplineBasis clamped_non_uniform(int degree,
+                                            const std::vector<double>& breaks);
+
+    int degree() const { return m_degree; }
+    std::size_t ncells() const { return m_ncells; }
+    /// Number of basis functions: ncells (periodic) or ncells + degree
+    /// (clamped).
+    std::size_t nbasis() const
+    {
+        return m_periodic ? m_ncells
+                          : m_ncells + static_cast<std::size_t>(m_degree);
+    }
+    double xmin() const { return m_xmin; }
+    double xmax() const { return m_xmax; }
+    double length() const { return m_xmax - m_xmin; }
+    bool is_uniform() const { return m_uniform; }
+    bool is_periodic() const { return m_periodic; }
+    Boundary boundary() const
+    {
+        return m_periodic ? Boundary::Periodic : Boundary::Clamped;
+    }
+
+    /// Knot t_i for i in [-degree, ncells+degree] (periodic extension or
+    /// clamped repetition).
+    double knot(long i) const
+    {
+        return m_knots(static_cast<std::size_t>(i + m_degree));
+    }
+
+    /// Break point c in [0, ncells].
+    double break_point(std::size_t c) const
+    {
+        return m_knots(static_cast<std::size_t>(m_degree) + c);
+    }
+
+    /// Map x into the principal domain: periodic wrap, or clamp to
+    /// [xmin, xmax] for clamped bases.
+    double wrap(double x) const;
+
+    /// Index of the cell containing wrap(x), in [0, ncells).
+    std::size_t find_cell(double x_wrapped) const;
+
+    /// Map a raw basis index (as returned via jmin from eval_basis) to the
+    /// storage index in [0, nbasis): modulo for periodic, +degree shift for
+    /// clamped.
+    std::size_t basis_index(long j) const
+    {
+        if (m_periodic) {
+            const auto n = static_cast<long>(nbasis());
+            return static_cast<std::size_t>(((j % n) + n) % n);
+        }
+        return static_cast<std::size_t>(j + m_degree);
+    }
+
+    /// Evaluate the degree+1 basis functions that are non-zero at x.
+    /// vals[r] = N_{jmin+r}(x); returns the raw index jmin (feed jmin+r
+    /// through basis_index() for storage indexing).
+    long eval_basis(double x, double* vals) const;
+
+    /// Same for first derivatives: dvals[r] = N'_{jmin+r}(x).
+    long eval_deriv(double x, double* dvals) const;
+
+    /// m-th derivatives of the degree+1 basis functions non-zero at x
+    /// (m = 0 reduces to eval_basis). Needed for Hermite boundary
+    /// conditions, which constrain derivatives up to order (degree-1)/2.
+    long eval_deriv_order(double x, int m, double* dvals) const;
+
+    /// Greville abscissa of basis function i in [0, nbasis):
+    /// (t_{j+1} + ... + t_{j+degree}) / degree for the raw index j of i.
+    /// These are the interpolation (collocation) points.
+    double greville(std::size_t i) const;
+
+    /// All nbasis interpolation points, in basis order.
+    std::vector<double> interpolation_points() const;
+
+    /// Integral of basis function i over the domain:
+    /// (t_{j+degree+1} - t_j) / (degree + 1). Used for spline quadrature.
+    double basis_integral(std::size_t i) const;
+
+private:
+    int m_degree = 0;
+    std::size_t m_ncells = 0;
+    double m_xmin = 0.0;
+    double m_xmax = 1.0;
+    double m_inv_dx = 1.0; ///< only meaningful when uniform
+    bool m_uniform = true;
+    bool m_periodic = true;
+    View1D<double> m_knots; ///< size ncells + 2*degree + 1; index i+degree
+};
+
+} // namespace pspl::bsplines

@@ -1,0 +1,45 @@
+#include "bsplines/collocation.hpp"
+
+#include "parallel/macros.hpp"
+
+#include <cmath>
+
+namespace pspl::bsplines {
+
+View2D<double> collocation_matrix(const BSplineBasis& basis)
+{
+    return collocation_matrix(basis, basis.interpolation_points());
+}
+
+View2D<double> collocation_matrix(const BSplineBasis& basis,
+                                  const std::vector<double>& points)
+{
+    const std::size_t n = basis.nbasis();
+    PSPL_EXPECT(points.size() == n,
+                "collocation_matrix: need one point per basis function");
+    View2D<double> a("collocation_matrix", n, n);
+    std::vector<double> vals(static_cast<std::size_t>(basis.degree()) + 1);
+    for (std::size_t i = 0; i < n; ++i) {
+        const long jmin = basis.eval_basis(points[i], vals.data());
+        for (int r = 0; r <= basis.degree(); ++r) {
+            a(i, basis.basis_index(jmin + r)) +=
+                    vals[static_cast<std::size_t>(r)];
+        }
+    }
+    return a;
+}
+
+std::string sparsity_pattern(const View2D<double>& a, double threshold)
+{
+    std::string out;
+    out.reserve(a.extent(0) * (a.extent(1) + 1));
+    for (std::size_t i = 0; i < a.extent(0); ++i) {
+        for (std::size_t j = 0; j < a.extent(1); ++j) {
+            out += std::abs(a(i, j)) > threshold ? '*' : '.';
+        }
+        out += '\n';
+    }
+    return out;
+}
+
+} // namespace pspl::bsplines

@@ -1,0 +1,26 @@
+// Assembly of the periodic spline collocation (interpolation) matrix
+// A[i][j] = N_j(x_i) at the Greville points (paper Eq. 2, Fig. 1).
+//
+// A is small (n x n with n ~ 10^3) and fixed in time, so dense host assembly
+// followed by structure analysis + factorization is the paper's strategy.
+#pragma once
+
+#include "bsplines/basis.hpp"
+#include "parallel/view.hpp"
+
+#include <string>
+#include <vector>
+
+namespace pspl::bsplines {
+
+/// Dense collocation matrix at the basis' own interpolation points.
+View2D<double> collocation_matrix(const BSplineBasis& basis);
+
+/// Dense collocation matrix at caller-provided points (size nbasis).
+View2D<double> collocation_matrix(const BSplineBasis& basis,
+                                  const std::vector<double>& points);
+
+/// ASCII sparsity pattern ('*' nonzero, '.' zero), Fig. 1 style.
+std::string sparsity_pattern(const View2D<double>& a, double threshold = 1e-14);
+
+} // namespace pspl::bsplines

@@ -1,0 +1,74 @@
+#include "bsplines/knots.hpp"
+
+#include "parallel/macros.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace pspl::bsplines {
+
+std::vector<double> uniform_breaks(std::size_t ncells, double xmin, double xmax)
+{
+    PSPL_EXPECT(ncells >= 1 && xmax > xmin, "uniform_breaks: bad arguments");
+    std::vector<double> b(ncells + 1);
+    const double dx = (xmax - xmin) / static_cast<double>(ncells);
+    for (std::size_t i = 0; i <= ncells; ++i) {
+        b[i] = xmin + dx * static_cast<double>(i);
+    }
+    b[ncells] = xmax;
+    return b;
+}
+
+std::vector<double> stretched_breaks(std::size_t ncells, double xmin,
+                                     double xmax, double strength)
+{
+    PSPL_EXPECT(strength >= 0.0 && strength < 1.0,
+                "stretched_breaks: strength must be in [0, 1)");
+    std::vector<double> b(ncells + 1);
+    const double two_pi = 2.0 * std::numbers::pi;
+    for (std::size_t i = 0; i <= ncells; ++i) {
+        const double s = static_cast<double>(i) / static_cast<double>(ncells);
+        const double t = s - strength * std::sin(two_pi * s) / two_pi;
+        b[i] = xmin + (xmax - xmin) * t;
+    }
+    b[0] = xmin;
+    b[ncells] = xmax;
+    return b;
+}
+
+std::vector<double> refined_breaks(std::size_t ncells, double xmin, double xmax,
+                                   double x0, double ratio)
+{
+    PSPL_EXPECT(ratio >= 1.0, "refined_breaks: ratio must be >= 1");
+    PSPL_EXPECT(x0 > xmin && x0 < xmax, "refined_breaks: x0 outside domain");
+    // Integrate a smooth density that is `ratio` times larger at x0 than at
+    // the domain edges, then invert it numerically on a fine grid.
+    const std::size_t fine = 64 * ncells;
+    const double width = 0.1 * (xmax - xmin);
+    std::vector<double> cdf(fine + 1, 0.0);
+    auto density = [&](double x) {
+        const double d = (x - x0) / width;
+        return 1.0 + (ratio - 1.0) * std::exp(-d * d);
+    };
+    const double h = (xmax - xmin) / static_cast<double>(fine);
+    for (std::size_t i = 1; i <= fine; ++i) {
+        const double xl = xmin + h * static_cast<double>(i - 1);
+        cdf[i] = cdf[i - 1] + 0.5 * h * (density(xl) + density(xl + h));
+    }
+    std::vector<double> b(ncells + 1);
+    b[0] = xmin;
+    b[ncells] = xmax;
+    std::size_t k = 0;
+    for (std::size_t i = 1; i < ncells; ++i) {
+        const double target =
+                cdf[fine] * static_cast<double>(i) / static_cast<double>(ncells);
+        while (k < fine && cdf[k + 1] < target) {
+            ++k;
+        }
+        const double frac = (target - cdf[k]) / (cdf[k + 1] - cdf[k]);
+        b[i] = xmin + h * (static_cast<double>(k) + frac);
+    }
+    return b;
+}
+
+} // namespace pspl::bsplines

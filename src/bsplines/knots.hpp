@@ -1,0 +1,29 @@
+// Break-point (cell boundary) generation for periodic spline domains.
+//
+// The non-uniform generator is a smooth, deterministic stretching of the
+// uniform grid: it stands in for GYSELA's refined-edge meshes (paper §II-A,
+// ref [30]) and produces the general banded, non-symmetric collocation
+// matrices of Table I's "Non-uniform" column.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace pspl::bsplines {
+
+/// ncells+1 uniformly spaced break points spanning [xmin, xmax].
+std::vector<double> uniform_breaks(std::size_t ncells, double xmin, double xmax);
+
+/// ncells+1 smoothly stretched break points spanning [xmin, xmax].
+/// `strength` in [0, 1): 0 reproduces the uniform grid; larger values
+/// concentrate cells near the domain center (steep-gradient region).
+/// The map is s -> s - strength * sin(2*pi*s) / (2*pi) on the unit interval.
+std::vector<double> stretched_breaks(std::size_t ncells, double xmin,
+                                     double xmax, double strength = 0.5);
+
+/// ncells+1 break points refined near `x0` with refinement ratio `ratio`
+/// (tanh packing), for sheath-like edge profiles.
+std::vector<double> refined_breaks(std::size_t ncells, double xmin, double xmax,
+                                   double x0, double ratio = 4.0);
+
+} // namespace pspl::bsplines

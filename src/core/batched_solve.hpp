@@ -1,0 +1,129 @@
+// Batched drivers for the Schur-complement solve: one fixed factorized
+// matrix against every column of a (n, batch) right-hand-side block. The
+// three versions are the paper's optimization ladder (Table III); they are
+// free functions so every builder flavour (Greville, Hermite, 2-D tensor)
+// shares the exact same kernels.
+#pragma once
+
+#include "batched/batched.hpp"
+#include "core/schur_solver.hpp"
+#include "parallel/parallel.hpp"
+#include "parallel/subview.hpp"
+#include "parallel/view.hpp"
+
+#include <utility>
+
+namespace pspl::core {
+
+enum class BuilderVersion {
+    Baseline = 0,
+    Fused = 1,
+    FusedSpmv = 2,
+};
+
+const char* to_string(BuilderVersion v);
+
+namespace detail {
+
+template <class Exec, class BView>
+void solve_baseline(const SchurDeviceData& s, const BView& b,
+                    std::size_t batch)
+{
+    const auto b0 = subview(b, std::pair<std::size_t, std::size_t>(0, s.n0),
+                            ALL);
+    // Kernel 1: batched serial Q-solve (pttrs/gttrs/pbtrs/gbtrs/getrs).
+    parallel_for("pspl::batched::SerialQsolve", RangePolicy<Exec>(batch),
+                 [=](std::size_t i) {
+                     auto sub_b0 = subview(b0, ALL, i);
+                     solve_q_serial(s, sub_b0);
+                 });
+    if (s.k == 0) {
+        return;
+    }
+    const auto b1 = subview(b, std::pair<std::size_t, std::size_t>(s.n0, s.n),
+                            ALL);
+    // Kernel 2: global GEMM  b1 -= lambda * x0'.
+    blas::gemm<Exec>("pspl::blas::gemm_lambda", -1.0, s.lambda_dense, b0, 1.0,
+                     b1);
+    // Kernel 3: batched serial getrs on the Schur complement.
+    parallel_for("pspl::batched::SerialGetrs", RangePolicy<Exec>(batch),
+                 [=](std::size_t i) {
+                     auto sub_b1 = subview(b1, ALL, i);
+                     batched::SerialGetrs<>::invoke(s.delta_lu, s.delta_ipiv,
+                                                    sub_b1);
+                 });
+    // Kernel 4: global GEMM  x0 = x0' - beta * x1.
+    blas::gemm<Exec>("pspl::blas::gemm_beta", -1.0, s.beta_dense, b1, 1.0,
+                     b0);
+}
+
+template <class Exec, class BView>
+void solve_fused(const SchurDeviceData& s, const BView& b, std::size_t batch)
+{
+    const auto b0 = subview(b, std::pair<std::size_t, std::size_t>(0, s.n0),
+                            ALL);
+    const auto b1 = subview(b, std::pair<std::size_t, std::size_t>(s.n0, s.n),
+                            ALL);
+    parallel_for("pspl::batched::SerialQsolve-Gemv", RangePolicy<Exec>(batch),
+                 [=](std::size_t i) {
+                     auto sub_b0 = subview(b0, ALL, i);
+                     solve_q_serial(s, sub_b0);
+                     if (s.k > 0) {
+                         auto sub_b1 = subview(b1, ALL, i);
+                         batched::SerialGemv<>::invoke(-1.0, s.lambda_dense,
+                                                       sub_b0, 1.0, sub_b1);
+                         batched::SerialGetrs<>::invoke(s.delta_lu,
+                                                        s.delta_ipiv, sub_b1);
+                         batched::SerialGemv<>::invoke(-1.0, s.beta_dense,
+                                                       sub_b1, 1.0, sub_b0);
+                     }
+                 });
+}
+
+template <class Exec, class BView>
+void solve_fused_spmv(const SchurDeviceData& s, const BView& b,
+                      std::size_t batch)
+{
+    const auto b0 = subview(b, std::pair<std::size_t, std::size_t>(0, s.n0),
+                            ALL);
+    const auto b1 = subview(b, std::pair<std::size_t, std::size_t>(s.n0, s.n),
+                            ALL);
+    parallel_for("pspl::batched::SerialQsolve-Spmv", RangePolicy<Exec>(batch),
+                 [=](std::size_t i) {
+                     auto sub_b0 = subview(b0, ALL, i);
+                     solve_q_serial(s, sub_b0);
+                     if (s.k > 0) {
+                         auto sub_b1 = subview(b1, ALL, i);
+                         batched::SerialSpmvCoo::invoke(-1.0, s.lambda_coo,
+                                                        sub_b0, sub_b1);
+                         batched::SerialGetrs<>::invoke(s.delta_lu,
+                                                        s.delta_ipiv, sub_b1);
+                         batched::SerialSpmvCoo::invoke(-1.0, s.beta_coo,
+                                                        sub_b1, sub_b0);
+                     }
+                 });
+}
+
+} // namespace detail
+
+/// Solve A x = b in place for every column of `b` (shape (n, batch)) with
+/// the requested kernel version.
+template <class Exec = DefaultExecutionSpace, class BView>
+void schur_solve_batched(const SchurDeviceData& s, const BView& b,
+                         BuilderVersion version)
+{
+    const std::size_t batch = b.extent(1);
+    switch (version) {
+    case BuilderVersion::Baseline:
+        detail::solve_baseline<Exec>(s, b, batch);
+        break;
+    case BuilderVersion::Fused:
+        detail::solve_fused<Exec>(s, b, batch);
+        break;
+    case BuilderVersion::FusedSpmv:
+        detail::solve_fused_spmv<Exec>(s, b, batch);
+        break;
+    }
+}
+
+} // namespace pspl::core

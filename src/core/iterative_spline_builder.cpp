@@ -1,0 +1,44 @@
+#include "core/iterative_spline_builder.hpp"
+
+#include "bsplines/collocation.hpp"
+#include "parallel/macros.hpp"
+#include "sparse/csr.hpp"
+
+#include <utility>
+
+namespace pspl::core {
+
+IterativeSplineBuilder::IterativeSplineBuilder(bsplines::BSplineBasis basis)
+    : IterativeSplineBuilder(std::move(basis), Options())
+{
+}
+
+IterativeSplineBuilder::IterativeSplineBuilder(bsplines::BSplineBasis basis,
+                                               Options options)
+    : m_basis(std::move(basis))
+{
+    const auto a = bsplines::collocation_matrix(m_basis);
+    auto csr = sparse::Csr::from_dense(a, 1e-14);
+    m_solver = std::make_shared<const iterative::ChunkedIterativeSolver>(
+            std::move(csr), options.kind, options.config,
+            options.cols_per_chunk, options.max_block_size,
+            options.use_ilu0);
+}
+
+iterative::SolveStats
+IterativeSplineBuilder::build_inplace(const View2D<double, LayoutRight>& b) const
+{
+    PSPL_EXPECT(b.extent(0) == m_basis.nbasis(),
+                "build_inplace: RHS rows must equal nbasis");
+    return m_solver->solve_inplace(b);
+}
+
+iterative::SolveStats
+IterativeSplineBuilder::build_inplace(const View2D<double, LayoutStride>& b) const
+{
+    PSPL_EXPECT(b.extent(0) == m_basis.nbasis(),
+                "build_inplace: RHS rows must equal nbasis");
+    return m_solver->solve_inplace(b);
+}
+
+} // namespace pspl::core

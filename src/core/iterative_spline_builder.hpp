@@ -1,0 +1,52 @@
+// Iterative (mini-Ginkgo) spline builder: solves the full collocation
+// matrix in CSR form with a preconditioned Krylov solver, chunked along the
+// batch direction (paper §III-B, Listing 3). Kept deliberately
+// un-specialized -- the paper optimizes only the direct path and uses this
+// one as the flexible reference.
+#pragma once
+
+#include "bsplines/basis.hpp"
+#include "iterative/chunked.hpp"
+#include "parallel/view.hpp"
+
+#include <memory>
+
+namespace pspl::core {
+
+class IterativeSplineBuilder
+{
+public:
+    struct Options {
+        iterative::IterativeKind kind = iterative::IterativeKind::BiCGStab;
+        iterative::Config config{};
+        /// Paper defaults: 8192 on CPUs, 65535 on GPUs.
+        std::size_t cols_per_chunk = 8192;
+        /// Block-Jacobi max_block_size, tunable in [1, 32]; 0 disables.
+        std::size_t max_block_size = 8;
+        /// Replace block-Jacobi by an ILU(0) preconditioner.
+        bool use_ilu0 = false;
+    };
+
+    IterativeSplineBuilder() = default;
+    explicit IterativeSplineBuilder(bsplines::BSplineBasis basis);
+    IterativeSplineBuilder(bsplines::BSplineBasis basis, Options options);
+
+    const bsplines::BSplineBasis& basis() const { return m_basis; }
+    const iterative::ChunkedIterativeSolver& solver() const
+    {
+        return *m_solver;
+    }
+
+    /// Solve A * coeffs = values in place, like SplineBuilder::build_inplace,
+    /// returning convergence statistics (Table IV iteration counts).
+    iterative::SolveStats
+    build_inplace(const View2D<double, LayoutRight>& b) const;
+    iterative::SolveStats
+    build_inplace(const View2D<double, LayoutStride>& b) const;
+
+private:
+    bsplines::BSplineBasis m_basis;
+    std::shared_ptr<const iterative::ChunkedIterativeSolver> m_solver;
+};
+
+} // namespace pspl::core

@@ -1,0 +1,103 @@
+#include "core/matrix_structure.hpp"
+
+#include "parallel/macros.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pspl::core {
+
+const char* to_string(SolverKind kind)
+{
+    switch (kind) {
+    case SolverKind::PTTRS:
+        return "pttrs";
+    case SolverKind::GTTRS:
+        return "gttrs";
+    case SolverKind::PBTRS:
+        return "pbtrs";
+    case SolverKind::GBTRS:
+        return "gbtrs";
+    case SolverKind::GETRS:
+        return "getrs";
+    }
+    return "?";
+}
+
+MatrixStructure analyze_structure(const View2D<double>& a, double tol)
+{
+    const std::size_t n = a.extent(0);
+    PSPL_EXPECT(a.extent(1) == n, "analyze_structure: matrix must be square");
+    MatrixStructure s;
+    s.n = n;
+
+    // Pass 1: corner width. A nonzero at cyclic distance > n/2 from the
+    // diagonal belongs to a periodic wrap-around corner; the border must be
+    // wide enough to swallow it.
+    std::size_t k = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            if (std::abs(a(i, j)) <= tol) {
+                continue;
+            }
+            if (j > i && (j - i) > n / 2) {
+                // top-right corner entry: needs j >= n-k
+                k = std::max(k, n - j);
+            } else if (i > j && (i - j) > n / 2) {
+                // bottom-left corner entry: needs i >= n-k
+                k = std::max(k, n - i);
+            }
+        }
+    }
+    s.corner_width = k;
+
+    // Pass 2: bandwidths and symmetry of Q = a[0:n-k, 0:n-k].
+    const std::size_t n0 = n - k;
+    std::size_t kl = 0;
+    std::size_t ku = 0;
+    double amax = 0.0;
+    for (std::size_t i = 0; i < n0; ++i) {
+        for (std::size_t j = 0; j < n0; ++j) {
+            const double v = std::abs(a(i, j));
+            amax = std::max(amax, v);
+            if (v > tol) {
+                if (i > j) {
+                    kl = std::max(kl, i - j);
+                } else {
+                    ku = std::max(ku, j - i);
+                }
+            }
+        }
+    }
+    s.kl = kl;
+    s.ku = ku;
+
+    bool sym = true;
+    const double sym_tol = tol * std::max(amax, 1.0);
+    for (std::size_t i = 0; i < n0 && sym; ++i) {
+        const std::size_t reach = std::max(kl, ku);
+        const std::size_t jhi = std::min(n0 - 1, i + reach);
+        for (std::size_t j = i; j <= jhi; ++j) {
+            if (std::abs(a(i, j) - a(j, i)) > sym_tol) {
+                sym = false;
+                break;
+            }
+        }
+    }
+    s.q_symmetric = sym;
+
+    if (sym && kl <= 1 && ku <= 1) {
+        s.recommended = SolverKind::PTTRS;
+    } else if (kl <= 1 && ku <= 1) {
+        s.recommended = SolverKind::GTTRS;
+    } else if (sym) {
+        s.recommended = SolverKind::PBTRS;
+    } else if (kl + ku + 1 < n0) {
+        s.recommended = SolverKind::GBTRS;
+    } else {
+        s.recommended = SolverKind::GETRS;
+    }
+    return s;
+}
+
+} // namespace pspl::core

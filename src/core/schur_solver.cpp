@@ -1,0 +1,168 @@
+#include "core/schur_solver.hpp"
+
+#include "hostlapack/dense.hpp"
+#include "hostlapack/gbtrf.hpp"
+#include "hostlapack/getrf.hpp"
+#include "hostlapack/gttrf.hpp"
+#include "hostlapack/pbtrf.hpp"
+#include "hostlapack/pttrf.hpp"
+#include "parallel/deep_copy.hpp"
+#include "parallel/subview.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pspl::core {
+
+SchurSolver::SchurSolver(const View2D<double>& a) : SchurSolver(a, Options())
+{
+}
+
+SchurSolver::SchurSolver(const View2D<double>& a, Options opts)
+    : m_structure(analyze_structure(a, opts.structure_tol))
+{
+    const std::size_t n = m_structure.n;
+    const std::size_t k = m_structure.corner_width;
+    const std::size_t n0 = n - k;
+    PSPL_EXPECT(n0 > 0, "SchurSolver: corner block covers the whole matrix");
+
+    m_data.n = n;
+    m_data.n0 = n0;
+    m_data.k = k;
+
+    // --- Extract the blocks ------------------------------------------------
+    View2D<double> q("schur_q", n0, n0);
+    for (std::size_t i = 0; i < n0; ++i) {
+        for (std::size_t j = 0; j < n0; ++j) {
+            q(i, j) = a(i, j);
+        }
+    }
+    View2D<double> gamma("schur_gamma", n0, std::max<std::size_t>(k, 1));
+    View2D<double> lambda("schur_lambda", std::max<std::size_t>(k, 1), n0);
+    View2D<double> delta("schur_delta", std::max<std::size_t>(k, 1),
+                         std::max<std::size_t>(k, 1));
+    for (std::size_t i = 0; i < n0; ++i) {
+        for (std::size_t j = 0; j < k; ++j) {
+            gamma(i, j) = a(i, n0 + j);
+        }
+    }
+    for (std::size_t i = 0; i < k; ++i) {
+        for (std::size_t j = 0; j < n0; ++j) {
+            lambda(i, j) = a(n0 + i, j);
+        }
+    }
+    for (std::size_t i = 0; i < k; ++i) {
+        for (std::size_t j = 0; j < k; ++j) {
+            delta(i, j) = a(n0 + i, n0 + j);
+        }
+    }
+
+    // --- Factorize Q with the recommended solver, falling back on failure --
+    SolverKind kind = m_structure.recommended;
+    const std::size_t kl = m_structure.kl;
+    const std::size_t ku = m_structure.ku;
+
+    if (kind == SolverKind::PTTRS) {
+        View1D<double> d("schur_pt_d", n0);
+        View1D<double> e("schur_pt_e", n0 > 1 ? n0 - 1 : 1);
+        for (std::size_t i = 0; i < n0; ++i) {
+            d(i) = q(i, i);
+        }
+        for (std::size_t i = 0; i + 1 < n0; ++i) {
+            e(i) = q(i + 1, i);
+        }
+        if (hostlapack::pttrf(d, e) == 0) {
+            m_data.pt_d = d;
+            m_data.pt_e = e;
+        } else {
+            kind = SolverKind::GTTRS; // not positive definite after all
+        }
+    }
+    if (kind == SolverKind::GTTRS) {
+        View1D<double> dl("schur_gt_dl", n0 > 1 ? n0 - 1 : 1);
+        View1D<double> d("schur_gt_d", n0);
+        View1D<double> du("schur_gt_du", n0 > 1 ? n0 - 1 : 1);
+        View1D<double> du2("schur_gt_du2", n0 > 2 ? n0 - 2 : 1);
+        View1D<int> ipiv("schur_gt_ipiv", n0);
+        for (std::size_t i = 0; i < n0; ++i) {
+            d(i) = q(i, i);
+        }
+        for (std::size_t i = 0; i + 1 < n0; ++i) {
+            dl(i) = q(i + 1, i);
+            du(i) = q(i, i + 1);
+        }
+        if (hostlapack::gttrf(dl, d, du, du2, ipiv) == 0) {
+            m_data.gt_dl = dl;
+            m_data.gt_d = d;
+            m_data.gt_du = du;
+            m_data.gt_du2 = du2;
+            m_data.gt_ipiv = ipiv;
+        } else {
+            kind = SolverKind::GBTRS;
+        }
+    }
+    if (kind == SolverKind::PBTRS) {
+        const std::size_t kd = std::max(kl, ku);
+        auto sb = hostlapack::pack_sym_band(q, kd);
+        if (hostlapack::pbtrf(sb) == 0) {
+            m_data.pb_ab = sb.ab;
+        } else {
+            kind = SolverKind::GBTRS;
+        }
+    }
+    if (kind == SolverKind::GBTRS) {
+        auto bm = hostlapack::pack_band(q, kl, ku);
+        View1D<int> ipiv("schur_gb_ipiv", n0);
+        if (hostlapack::gbtrf(bm, ipiv) == 0) {
+            m_data.gb_ab = bm.ab;
+            m_data.gb_ipiv = ipiv;
+            m_data.kl = static_cast<int>(kl);
+            m_data.ku = static_cast<int>(ku);
+        } else {
+            kind = SolverKind::GETRS;
+        }
+    }
+    if (kind == SolverKind::GETRS) {
+        View2D<double> lu = clone(q);
+        View1D<int> ipiv("schur_ge_ipiv", n0);
+        const int info = hostlapack::getrf(lu, ipiv);
+        PSPL_EXPECT(info == 0, "SchurSolver: Q is singular");
+        m_data.ge_lu = lu;
+        m_data.ge_ipiv = ipiv;
+    }
+    m_data.kind = kind;
+
+    // --- beta = Q^{-1} gamma (k host solves with the fresh factor) ---------
+    View2D<double> beta("schur_beta", n0, std::max<std::size_t>(k, 1));
+    for (std::size_t j = 0; j < k; ++j) {
+        auto col_g = subview(gamma, ALL, j);
+        auto col_b = subview(beta, ALL, j);
+        for (std::size_t i = 0; i < n0; ++i) {
+            col_b(i) = col_g(i);
+        }
+        solve_q_serial(m_data, col_b);
+    }
+
+    // --- delta' = delta - lambda * beta, dense LU ---------------------------
+    View2D<double> delta_lu = clone(delta);
+    if (k > 0) {
+        hostlapack::gemm(-1.0, lambda, beta, 1.0, delta_lu);
+    }
+    View1D<int> delta_ipiv("schur_delta_ipiv", std::max<std::size_t>(k, 1));
+    if (k > 0) {
+        const int info = hostlapack::getrf(delta_lu, delta_ipiv);
+        PSPL_EXPECT(info == 0, "SchurSolver: Schur complement is singular");
+    }
+    m_data.delta_lu = delta_lu;
+    m_data.delta_ipiv = delta_ipiv;
+
+    // --- Corner blocks: dense + thresholded COO -----------------------------
+    m_data.lambda_dense = lambda;
+    m_data.beta_dense = beta;
+    const double amax = hostlapack::max_abs(a);
+    const double thresh = opts.sparsify_threshold * std::max(amax, 1.0);
+    m_data.lambda_coo = sparse::Coo::from_dense(lambda, thresh);
+    m_data.beta_coo = sparse::Coo::from_dense(beta, thresh);
+}
+
+} // namespace pspl::core

@@ -1,0 +1,27 @@
+#include "core/spline_builder.hpp"
+
+namespace pspl::core {
+
+const char* to_string(BuilderVersion v)
+{
+    switch (v) {
+    case BuilderVersion::Baseline:
+        return "baseline";
+    case BuilderVersion::Fused:
+        return "kernel-fusion";
+    case BuilderVersion::FusedSpmv:
+        return "gemv->spmv";
+    }
+    return "?";
+}
+
+SplineBuilder::SplineBuilder(bsplines::BSplineBasis basis,
+                             BuilderVersion version,
+                             SchurSolver::Options options)
+    : m_basis(std::move(basis)), m_version(version)
+{
+    const auto a = bsplines::collocation_matrix(m_basis);
+    m_solver = std::make_shared<const SchurSolver>(a, options);
+}
+
+} // namespace pspl::core

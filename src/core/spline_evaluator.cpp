@@ -1,0 +1,16 @@
+#include "core/spline_evaluator.hpp"
+
+namespace pspl::core {
+
+std::vector<double>
+SplineEvaluator::evaluate_many(const std::vector<double>& points,
+                               const View1D<double>& coeffs) const
+{
+    std::vector<double> out(points.size());
+    for (std::size_t p = 0; p < points.size(); ++p) {
+        out[p] = (*this)(points[p], coeffs);
+    }
+    return out;
+}
+
+} // namespace pspl::core

@@ -1,0 +1,133 @@
+#include "fft/fft.hpp"
+
+#include "parallel/macros.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace pspl::fft {
+
+namespace {
+
+constexpr double two_pi = 2.0 * std::numbers::pi;
+
+/// Iterative radix-2 Cooley-Tukey, n a power of two.
+void fft_pow2(std::span<std::complex<double>> a, bool inverse)
+{
+    const std::size_t n = a.size();
+    // Bit-reversal permutation.
+    for (std::size_t i = 1, j = 0; i < n; ++i) {
+        std::size_t bit = n >> 1;
+        for (; j & bit; bit >>= 1) {
+            j ^= bit;
+        }
+        j ^= bit;
+        if (i < j) {
+            std::swap(a[i], a[j]);
+        }
+    }
+    for (std::size_t len = 2; len <= n; len <<= 1) {
+        const double ang = (inverse ? two_pi : -two_pi)
+                           / static_cast<double>(len);
+        const std::complex<double> wlen(std::cos(ang), std::sin(ang));
+        for (std::size_t i = 0; i < n; i += len) {
+            std::complex<double> w(1.0, 0.0);
+            for (std::size_t j = 0; j < len / 2; ++j) {
+                const auto u = a[i + j];
+                const auto v = a[i + j + len / 2] * w;
+                a[i + j] = u + v;
+                a[i + j + len / 2] = u - v;
+                w *= wlen;
+            }
+        }
+    }
+}
+
+std::size_t next_pow2(std::size_t n)
+{
+    std::size_t p = 1;
+    while (p < n) {
+        p <<= 1;
+    }
+    return p;
+}
+
+/// Bluestein chirp-z: arbitrary-length DFT via a power-of-two convolution.
+void fft_bluestein(std::span<std::complex<double>> a, bool inverse)
+{
+    const std::size_t n = a.size();
+    const std::size_t m = next_pow2(2 * n - 1);
+    const double sign = inverse ? 1.0 : -1.0;
+
+    // Chirp factors w_k = exp(sign * i * pi * k^2 / n).
+    std::vector<std::complex<double>> chirp(n);
+    for (std::size_t k = 0; k < n; ++k) {
+        // k^2 mod 2n keeps the argument small for large n (exactness of
+        // the twiddle phase).
+        const auto k2 = static_cast<double>((k * k) % (2 * n));
+        const double ang = sign * std::numbers::pi * k2
+                           / static_cast<double>(n);
+        chirp[k] = std::complex<double>(std::cos(ang), std::sin(ang));
+    }
+
+    std::vector<std::complex<double>> x(m, {0.0, 0.0});
+    std::vector<std::complex<double>> y(m, {0.0, 0.0});
+    for (std::size_t k = 0; k < n; ++k) {
+        x[k] = a[k] * chirp[k];
+    }
+    y[0] = std::conj(chirp[0]);
+    for (std::size_t k = 1; k < n; ++k) {
+        y[k] = std::conj(chirp[k]);
+        y[m - k] = std::conj(chirp[k]);
+    }
+    fft_pow2(x, false);
+    fft_pow2(y, false);
+    for (std::size_t k = 0; k < m; ++k) {
+        x[k] *= y[k];
+    }
+    fft_pow2(x, true);
+    const double scale = 1.0 / static_cast<double>(m);
+    for (std::size_t k = 0; k < n; ++k) {
+        a[k] = x[k] * scale * chirp[k];
+    }
+}
+
+} // namespace
+
+bool is_pow2(std::size_t n)
+{
+    return n > 0 && (n & (n - 1)) == 0;
+}
+
+void transform(std::span<std::complex<double>> data, Direction dir)
+{
+    const std::size_t n = data.size();
+    PSPL_EXPECT(n > 0, "fft: empty input");
+    const bool inverse = dir == Direction::Backward;
+    if (n == 1) {
+        return;
+    }
+    if (is_pow2(n)) {
+        fft_pow2(data, inverse);
+    } else {
+        fft_bluestein(data, inverse);
+    }
+    if (inverse) {
+        const double scale = 1.0 / static_cast<double>(n);
+        for (auto& v : data) {
+            v *= scale;
+        }
+    }
+}
+
+std::vector<std::complex<double>> forward_real(std::span<const double> x)
+{
+    std::vector<std::complex<double>> out(x.size());
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        out[i] = std::complex<double>(x[i], 0.0);
+    }
+    transform(out, Direction::Forward);
+    return out;
+}
+
+} // namespace pspl::fft

@@ -1,0 +1,31 @@
+// 1-D complex FFT for arbitrary lengths: iterative radix-2 Cooley-Tukey for
+// powers of two, Bluestein's chirp-z algorithm otherwise.
+//
+// GYSELA's Poisson solver relies on FFTs, for which the paper's group built
+// Kokkos-FFT as the performance-portable interface (§I: "we have developed
+// a FFT interface for Kokkos named Kokkos-FFT"). This module is that
+// substrate's single-node stand-in, used by the spectral Poisson solver.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace pspl::fft {
+
+enum class Direction {
+    Forward,  ///< X_k = sum_n x_n exp(-2 pi i k n / N)
+    Backward, ///< x_n = (1/N) sum_k X_k exp(+2 pi i k n / N)
+};
+
+/// In-place FFT of arbitrary length (radix-2 or Bluestein).
+void transform(std::span<std::complex<double>> data, Direction dir);
+
+/// Forward FFT of a real sequence; returns the full complex spectrum.
+std::vector<std::complex<double>> forward_real(std::span<const double> x);
+
+/// True if n is a power of two (radix-2 fast path).
+bool is_pow2(std::size_t n);
+
+} // namespace pspl::fft

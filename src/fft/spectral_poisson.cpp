@@ -1,0 +1,68 @@
+#include "fft/spectral_poisson.hpp"
+
+#include "fft/fft.hpp"
+#include "parallel/macros.hpp"
+
+#include <algorithm>
+#include <complex>
+#include <numbers>
+#include <numeric>
+#include <vector>
+
+namespace pspl::fft {
+
+SpectralPoisson1D::SpectralPoisson1D(const bsplines::BSplineBasis& basis_x)
+    : m_length(basis_x.length())
+{
+    PSPL_EXPECT(basis_x.is_periodic() && basis_x.is_uniform(),
+                "SpectralPoisson1D: needs a uniform periodic basis");
+    const std::size_t n = basis_x.nbasis();
+    const auto pts = basis_x.interpolation_points();
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) { return pts[a] < pts[b]; });
+    m_order = View1D<int>("spectral_order", n);
+    for (std::size_t s = 0; s < n; ++s) {
+        m_order(s) = static_cast<int>(order[s]);
+    }
+}
+
+void SpectralPoisson1D::solve(const View1D<double>& rho,
+                              const View1D<double>& efield) const
+{
+    const std::size_t nn = n();
+    PSPL_EXPECT(rho.extent(0) == nn && efield.extent(0) == nn,
+                "SpectralPoisson1D: extent mismatch");
+
+    std::vector<std::complex<double>> hat(nn);
+    for (std::size_t s = 0; s < nn; ++s) {
+        hat[s] = std::complex<double>(
+                rho(static_cast<std::size_t>(m_order(s))), 0.0);
+    }
+    transform(hat, Direction::Forward);
+
+    // E_k = rho_k / (i k_j); k_j = 2 pi j / L with signed frequencies.
+    hat[0] = {0.0, 0.0}; // zero mean (also removes <rho>)
+    const double k0 = 2.0 * std::numbers::pi / m_length;
+    for (std::size_t j = 1; j < nn; ++j) {
+        const auto sj = static_cast<long>(j);
+        const long freq = sj <= static_cast<long>(nn) / 2
+                                  ? sj
+                                  : sj - static_cast<long>(nn);
+        if (2 * j == nn) {
+            // Nyquist mode of a real field has no well-defined odd
+            // derivative; zero it (standard practice).
+            hat[j] = {0.0, 0.0};
+            continue;
+        }
+        const double k = k0 * static_cast<double>(freq);
+        hat[j] /= std::complex<double>(0.0, k);
+    }
+    transform(hat, Direction::Backward);
+    for (std::size_t s = 0; s < nn; ++s) {
+        efield(static_cast<std::size_t>(m_order(s))) = hat[s].real();
+    }
+}
+
+} // namespace pspl::fft

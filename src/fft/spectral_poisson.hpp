@@ -1,0 +1,36 @@
+// Spectral (FFT-based) periodic Poisson solver on uniform grids:
+//     dE/dx = rho - <rho>,  <E> = 0   =>   E_k = rho_k / (i k),  E_0 = 0.
+// The spectral counterpart of vlasov::Poisson1DPeriodic, exact to machine
+// precision for band-limited fields -- GYSELA's actual Poisson solve is
+// FFT-based, which is why the group built Kokkos-FFT (paper §I).
+#pragma once
+
+#include "bsplines/basis.hpp"
+#include "parallel/view.hpp"
+
+#include <cstddef>
+
+namespace pspl::fft {
+
+class SpectralPoisson1D
+{
+public:
+    SpectralPoisson1D() = default;
+
+    /// Requires a uniform periodic basis (evenly spaced points).
+    explicit SpectralPoisson1D(const bsplines::BSplineBasis& basis_x);
+
+    std::size_t n() const
+    {
+        return m_order.is_allocated() ? m_order.extent(0) : 0;
+    }
+
+    /// Solve with rho/efield indexed like the basis interpolation points.
+    void solve(const View1D<double>& rho, const View1D<double>& efield) const;
+
+private:
+    View1D<int> m_order; ///< sorted-order permutation of the points
+    double m_length = 0.0;
+};
+
+} // namespace pspl::fft

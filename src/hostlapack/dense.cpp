@@ -1,0 +1,62 @@
+#include "hostlapack/dense.hpp"
+
+#include "parallel/macros.hpp"
+
+#include <cmath>
+
+namespace pspl::hostlapack {
+
+void gemm(double alpha, const View2D<double>& a, const View2D<double>& b,
+          double beta, View2D<double>& c)
+{
+    const std::size_t m = a.extent(0);
+    const std::size_t k = a.extent(1);
+    const std::size_t n = b.extent(1);
+    PSPL_EXPECT(b.extent(0) == k && c.extent(0) == m && c.extent(1) == n,
+                "gemm: extent mismatch");
+    for (std::size_t i = 0; i < m; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            double acc = 0.0;
+            for (std::size_t l = 0; l < k; ++l) {
+                acc += a(i, l) * b(l, j);
+            }
+            c(i, j) = alpha * acc + beta * c(i, j);
+        }
+    }
+}
+
+double norm_frobenius(const View2D<double>& a)
+{
+    double acc = 0.0;
+    for (std::size_t i = 0; i < a.extent(0); ++i) {
+        for (std::size_t j = 0; j < a.extent(1); ++j) {
+            acc += a(i, j) * a(i, j);
+        }
+    }
+    return std::sqrt(acc);
+}
+
+double max_abs(const View2D<double>& a)
+{
+    double m = 0.0;
+    for (std::size_t i = 0; i < a.extent(0); ++i) {
+        for (std::size_t j = 0; j < a.extent(1); ++j) {
+            const double v = std::abs(a(i, j));
+            if (v > m) {
+                m = v;
+            }
+        }
+    }
+    return m;
+}
+
+View2D<double> identity(std::size_t n)
+{
+    View2D<double> id("identity", n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        id(i, i) = 1.0;
+    }
+    return id;
+}
+
+} // namespace pspl::hostlapack

@@ -1,0 +1,73 @@
+// Dense host helpers: small-matrix products, norms and utilities used by the
+// one-off host factorization step and by tests as reference implementations.
+#pragma once
+
+#include "parallel/view.hpp"
+
+#include <cstddef>
+
+namespace pspl::hostlapack {
+
+/// c = alpha * a(op) * b + beta * c for small host matrices (reference GEMM).
+void gemm(double alpha, const View2D<double>& a, const View2D<double>& b,
+          double beta, View2D<double>& c);
+
+/// y = alpha * a * x + beta * y (reference GEMV); x/y may be strided.
+template <class XView, class YView>
+void gemv(double alpha, const View2D<double>& a, const XView& x, double beta,
+          const YView& y)
+{
+    const std::size_t m = a.extent(0);
+    const std::size_t n = a.extent(1);
+    for (std::size_t i = 0; i < m; ++i) {
+        double acc = 0.0;
+        for (std::size_t j = 0; j < n; ++j) {
+            acc += a(i, j) * x(j);
+        }
+        y(i) = alpha * acc + beta * y(i);
+    }
+}
+
+/// Frobenius norm.
+double norm_frobenius(const View2D<double>& a);
+
+/// max_ij |a_ij|.
+double max_abs(const View2D<double>& a);
+
+/// max_i |x_i| for a rank-1 view.
+template <class XView>
+double max_abs_vec(const XView& x)
+{
+    double m = 0.0;
+    for (std::size_t i = 0; i < x.extent(0); ++i) {
+        const double v = x(i) < 0 ? -x(i) : x(i);
+        if (v > m) {
+            m = v;
+        }
+    }
+    return m;
+}
+
+/// Identity matrix of size n.
+View2D<double> identity(std::size_t n);
+
+/// ||a*x - b||_inf for rank-1 x, b (residual check helper).
+template <class XView, class BView>
+double residual_inf(const View2D<double>& a, const XView& x, const BView& b)
+{
+    double r = 0.0;
+    for (std::size_t i = 0; i < a.extent(0); ++i) {
+        double acc = 0.0;
+        for (std::size_t j = 0; j < a.extent(1); ++j) {
+            acc += a(i, j) * x(j);
+        }
+        const double d = acc - b(i);
+        const double v = d < 0 ? -d : d;
+        if (v > r) {
+            r = v;
+        }
+    }
+    return r;
+}
+
+} // namespace pspl::hostlapack

@@ -1,0 +1,57 @@
+#include "hostlapack/getrf.hpp"
+
+#include "parallel/macros.hpp"
+
+#include <cmath>
+
+namespace pspl::hostlapack {
+
+int getrf(View2D<double>& a, View1D<int>& ipiv)
+{
+    const std::size_t n = a.extent(0);
+    PSPL_EXPECT(a.extent(1) == n, "getrf: matrix must be square");
+    PSPL_EXPECT(ipiv.extent(0) >= n, "getrf: ipiv too small");
+
+    int info = 0;
+    for (std::size_t k = 0; k < n; ++k) {
+        // Pivot search in column k.
+        std::size_t p = k;
+        double pmax = std::abs(a(k, k));
+        for (std::size_t i = k + 1; i < n; ++i) {
+            const double v = std::abs(a(i, k));
+            if (v > pmax) {
+                pmax = v;
+                p = i;
+            }
+        }
+        ipiv(k) = static_cast<int>(p);
+        if (pmax == 0.0) {
+            if (info == 0) {
+                info = static_cast<int>(k) + 1;
+            }
+            continue;
+        }
+        if (p != k) {
+            for (std::size_t j = 0; j < n; ++j) {
+                const double t = a(k, j);
+                a(k, j) = a(p, j);
+                a(p, j) = t;
+            }
+        }
+        const double inv_piv = 1.0 / a(k, k);
+        for (std::size_t i = k + 1; i < n; ++i) {
+            a(i, k) *= inv_piv;
+        }
+        for (std::size_t i = k + 1; i < n; ++i) {
+            const double lik = a(i, k);
+            if (lik != 0.0) {
+                for (std::size_t j = k + 1; j < n; ++j) {
+                    a(i, j) -= lik * a(k, j);
+                }
+            }
+        }
+    }
+    return info;
+}
+
+} // namespace pspl::hostlapack

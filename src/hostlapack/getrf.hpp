@@ -1,0 +1,54 @@
+// Dense LU factorization with partial pivoting (LAPACK getrf/getrs subset).
+//
+// The factorization runs once on the host at solver-setup time (the paper's
+// strategy: "take advantage of existing CPU libraries to factorize the
+// matrix and copy the result to the device"). The templated solve is also
+// used as the host reference against which the batched device-side
+// SerialGetrs is validated.
+#pragma once
+
+#include "parallel/view.hpp"
+
+#include <cstddef>
+
+namespace pspl::hostlapack {
+
+/// In-place LU with partial pivoting: A = P*L*U, unit-diagonal L below,
+/// U on/above the diagonal. `ipiv(k)` is the row swapped with row k.
+/// Returns 0 on success, k+1 if U(k,k) is exactly zero (singular).
+int getrf(View2D<double>& a, View1D<int>& ipiv);
+
+/// Solve A x = b in-place on `b` given the getrf factorization.
+/// `b` may be any rank-1 view (e.g. a strided column subview).
+template <class LUView, class PivView, class BView>
+void getrs(const LUView& lu, const PivView& ipiv, const BView& b)
+{
+    const std::size_t n = lu.extent(0);
+    // Apply row interchanges.
+    for (std::size_t k = 0; k < n; ++k) {
+        const auto p = static_cast<std::size_t>(ipiv(k));
+        if (p != k) {
+            const double t = b(k);
+            b(k) = b(p);
+            b(p) = t;
+        }
+    }
+    // Forward substitution with unit-diagonal L.
+    for (std::size_t i = 1; i < n; ++i) {
+        double acc = b(i);
+        for (std::size_t j = 0; j < i; ++j) {
+            acc -= lu(i, j) * b(j);
+        }
+        b(i) = acc;
+    }
+    // Backward substitution with U.
+    for (std::size_t i = n; i-- > 0;) {
+        double acc = b(i);
+        for (std::size_t j = i + 1; j < n; ++j) {
+            acc -= lu(i, j) * b(j);
+        }
+        b(i) = acc / lu(i, i);
+    }
+}
+
+} // namespace pspl::hostlapack

@@ -1,0 +1,60 @@
+#include "hostlapack/gttrf.hpp"
+
+#include "parallel/macros.hpp"
+
+#include <cmath>
+
+namespace pspl::hostlapack {
+
+int gttrf(View1D<double>& dl, View1D<double>& d, View1D<double>& du,
+          View1D<double>& du2, View1D<int>& ipiv)
+{
+    const std::size_t n = d.extent(0);
+    PSPL_EXPECT(n == 0
+                        || (dl.extent(0) >= n - 1 && du.extent(0) >= n - 1
+                            && (n < 2 || du2.extent(0) >= n - 2)
+                            && ipiv.extent(0) >= n),
+                "gttrf: array extents too small");
+    if (n == 0) {
+        return 0;
+    }
+    for (std::size_t i = 0; i + 2 < n; ++i) {
+        du2(i) = 0.0;
+    }
+
+    int info = 0;
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+        if (std::abs(d(i)) >= std::abs(dl(i))) {
+            // No interchange.
+            ipiv(i) = static_cast<int>(i);
+            if (d(i) != 0.0) {
+                const double fact = dl(i) / d(i);
+                dl(i) = fact;
+                d(i + 1) -= fact * du(i);
+            }
+        } else {
+            // Interchange rows i and i+1.
+            ipiv(i) = static_cast<int>(i + 1);
+            const double fact = d(i) / dl(i);
+            d(i) = dl(i);
+            dl(i) = fact;
+            const double temp = du(i);
+            du(i) = d(i + 1);
+            d(i + 1) = temp - fact * d(i + 1);
+            if (i + 2 < n) {
+                du2(i) = du(i + 1);
+                du(i + 1) = -fact * du(i + 1);
+            }
+        }
+        if (d(i) == 0.0 && info == 0) {
+            info = static_cast<int>(i) + 1;
+        }
+    }
+    ipiv(n - 1) = static_cast<int>(n - 1);
+    if (d(n - 1) == 0.0 && info == 0) {
+        info = static_cast<int>(n);
+    }
+    return info;
+}
+
+} // namespace pspl::hostlapack

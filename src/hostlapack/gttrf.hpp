@@ -1,0 +1,50 @@
+// General tridiagonal LU factorization with partial pivoting (LAPACK
+// gttrf/gttrs subset). Complements pttrf for tridiagonal matrices that are
+// not symmetric positive definite -- e.g. a non-symmetric spline matrix
+// whose band happens to be tridiagonal, or as the pivoted fallback when
+// pttrf rejects an indefinite matrix.
+//
+// Storage: dl(n-1) subdiagonal, d(n) diagonal, du(n-1) superdiagonal;
+// the factorization adds a second superdiagonal du2(n-2) from pivoting.
+#pragma once
+
+#include "parallel/view.hpp"
+
+#include <cstddef>
+
+namespace pspl::hostlapack {
+
+/// In-place LU with partial pivoting of a tridiagonal matrix.
+/// ipiv(i) in {i, i+1} records the interchange at step i.
+/// Returns 0, or k+1 if U(k,k) is exactly zero.
+int gttrf(View1D<double>& dl, View1D<double>& d, View1D<double>& du,
+          View1D<double>& du2, View1D<int>& ipiv);
+
+/// Solve A x = b in place given the gttrf factorization; `b` may be strided.
+template <class DLView, class DView, class DUView, class DU2View,
+          class PivView, class BView>
+void gttrs(const DLView& dl, const DView& d, const DUView& du,
+           const DU2View& du2, const PivView& ipiv, const BView& b)
+{
+    const std::size_t n = d.extent(0);
+    // Forward: apply L and the interchanges.
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+        if (static_cast<std::size_t>(ipiv(i)) == i) {
+            b(i + 1) -= dl(i) * b(i);
+        } else {
+            const double temp = b(i);
+            b(i) = b(i + 1);
+            b(i + 1) = temp - dl(i) * b(i);
+        }
+    }
+    // Backward with U (diagonal d, first superdiagonal du, second du2).
+    b(n - 1) /= d(n - 1);
+    if (n > 1) {
+        b(n - 2) = (b(n - 2) - du(n - 2) * b(n - 1)) / d(n - 2);
+    }
+    for (std::size_t i = (n >= 2 ? n - 2 : 0); i-- > 0;) {
+        b(i) = (b(i) - du(i) * b(i + 1) - du2(i) * b(i + 2)) / d(i);
+    }
+}
+
+} // namespace pspl::hostlapack

@@ -1,0 +1,25 @@
+#include "hostlapack/pttrf.hpp"
+
+#include "parallel/macros.hpp"
+
+namespace pspl::hostlapack {
+
+int pttrf(View1D<double>& d, View1D<double>& e)
+{
+    const std::size_t n = d.extent(0);
+    PSPL_EXPECT(n == 0 || e.extent(0) >= n - 1, "pttrf: e too small");
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+        if (d(i) <= 0.0) {
+            return static_cast<int>(i) + 1;
+        }
+        const double ei = e(i) / d(i);
+        d(i + 1) -= ei * e(i);
+        e(i) = ei;
+    }
+    if (n > 0 && d(n - 1) <= 0.0) {
+        return static_cast<int>(n);
+    }
+    return 0;
+}
+
+} // namespace pspl::hostlapack

@@ -1,0 +1,35 @@
+// Positive-definite symmetric tridiagonal LDL^T factorization (LAPACK
+// pttrf/pttrs subset). This is the factorization behind the paper's
+// SerialPttrs kernel (Listing 1): d holds D, e holds the unit subdiagonal
+// multipliers of L after factorization.
+#pragma once
+
+#include "parallel/view.hpp"
+
+#include <cstddef>
+
+namespace pspl::hostlapack {
+
+/// In-place LDL^T of a SPD tridiagonal matrix. On entry d(0..n-1) is the
+/// diagonal and e(0..n-2) the off-diagonal; on exit they hold the factors.
+/// Returns 0, or k+1 if the leading minor of order k+1 is not positive.
+int pttrf(View1D<double>& d, View1D<double>& e);
+
+/// Solve A x = b in-place given the pttrf factorization; `b` may be strided.
+/// This mirrors the paper's Listing 1 exactly (L D L^T solve).
+template <class DView, class EView, class BView>
+void pttrs(const DView& d, const EView& e, const BView& b)
+{
+    const std::size_t n = d.extent(0);
+    // L y = b
+    for (std::size_t i = 1; i < n; ++i) {
+        b(i) -= e(i - 1) * b(i - 1);
+    }
+    // D L^T x = y
+    b(n - 1) = b(n - 1) / d(n - 1);
+    for (std::size_t i = n - 1; i-- > 0;) {
+        b(i) = b(i) / d(i) - b(i + 1) * e(i);
+    }
+}
+
+} // namespace pspl::hostlapack

@@ -1,0 +1,119 @@
+#include "iterative/bicg.hpp"
+
+#include "iterative/detail.hpp"
+
+#include <cmath>
+#include <vector>
+
+namespace pspl::iterative {
+
+namespace {
+
+/// y = A^T x (serial scatter over the CSR rows).
+void csr_apply_transpose(const sparse::Csr& a, const double* PSPL_RESTRICT x,
+                         double* PSPL_RESTRICT y)
+{
+    const auto& row_ptr = a.row_ptr();
+    const auto& col_idx = a.col_idx();
+    const auto& values = a.values();
+    const std::size_t n = a.nrows();
+    for (std::size_t j = 0; j < a.ncols(); ++j) {
+        y[j] = 0.0;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+        const double xi = x[i];
+        for (int k = row_ptr(i); k < row_ptr(i + 1); ++k) {
+            const auto ks = static_cast<std::size_t>(k);
+            y[static_cast<std::size_t>(col_idx(ks))] += values(ks) * xi;
+        }
+    }
+}
+
+} // namespace
+
+ColumnResult bicg_solve(const sparse::Csr& a, const Preconditioner* precond,
+                        std::span<const double> b, std::span<double> x,
+                        const Config& cfg)
+{
+    using namespace detail;
+    const std::size_t n = a.nrows();
+    std::vector<double> r(n);
+    std::vector<double> rt(n);
+    std::vector<double> z(n);
+    std::vector<double> zt(n);
+    std::vector<double> p(n, 0.0);
+    std::vector<double> pt(n, 0.0);
+    std::vector<double> q(n);
+    std::vector<double> qt(n);
+
+    const double bnorm = norm2(b);
+    ColumnResult result;
+    if (bnorm == 0.0) {
+        for (std::size_t i = 0; i < n; ++i) {
+            x[i] = 0.0;
+        }
+        result.converged = true;
+        return result;
+    }
+
+    csr_apply(a, x.data(), r.data());
+    for (std::size_t i = 0; i < n; ++i) {
+        r[i] = b[i] - r[i];
+        rt[i] = r[i]; // shadow residual
+    }
+    double relres = norm2(r) / bnorm;
+    if (relres < cfg.tolerance) {
+        result.converged = true;
+        result.relative_residual = relres;
+        return result;
+    }
+
+    double rho = 1.0;
+    for (std::size_t it = 1; it <= cfg.max_iterations; ++it) {
+        result.iterations = it;
+        // z = M^{-1} r ; zt = M^{-T} rt (block-Jacobi is applied as-is: the
+        // transpose of a block-diagonal inverse is the blockwise transpose,
+        // which for this symmetric-enough use is approximated by M^{-1} --
+        // standard practice for Jacobi-type preconditioners in BiCG).
+        if (precond != nullptr) {
+            precond->apply(r, z);
+            precond->apply(rt, zt);
+        } else {
+            copy(r, z);
+            copy(rt, zt);
+        }
+        const double rho_new = dot(zt, r);
+        if (rho_new == 0.0) {
+            break; // breakdown
+        }
+        const double beta = rho_new / rho;
+        rho = rho_new;
+        if (it == 1) {
+            copy(z, p);
+            copy(zt, pt);
+        } else {
+            xpby(z, beta, p);
+            xpby(zt, beta, pt);
+        }
+        csr_apply(a, p.data(), q.data());
+        csr_apply_transpose(a, pt.data(), qt.data());
+        const double ptq = dot(pt, q);
+        if (ptq == 0.0) {
+            break; // breakdown
+        }
+        const double alpha = rho / ptq;
+        axpy(alpha, p, x);
+        axpy(-alpha, q, r);
+        axpy(-alpha, qt, rt);
+
+        relres = norm2(r) / bnorm;
+        if (relres < cfg.tolerance) {
+            result.converged = true;
+            break;
+        }
+    }
+    result.relative_residual = relres;
+    return result;
+}
+
+} // namespace pspl::iterative

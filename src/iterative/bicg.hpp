@@ -1,0 +1,19 @@
+// Preconditioned BiCG (bi-conjugate gradient) for one right-hand side --
+// the fourth solver of the paper's Ginkgo set (§II-B-2 lists "BiCG,
+// BiCGStab, CG, and GMRES"). Requires products with A^T, which the CSR
+// structure provides via a transposed apply.
+#pragma once
+
+#include "iterative/preconditioner.hpp"
+#include "iterative/stop.hpp"
+#include "sparse/csr.hpp"
+
+#include <span>
+
+namespace pspl::iterative {
+
+ColumnResult bicg_solve(const sparse::Csr& a, const Preconditioner* precond,
+                        std::span<const double> b, std::span<double> x,
+                        const Config& cfg);
+
+} // namespace pspl::iterative

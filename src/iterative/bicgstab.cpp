@@ -1,0 +1,110 @@
+#include "iterative/bicgstab.hpp"
+
+#include "iterative/detail.hpp"
+
+#include <cmath>
+#include <vector>
+
+namespace pspl::iterative {
+
+ColumnResult bicgstab_solve(const sparse::Csr& a, const Preconditioner* precond,
+                            std::span<const double> b, std::span<double> x,
+                            const Config& cfg)
+{
+    using namespace detail;
+    const std::size_t n = a.nrows();
+    std::vector<double> r(n);
+    std::vector<double> rhat(n);
+    std::vector<double> p(n, 0.0);
+    std::vector<double> v(n, 0.0);
+    std::vector<double> phat(n);
+    std::vector<double> s(n);
+    std::vector<double> shat(n);
+    std::vector<double> t(n);
+
+    const double bnorm = norm2(b);
+    ColumnResult result;
+    if (bnorm == 0.0) {
+        for (std::size_t i = 0; i < n; ++i) {
+            x[i] = 0.0;
+        }
+        result.converged = true;
+        return result;
+    }
+
+    csr_apply(a, x.data(), r.data());
+    for (std::size_t i = 0; i < n; ++i) {
+        r[i] = b[i] - r[i];
+    }
+    copy(r, rhat);
+
+    double relres = norm2(r) / bnorm;
+    if (relres < cfg.tolerance) {
+        result.converged = true;
+        result.relative_residual = relres;
+        return result;
+    }
+
+    double rho = 1.0;
+    double alpha = 1.0;
+    double omega = 1.0;
+
+    for (std::size_t it = 1; it <= cfg.max_iterations; ++it) {
+        result.iterations = it;
+        const double rho_new = dot(rhat, r);
+        if (rho_new == 0.0 || omega == 0.0) {
+            break; // breakdown
+        }
+        const double beta = (rho_new / rho) * (alpha / omega);
+        rho = rho_new;
+        // p = r + beta * (p - omega * v)
+        for (std::size_t i = 0; i < n; ++i) {
+            p[i] = r[i] + beta * (p[i] - omega * v[i]);
+        }
+        if (precond != nullptr) {
+            precond->apply(p, phat);
+        } else {
+            copy(p, phat);
+        }
+        csr_apply(a, phat.data(), v.data());
+        const double rhat_v = dot(rhat, v);
+        if (rhat_v == 0.0) {
+            break; // breakdown
+        }
+        alpha = rho / rhat_v;
+        for (std::size_t i = 0; i < n; ++i) {
+            s[i] = r[i] - alpha * v[i];
+        }
+        relres = norm2(s) / bnorm;
+        if (relres < cfg.tolerance) {
+            axpy(alpha, phat, x);
+            result.converged = true;
+            copy(s, r);
+            break;
+        }
+        if (precond != nullptr) {
+            precond->apply(s, shat);
+        } else {
+            copy(s, shat);
+        }
+        csr_apply(a, shat.data(), t.data());
+        const double tt = dot(t, t);
+        if (tt == 0.0) {
+            break; // breakdown
+        }
+        omega = dot(t, s) / tt;
+        for (std::size_t i = 0; i < n; ++i) {
+            x[i] += alpha * phat[i] + omega * shat[i];
+            r[i] = s[i] - omega * t[i];
+        }
+        relres = norm2(r) / bnorm;
+        if (relres < cfg.tolerance) {
+            result.converged = true;
+            break;
+        }
+    }
+    result.relative_residual = relres;
+    return result;
+}
+
+} // namespace pspl::iterative

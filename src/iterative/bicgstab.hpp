@@ -1,0 +1,18 @@
+// Preconditioned BiCGStab for one right-hand side. This is the solver the
+// paper uses on GPUs for the Ginkgo path (§III-B): it handles the
+// non-symmetric matrices produced by non-uniform splines.
+#pragma once
+
+#include "iterative/preconditioner.hpp"
+#include "iterative/stop.hpp"
+#include "sparse/csr.hpp"
+
+#include <span>
+
+namespace pspl::iterative {
+
+ColumnResult bicgstab_solve(const sparse::Csr& a, const Preconditioner* precond,
+                            std::span<const double> b, std::span<double> x,
+                            const Config& cfg);
+
+} // namespace pspl::iterative

@@ -1,0 +1,80 @@
+#include "iterative/cg.hpp"
+
+#include "iterative/detail.hpp"
+
+#include <vector>
+
+namespace pspl::iterative {
+
+ColumnResult cg_solve(const sparse::Csr& a, const Preconditioner* precond,
+                      std::span<const double> b, std::span<double> x,
+                      const Config& cfg)
+{
+    using namespace detail;
+    const std::size_t n = a.nrows();
+    std::vector<double> r(n);
+    std::vector<double> z(n);
+    std::vector<double> p(n);
+    std::vector<double> q(n);
+
+    const double bnorm = norm2(b);
+    ColumnResult result;
+    if (bnorm == 0.0) {
+        for (std::size_t i = 0; i < n; ++i) {
+            x[i] = 0.0;
+        }
+        result.converged = true;
+        return result;
+    }
+
+    csr_apply(a, x.data(), r.data());
+    for (std::size_t i = 0; i < n; ++i) {
+        r[i] = b[i] - r[i];
+    }
+    if (precond != nullptr) {
+        precond->apply(r, z);
+    } else {
+        copy(r, z);
+    }
+    copy(z, p);
+    double rz = dot(r, z);
+
+    double relres = norm2(r) / bnorm;
+    if (relres < cfg.tolerance) {
+        result.converged = true;
+        result.relative_residual = relres;
+        return result;
+    }
+
+    for (std::size_t it = 1; it <= cfg.max_iterations; ++it) {
+        csr_apply(a, p.data(), q.data());
+        const double pq = dot(p, q);
+        if (pq == 0.0) {
+            break; // breakdown
+        }
+        const double alpha = rz / pq;
+        axpy(alpha, p, x);
+        axpy(-alpha, q, r);
+
+        result.iterations = it;
+        relres = norm2(r) / bnorm;
+        if (relres < cfg.tolerance) {
+            result.converged = true;
+            break;
+        }
+
+        if (precond != nullptr) {
+            precond->apply(r, z);
+        } else {
+            copy(r, z);
+        }
+        const double rz_new = dot(r, z);
+        const double beta = rz_new / rz;
+        rz = rz_new;
+        xpby(z, beta, p);
+    }
+    result.relative_residual = relres;
+    return result;
+}
+
+} // namespace pspl::iterative

@@ -1,0 +1,20 @@
+// Preconditioned Conjugate Gradient for one right-hand side (SPD systems).
+// One of the mini-Ginkgo solver set (paper §II-B-2 lists BiCG, BiCGStab, CG,
+// GMRES); usable for the uniform-spline collocation matrices, which are SPD.
+#pragma once
+
+#include "iterative/preconditioner.hpp"
+#include "iterative/stop.hpp"
+#include "sparse/csr.hpp"
+
+#include <span>
+
+namespace pspl::iterative {
+
+/// Solve a x = b starting from the initial guess in `x`; returns the
+/// iteration count and achieved relative residual. `precond` may be null.
+ColumnResult cg_solve(const sparse::Csr& a, const Preconditioner* precond,
+                      std::span<const double> b, std::span<double> x,
+                      const Config& cfg);
+
+} // namespace pspl::iterative

@@ -1,0 +1,132 @@
+#include "iterative/chunked.hpp"
+
+#include "iterative/bicg.hpp"
+#include "iterative/bicgstab.hpp"
+#include "iterative/cg.hpp"
+#include "iterative/gmres.hpp"
+#include "iterative/ilu0.hpp"
+#include "parallel/parallel.hpp"
+#include "parallel/profiling.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace pspl::iterative {
+
+const char* to_string(IterativeKind kind)
+{
+    switch (kind) {
+    case IterativeKind::CG:
+        return "CG";
+    case IterativeKind::BiCG:
+        return "BiCG";
+    case IterativeKind::BiCGStab:
+        return "BiCGStab";
+    case IterativeKind::GMRES:
+        return "GMRES";
+    }
+    return "?";
+}
+
+ChunkedIterativeSolver::ChunkedIterativeSolver(sparse::Csr a,
+                                               IterativeKind kind, Config cfg,
+                                               std::size_t cols_per_chunk,
+                                               std::size_t max_block_size,
+                                               bool use_ilu0)
+    : m_a(std::move(a))
+    , m_kind(kind)
+    , m_cfg(cfg)
+    , m_cols_per_chunk(cols_per_chunk)
+{
+    PSPL_EXPECT(m_cols_per_chunk >= 1, "ChunkedIterativeSolver: empty chunk");
+    if (use_ilu0) {
+        m_precond = std::make_shared<const Ilu0>(m_a);
+    } else if (max_block_size > 0) {
+        m_precond = std::make_shared<const BlockJacobi>(m_a, max_block_size);
+    }
+}
+
+template <class BView>
+SolveStats ChunkedIterativeSolver::solve_impl(const BView& b) const
+{
+    const std::size_t n = m_a.nrows();
+    PSPL_EXPECT(b.extent(0) == n, "solve_inplace: RHS row count mismatch");
+    const std::size_t nrhs = b.extent(1);
+    const std::size_t main_chunk_size = std::min(m_cols_per_chunk, nrhs);
+    const std::size_t nchunks =
+            (nrhs + main_chunk_size - 1) / main_chunk_size;
+
+    const sparse::Csr a = m_a;
+    const Preconditioner* precond = m_precond.get();
+    const Config cfg = m_cfg;
+    const IterativeKind kind = m_kind;
+
+    SolveStats stats;
+    View1D<int> iters("chunk_iters", main_chunk_size);
+    View1D<double> resid("chunk_resid", main_chunk_size);
+    View1D<int> conv("chunk_conv", main_chunk_size);
+
+    profiling::ScopedRegion region("pspl_splines_solve_iterative");
+    for (std::size_t c = 0; c < nchunks; ++c) {
+        const std::size_t begin = c * main_chunk_size;
+        const std::size_t end = std::min(begin + main_chunk_size, nrhs);
+        const std::size_t width = end - begin;
+
+        parallel_for(
+                "pspl::iterative::chunk_solve", width, [=](std::size_t j) {
+                    const std::size_t col = begin + j;
+                    // Copy the column to a contiguous buffer (the paper's
+                    // b_buffer); its values double as the initial guess.
+                    std::vector<double> rhs(n);
+                    std::vector<double> x(n);
+                    for (std::size_t i = 0; i < n; ++i) {
+                        rhs[i] = b(i, col);
+                        x[i] = rhs[i];
+                    }
+                    ColumnResult r;
+                    switch (kind) {
+                    case IterativeKind::CG:
+                        r = cg_solve(a, precond, rhs, x, cfg);
+                        break;
+                    case IterativeKind::BiCG:
+                        r = bicg_solve(a, precond, rhs, x, cfg);
+                        break;
+                    case IterativeKind::BiCGStab:
+                        r = bicgstab_solve(a, precond, rhs, x, cfg);
+                        break;
+                    case IterativeKind::GMRES:
+                        r = gmres_solve(a, precond, rhs, x, cfg);
+                        break;
+                    }
+                    for (std::size_t i = 0; i < n; ++i) {
+                        b(i, col) = x[i];
+                    }
+                    iters(j) = static_cast<int>(r.iterations);
+                    resid(j) = r.relative_residual;
+                    conv(j) = r.converged ? 1 : 0;
+                });
+
+        for (std::size_t j = 0; j < width; ++j) {
+            ColumnResult r;
+            r.iterations = static_cast<std::size_t>(iters(j));
+            r.relative_residual = resid(j);
+            r.converged = conv(j) != 0;
+            stats.absorb(r);
+        }
+    }
+    return stats;
+}
+
+SolveStats
+ChunkedIterativeSolver::solve_inplace(const View2D<double, LayoutRight>& b) const
+{
+    return solve_impl(b);
+}
+
+SolveStats
+ChunkedIterativeSolver::solve_inplace(const View2D<double, LayoutStride>& b) const
+{
+    return solve_impl(b);
+}
+
+} // namespace pspl::iterative

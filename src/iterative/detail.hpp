@@ -1,0 +1,72 @@
+// Shared serial vector kernels for the per-column iterative solvers.
+#pragma once
+
+#include "sparse/csr.hpp"
+
+#include <cmath>
+#include <cstddef>
+#include <span>
+
+namespace pspl::iterative::detail {
+
+inline void csr_apply(const sparse::Csr& a, const double* PSPL_RESTRICT x,
+                      double* PSPL_RESTRICT y)
+{
+    const auto& row_ptr = a.row_ptr();
+    const auto& col_idx = a.col_idx();
+    const auto& values = a.values();
+    const std::size_t n = a.nrows();
+    for (std::size_t i = 0; i < n; ++i) {
+        double acc = 0.0;
+        for (int k = row_ptr(i); k < row_ptr(i + 1); ++k) {
+            const auto ks = static_cast<std::size_t>(k);
+            acc += values(ks) * x[static_cast<std::size_t>(col_idx(ks))];
+        }
+        y[i] = acc;
+    }
+}
+
+inline double dot(std::span<const double> a, std::span<const double> b)
+{
+    double acc = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        acc += a[i] * b[i];
+    }
+    return acc;
+}
+
+inline double norm2(std::span<const double> a)
+{
+    return std::sqrt(dot(a, a));
+}
+
+inline void axpy(double alpha, std::span<const double> x, std::span<double> y)
+{
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        y[i] += alpha * x[i];
+    }
+}
+
+/// y = x + beta * y
+inline void xpby(std::span<const double> x, double beta, std::span<double> y)
+{
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        y[i] = x[i] + beta * y[i];
+    }
+}
+
+inline void copy(std::span<const double> src, std::span<double> dst)
+{
+    for (std::size_t i = 0; i < src.size(); ++i) {
+        dst[i] = src[i];
+    }
+}
+
+inline void scale(double alpha, std::span<double> x)
+{
+    for (double& v : x) {
+        v *= alpha;
+    }
+}
+
+} // namespace pspl::iterative::detail

@@ -1,0 +1,133 @@
+#include "iterative/gmres.hpp"
+
+#include "iterative/detail.hpp"
+
+#include <cmath>
+#include <vector>
+
+namespace pspl::iterative {
+
+ColumnResult gmres_solve(const sparse::Csr& a, const Preconditioner* precond,
+                         std::span<const double> b, std::span<double> x,
+                         const Config& cfg)
+{
+    using namespace detail;
+    const std::size_t n = a.nrows();
+    const std::size_t m = cfg.restart;
+
+    // Krylov basis (m+1 vectors) and Hessenberg matrix in column-major-ish
+    // flat storage; Givens rotations for the least-squares solve.
+    std::vector<std::vector<double>> v(m + 1, std::vector<double>(n));
+    std::vector<std::vector<double>> z(m, std::vector<double>(n));
+    std::vector<double> h((m + 1) * m, 0.0);
+    std::vector<double> cs(m, 0.0);
+    std::vector<double> sn(m, 0.0);
+    std::vector<double> g(m + 1, 0.0);
+    std::vector<double> w(n);
+    auto hess = [&](std::size_t i, std::size_t j) -> double& {
+        return h[i * m + j];
+    };
+
+    const double bnorm = norm2(b);
+    ColumnResult result;
+    if (bnorm == 0.0) {
+        for (std::size_t i = 0; i < n; ++i) {
+            x[i] = 0.0;
+        }
+        result.converged = true;
+        return result;
+    }
+
+    double relres = 0.0;
+    std::size_t total_it = 0;
+    while (total_it < cfg.max_iterations) {
+        // r = b - A x
+        csr_apply(a, x.data(), v[0].data());
+        for (std::size_t i = 0; i < n; ++i) {
+            v[0][i] = b[i] - v[0][i];
+        }
+        const double beta = norm2(v[0]);
+        relres = beta / bnorm;
+        if (relres < cfg.tolerance) {
+            result.converged = true;
+            break;
+        }
+        scale(1.0 / beta, v[0]);
+        std::fill(g.begin(), g.end(), 0.0);
+        g[0] = beta;
+
+        std::size_t k = 0; // number of Arnoldi steps taken this cycle
+        for (; k < m && total_it < cfg.max_iterations; ++k) {
+            ++total_it;
+            result.iterations = total_it;
+            // Right preconditioning: w = A M^{-1} v_k.
+            if (precond != nullptr) {
+                precond->apply(v[k], z[k]);
+            } else {
+                copy(v[k], z[k]);
+            }
+            csr_apply(a, z[k].data(), w.data());
+            // Modified Gram-Schmidt.
+            for (std::size_t i = 0; i <= k; ++i) {
+                hess(i, k) = dot(w, v[i]);
+                axpy(-hess(i, k), v[i], w);
+            }
+            hess(k + 1, k) = norm2(w);
+            if (hess(k + 1, k) != 0.0) {
+                copy(w, v[k + 1]);
+                scale(1.0 / hess(k + 1, k), v[k + 1]);
+            }
+            // Apply previous Givens rotations to the new column.
+            for (std::size_t i = 0; i < k; ++i) {
+                const double t1 = cs[i] * hess(i, k) + sn[i] * hess(i + 1, k);
+                const double t2 = -sn[i] * hess(i, k) + cs[i] * hess(i + 1, k);
+                hess(i, k) = t1;
+                hess(i + 1, k) = t2;
+            }
+            // New rotation annihilating hess(k+1, k).
+            const double denom = std::hypot(hess(k, k), hess(k + 1, k));
+            if (denom == 0.0) {
+                cs[k] = 1.0;
+                sn[k] = 0.0;
+            } else {
+                cs[k] = hess(k, k) / denom;
+                sn[k] = hess(k + 1, k) / denom;
+            }
+            hess(k, k) = cs[k] * hess(k, k) + sn[k] * hess(k + 1, k);
+            hess(k + 1, k) = 0.0;
+            g[k + 1] = -sn[k] * g[k];
+            g[k] = cs[k] * g[k];
+
+            relres = std::abs(g[k + 1]) / bnorm;
+            if (relres < cfg.tolerance) {
+                ++k;
+                break;
+            }
+        }
+
+        // Solve the k x k triangular system and update x += M^{-1} V y,
+        // where z already stores M^{-1} v_i.
+        std::vector<double> y(k, 0.0);
+        for (std::size_t i = k; i-- > 0;) {
+            double acc = g[i];
+            for (std::size_t j = i + 1; j < k; ++j) {
+                acc -= hess(i, j) * y[j];
+            }
+            y[i] = acc / hess(i, i);
+        }
+        for (std::size_t i = 0; i < k; ++i) {
+            axpy(y[i], z[i], x);
+        }
+        if (relres < cfg.tolerance) {
+            result.converged = true;
+            break;
+        }
+        if (k == 0) {
+            break; // no progress possible
+        }
+    }
+    result.relative_residual = relres;
+    return result;
+}
+
+} // namespace pspl::iterative

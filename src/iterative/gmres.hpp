@@ -1,0 +1,18 @@
+// Right-preconditioned restarted GMRES(m) for one right-hand side. This is
+// the solver the paper uses on CPUs for the Ginkgo path (§III-B), working
+// around the upstream BiCGStab OpenMP issue (ginkgo#1563).
+#pragma once
+
+#include "iterative/preconditioner.hpp"
+#include "iterative/stop.hpp"
+#include "sparse/csr.hpp"
+
+#include <span>
+
+namespace pspl::iterative {
+
+ColumnResult gmres_solve(const sparse::Csr& a, const Preconditioner* precond,
+                         std::span<const double> b, std::span<double> x,
+                         const Config& cfg);
+
+} // namespace pspl::iterative

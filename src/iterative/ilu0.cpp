@@ -1,0 +1,109 @@
+#include "iterative/ilu0.hpp"
+
+#include "parallel/deep_copy.hpp"
+#include "parallel/macros.hpp"
+
+#include <vector>
+
+namespace pspl::iterative {
+
+Ilu0::Ilu0(const sparse::Csr& a)
+{
+    const std::size_t n = a.nrows();
+    PSPL_EXPECT(a.ncols() == n, "Ilu0: matrix must be square");
+
+    // Deep-copy the CSR (pattern shared, values owned).
+    View1D<double> values("ilu0_values", a.nnz());
+    for (std::size_t k = 0; k < a.nnz(); ++k) {
+        values(k) = a.values()(k);
+    }
+    m_lu = sparse::Csr(n, n, a.row_ptr(), a.col_idx(), values);
+    m_diag = View1D<int>("ilu0_diag", n);
+
+    const auto& row_ptr = m_lu.row_ptr();
+    const auto& col_idx = m_lu.col_idx();
+    auto& vals = values;
+
+    // Locate diagonals.
+    for (std::size_t i = 0; i < n; ++i) {
+        int dpos = -1;
+        for (int k = row_ptr(i); k < row_ptr(i + 1); ++k) {
+            if (col_idx(static_cast<std::size_t>(k)) == static_cast<int>(i)) {
+                dpos = k;
+                break;
+            }
+        }
+        PSPL_EXPECT(dpos >= 0, "Ilu0: missing diagonal entry");
+        m_diag(i) = dpos;
+    }
+
+    // IKJ-variant ILU(0) with a column->position scatter index per row.
+    std::vector<int> pos(n, -1);
+    for (std::size_t i = 1; i < n; ++i) {
+        for (int k = row_ptr(i); k < row_ptr(i + 1); ++k) {
+            pos[static_cast<std::size_t>(
+                    col_idx(static_cast<std::size_t>(k)))] = k;
+        }
+        for (int kk = row_ptr(i); kk < row_ptr(i + 1); ++kk) {
+            const auto kcol = static_cast<std::size_t>(
+                    col_idx(static_cast<std::size_t>(kk)));
+            if (kcol >= i) {
+                break; // row is sorted; only the strictly-lower part
+            }
+            const double pivot =
+                    vals(static_cast<std::size_t>(m_diag(kcol)));
+            PSPL_EXPECT(pivot != 0.0, "Ilu0: zero pivot");
+            const double lik = vals(static_cast<std::size_t>(kk)) / pivot;
+            vals(static_cast<std::size_t>(kk)) = lik;
+            // Update the remainder of row i against row kcol's upper part.
+            for (int kj = m_diag(kcol) + 1; kj < row_ptr(kcol + 1); ++kj) {
+                const auto jcol = static_cast<std::size_t>(
+                        col_idx(static_cast<std::size_t>(kj)));
+                const int p = pos[jcol];
+                if (p >= 0) {
+                    vals(static_cast<std::size_t>(p)) -=
+                            lik * vals(static_cast<std::size_t>(kj));
+                }
+            }
+        }
+        for (int k = row_ptr(i); k < row_ptr(i + 1); ++k) {
+            pos[static_cast<std::size_t>(
+                    col_idx(static_cast<std::size_t>(k)))] = -1;
+        }
+    }
+}
+
+void Ilu0::apply(std::span<const double> r, std::span<double> z) const
+{
+    const std::size_t n = m_lu.nrows();
+    const auto& row_ptr = m_lu.row_ptr();
+    const auto& col_idx = m_lu.col_idx();
+    const auto& vals = m_lu.values();
+
+    // Forward: L z = r with unit-diagonal L (strictly-lower entries).
+    for (std::size_t i = 0; i < n; ++i) {
+        double acc = r[i];
+        for (int k = row_ptr(i); k < row_ptr(i + 1); ++k) {
+            const auto j = static_cast<std::size_t>(
+                    col_idx(static_cast<std::size_t>(k)));
+            if (j >= i) {
+                break;
+            }
+            acc -= vals(static_cast<std::size_t>(k)) * z[j];
+        }
+        z[i] = acc;
+    }
+    // Backward: U z = z.
+    for (std::size_t i = n; i-- > 0;) {
+        double acc = z[i];
+        const int dpos = m_diag(i);
+        for (int k = dpos + 1; k < row_ptr(i + 1); ++k) {
+            acc -= vals(static_cast<std::size_t>(k))
+                   * z[static_cast<std::size_t>(
+                           col_idx(static_cast<std::size_t>(k)))];
+        }
+        z[i] = acc / vals(static_cast<std::size_t>(dpos));
+    }
+}
+
+} // namespace pspl::iterative

@@ -1,0 +1,90 @@
+#include "iterative/jacobi.hpp"
+
+#include "hostlapack/getrf.hpp"
+#include "parallel/macros.hpp"
+
+#include <algorithm>
+
+namespace pspl::iterative {
+
+BlockJacobi::BlockJacobi(const sparse::Csr& a, std::size_t max_block_size)
+    : m_max_block_size(max_block_size)
+{
+    PSPL_EXPECT(max_block_size >= 1 && max_block_size <= 32,
+                "BlockJacobi: max_block_size must be in [1, 32]");
+    const std::size_t n = a.nrows();
+    const std::size_t nb = (n + max_block_size - 1) / max_block_size;
+
+    m_offsets = View1D<int>("jacobi_offsets", nb + 1);
+    m_sizes = View1D<int>("jacobi_sizes", nb);
+    m_factors = View3D<double>("jacobi_factors", nb, max_block_size,
+                               max_block_size);
+    m_ipiv = View2D<int>("jacobi_ipiv", nb, max_block_size);
+
+    for (std::size_t k = 0; k <= nb; ++k) {
+        m_offsets(k) = static_cast<int>(std::min(k * max_block_size, n));
+    }
+    for (std::size_t k = 0; k < nb; ++k) {
+        const auto lo = static_cast<std::size_t>(m_offsets(k));
+        const auto hi = static_cast<std::size_t>(m_offsets(k + 1));
+        const std::size_t bs = hi - lo;
+        m_sizes(k) = static_cast<int>(bs);
+
+        // Extract the dense diagonal block, then LU-factorize it in place.
+        View2D<double> block("jacobi_block", bs, bs);
+        for (std::size_t i = 0; i < bs; ++i) {
+            for (std::size_t j = 0; j < bs; ++j) {
+                block(i, j) = a.at(lo + i, lo + j);
+            }
+        }
+        View1D<int> piv("jacobi_piv", bs);
+        const int info = hostlapack::getrf(block, piv);
+        PSPL_EXPECT(info == 0, "BlockJacobi: singular diagonal block");
+        for (std::size_t i = 0; i < bs; ++i) {
+            for (std::size_t j = 0; j < bs; ++j) {
+                m_factors(k, i, j) = block(i, j);
+            }
+            m_ipiv(k, i) = piv(i);
+        }
+    }
+}
+
+void BlockJacobi::apply_inplace(std::span<double> v) const
+{
+    const std::size_t nb = nblocks();
+    for (std::size_t k = 0; k < nb; ++k) {
+        const auto lo = static_cast<std::size_t>(m_offsets(k));
+        const auto bs = static_cast<std::size_t>(m_sizes(k));
+        double* seg = v.data() + lo;
+        // Apply row interchanges.
+        for (std::size_t i = 0; i < bs; ++i) {
+            const auto p = static_cast<std::size_t>(m_ipiv(k, i));
+            if (p != i) {
+                std::swap(seg[i], seg[p]);
+            }
+        }
+        // Forward (unit lower) and backward (upper) substitution.
+        for (std::size_t i = 1; i < bs; ++i) {
+            double acc = seg[i];
+            for (std::size_t j = 0; j < i; ++j) {
+                acc -= m_factors(k, i, j) * seg[j];
+            }
+            seg[i] = acc;
+        }
+        for (std::size_t i = bs; i-- > 0;) {
+            double acc = seg[i];
+            for (std::size_t j = i + 1; j < bs; ++j) {
+                acc -= m_factors(k, i, j) * seg[j];
+            }
+            seg[i] = acc / m_factors(k, i, i);
+        }
+    }
+}
+
+void BlockJacobi::apply(std::span<const double> r, std::span<double> z) const
+{
+    std::copy(r.begin(), r.end(), z.begin());
+    apply_inplace(z);
+}
+
+} // namespace pspl::iterative

@@ -1,0 +1,19 @@
+// Preconditioner interface for the Krylov solvers. Ginkgo ships a family of
+// "sophisticated preconditioners" (§II-C-2); this build provides the
+// paper's block-Jacobi plus ILU(0) for comparison.
+#pragma once
+
+#include <span>
+
+namespace pspl::iterative {
+
+class Preconditioner
+{
+public:
+    virtual ~Preconditioner() = default;
+
+    /// z = M^{-1} r.
+    virtual void apply(std::span<const double> r, std::span<double> z) const = 0;
+};
+
+} // namespace pspl::iterative

@@ -1,0 +1,64 @@
+// Solver configuration and per-column convergence results for the iterative
+// (mini-Ginkgo) path. The stopping rule matches the paper (§III-B):
+// relative residual reduction ||A x - b|| / ||b|| < tolerance (1e-15).
+#pragma once
+
+#include <cstddef>
+
+namespace pspl::iterative {
+
+struct Config {
+    double tolerance = 1e-15;       ///< relative residual target
+    std::size_t max_iterations = 1000;
+    std::size_t restart = 30;       ///< GMRES restart length
+};
+
+struct ColumnResult {
+    std::size_t iterations = 0;
+    double relative_residual = 0.0;
+    bool converged = false;
+};
+
+/// Aggregate over the columns of one multi-RHS solve.
+struct SolveStats {
+    std::size_t max_iterations = 0;
+    std::size_t total_iterations = 0;
+    double worst_residual = 0.0;
+    std::size_t columns = 0;
+    bool all_converged = true;
+
+    void absorb(const ColumnResult& r)
+    {
+        if (r.iterations > max_iterations) {
+            max_iterations = r.iterations;
+        }
+        total_iterations += r.iterations;
+        if (r.relative_residual > worst_residual) {
+            worst_residual = r.relative_residual;
+        }
+        ++columns;
+        all_converged = all_converged && r.converged;
+    }
+
+    void merge(const SolveStats& o)
+    {
+        if (o.max_iterations > max_iterations) {
+            max_iterations = o.max_iterations;
+        }
+        total_iterations += o.total_iterations;
+        if (o.worst_residual > worst_residual) {
+            worst_residual = o.worst_residual;
+        }
+        columns += o.columns;
+        all_converged = all_converged && o.all_converged;
+    }
+
+    double mean_iterations() const
+    {
+        return columns ? static_cast<double>(total_iterations)
+                                 / static_cast<double>(columns)
+                       : 0.0;
+    }
+};
+
+} // namespace pspl::iterative

@@ -1,0 +1,107 @@
+// deep_copy: elementwise copy between views of identical extents, and fill
+// of a view with a scalar. Host-only build, so no memory-space conversions
+// are needed; the API matches Kokkos::deep_copy so user code keeps its shape.
+#pragma once
+
+#include "parallel/parallel.hpp"
+#include "parallel/view.hpp"
+
+#include <cstring>
+
+namespace pspl {
+
+namespace detail {
+
+template <class TDst, class TSrc, std::size_t Rank, class LDst, class LSrc>
+void check_same_extents(const View<TDst, Rank, LDst>& dst,
+                        const View<TSrc, Rank, LSrc>& src)
+{
+    for (std::size_t r = 0; r < Rank; ++r) {
+        PSPL_EXPECT(dst.extent(r) == src.extent(r),
+                    "deep_copy: extent mismatch");
+    }
+}
+
+} // namespace detail
+
+template <class T, class LDst, class LSrc>
+void deep_copy(const View<T, 1, LDst>& dst, const View<T, 1, LSrc>& src)
+{
+    detail::check_same_extents(dst, src);
+    for (std::size_t i = 0; i < dst.extent(0); ++i) {
+        dst(i) = src(i);
+    }
+}
+
+template <class T, class LDst, class LSrc>
+void deep_copy(const View<T, 2, LDst>& dst, const View<T, 2, LSrc>& src)
+{
+    detail::check_same_extents(dst, src);
+    for (std::size_t i = 0; i < dst.extent(0); ++i) {
+        for (std::size_t j = 0; j < dst.extent(1); ++j) {
+            dst(i, j) = src(i, j);
+        }
+    }
+}
+
+template <class T, class LDst, class LSrc>
+void deep_copy(const View<T, 3, LDst>& dst, const View<T, 3, LSrc>& src)
+{
+    detail::check_same_extents(dst, src);
+    for (std::size_t i = 0; i < dst.extent(0); ++i) {
+        for (std::size_t j = 0; j < dst.extent(1); ++j) {
+            for (std::size_t k = 0; k < dst.extent(2); ++k) {
+                dst(i, j, k) = src(i, j, k);
+            }
+        }
+    }
+}
+
+template <class T, class L>
+void deep_copy(const View<T, 1, L>& dst, const T& value)
+{
+    for (std::size_t i = 0; i < dst.extent(0); ++i) {
+        dst(i) = value;
+    }
+}
+
+template <class T, class L>
+void deep_copy(const View<T, 2, L>& dst, const T& value)
+{
+    for (std::size_t i = 0; i < dst.extent(0); ++i) {
+        for (std::size_t j = 0; j < dst.extent(1); ++j) {
+            dst(i, j) = value;
+        }
+    }
+}
+
+template <class T, class L>
+void deep_copy(const View<T, 3, L>& dst, const T& value)
+{
+    for (std::size_t i = 0; i < dst.extent(0); ++i) {
+        for (std::size_t j = 0; j < dst.extent(1); ++j) {
+            for (std::size_t k = 0; k < dst.extent(2); ++k) {
+                dst(i, j, k) = value;
+            }
+        }
+    }
+}
+
+/// Allocate a deep copy of `src` with identical extents (LayoutRight).
+template <class T, class L>
+View<T, 1> clone(const View<T, 1, L>& src)
+{
+    View<T, 1> out(src.label() + "_clone", src.extent(0));
+    deep_copy(out, src);
+    return out;
+}
+
+template <class T, class L>
+View<T, 2> clone(const View<T, 2, L>& src)
+{
+    View<T, 2> out(src.label() + "_clone", src.extent(0), src.extent(1));
+    deep_copy(out, src);
+    return out;
+}
+
+} // namespace pspl

@@ -1,0 +1,14 @@
+#include "parallel/execution.hpp"
+
+#if defined(PSPL_ENABLE_OPENMP)
+#include <omp.h>
+
+namespace pspl {
+
+int OpenMP::concurrency()
+{
+    return omp_get_max_threads();
+}
+
+} // namespace pspl
+#endif

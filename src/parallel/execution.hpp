@@ -1,0 +1,41 @@
+// Execution spaces.
+//
+// Two host backends stand in for the paper's {OpenMP, CUDA, HIP} set: the
+// user code is written once against the execution-space template parameter
+// and recompiles unchanged for either backend, which is the portability
+// property under study.
+#pragma once
+
+#include <string>
+
+namespace pspl {
+
+/// Single-threaded reference backend.
+struct Serial {
+    static const char* name() { return "Serial"; }
+    static int concurrency() { return 1; }
+    /// No asynchronous work on host backends; fence is a no-op kept for API
+    /// fidelity with device backends.
+    static void fence() {}
+};
+
+#if defined(PSPL_ENABLE_OPENMP)
+/// OpenMP thread-parallel backend.
+struct OpenMP {
+    static const char* name() { return "OpenMP"; }
+    static int concurrency();
+    static void fence() {}
+};
+
+using DefaultExecutionSpace = OpenMP;
+#else
+using DefaultExecutionSpace = Serial;
+#endif
+
+template <class Exec>
+concept ExecutionSpace = requires {
+    { Exec::name() };
+    { Exec::concurrency() };
+};
+
+} // namespace pspl

@@ -1,0 +1,55 @@
+// Memory layouts for multi-dimensional views.
+//
+// LayoutRight: row-major, last extent has stride 1 (the C default and what
+//              the paper uses for the (n, batch) right-hand-side block where
+//              the *batch* index is contiguous, i.e. GPU-coalesced).
+// LayoutLeft:  column-major, first extent has stride 1 (the CPU-friendly
+//              layout the paper's "future work" layout abstraction targets).
+// LayoutStride: arbitrary strides; the natural result type of subviews.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <type_traits>
+
+namespace pspl {
+
+struct LayoutRight {
+    template <std::size_t Rank>
+    static constexpr std::array<std::size_t, Rank>
+    strides(const std::array<std::size_t, Rank>& ext)
+    {
+        std::array<std::size_t, Rank> s{};
+        std::size_t acc = 1;
+        for (std::size_t r = Rank; r-- > 0;) {
+            s[r] = acc;
+            acc *= ext[r];
+        }
+        return s;
+    }
+};
+
+struct LayoutLeft {
+    template <std::size_t Rank>
+    static constexpr std::array<std::size_t, Rank>
+    strides(const std::array<std::size_t, Rank>& ext)
+    {
+        std::array<std::size_t, Rank> s{};
+        std::size_t acc = 1;
+        for (std::size_t r = 0; r < Rank; ++r) {
+            s[r] = acc;
+            acc *= ext[r];
+        }
+        return s;
+    }
+};
+
+/// Tag for views whose strides were computed by slicing; they carry no
+/// closed-form stride rule.
+struct LayoutStride {};
+
+template <class L>
+inline constexpr bool is_regular_layout_v =
+        std::is_same_v<L, LayoutRight> || std::is_same_v<L, LayoutLeft>;
+
+} // namespace pspl

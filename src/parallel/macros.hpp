@@ -1,0 +1,43 @@
+// Core macros shared by every subsystem.
+//
+// The paper's kernels are written against Kokkos' macro vocabulary
+// (KOKKOS_INLINE_FUNCTION, KOKKOS_RESTRICT, ...).  We keep the same shape so
+// the batched solvers read like their Kokkos-kernels counterparts and could
+// be ported back verbatim.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+// On a CUDA/HIP build these would expand to __host__ __device__ inline; the
+// host-only build keeps the annotation so kernels stay single-source.
+#define PSPL_INLINE_FUNCTION inline
+#define PSPL_FUNCTION
+#define PSPL_RESTRICT __restrict__
+
+#define PSPL_FORCEINLINE_FUNCTION inline __attribute__((always_inline))
+
+namespace pspl {
+
+/// Abort with a message; used for precondition violations that are
+/// programming errors (mismatched extents, invalid solver configuration).
+[[noreturn]] inline void abort_with(const char* msg)
+{
+    std::fprintf(stderr, "pspl: fatal: %s\n", msg);
+    std::abort();
+}
+
+#if defined(PSPL_BOUNDS_CHECK)
+inline constexpr bool bounds_check_enabled = true;
+#else
+inline constexpr bool bounds_check_enabled = false;
+#endif
+
+} // namespace pspl
+
+#define PSPL_EXPECT(cond, msg)          \
+    do {                                \
+        if (!(cond)) {                  \
+            ::pspl::abort_with(msg);    \
+        }                               \
+    } while (0)

@@ -1,0 +1,263 @@
+// Parallel dispatch: parallel_for / parallel_reduce over range and
+// multi-dimensional range policies, templated on the execution space.
+//
+// When profiling is enabled (pspl::profiling::set_enabled(true)) every
+// labeled kernel accumulates wall time into the global registry, exactly how
+// the paper collects per-kernel times with Kokkos-tools.
+#pragma once
+
+#include "parallel/execution.hpp"
+#include "parallel/macros.hpp"
+#include "parallel/profiling.hpp"
+
+#include <array>
+#include <cstddef>
+#include <limits>
+#include <string>
+
+namespace pspl {
+
+template <class Exec = DefaultExecutionSpace>
+struct RangePolicy {
+    using execution_space = Exec;
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    explicit RangePolicy(std::size_t n) : end(n) {}
+    RangePolicy(std::size_t b, std::size_t e) : begin(b), end(e) {}
+};
+
+template <std::size_t R, class Exec = DefaultExecutionSpace>
+struct MDRangePolicy {
+    using execution_space = Exec;
+    static constexpr std::size_t rank = R;
+    std::array<std::size_t, R> upper{};
+    explicit MDRangePolicy(std::array<std::size_t, R> u) : upper(u) {}
+};
+
+namespace detail {
+
+template <class F>
+void dispatch_range(Serial, std::size_t b, std::size_t e, const F& f)
+{
+    for (std::size_t i = b; i < e; ++i) {
+        f(i);
+    }
+}
+
+template <class F>
+void dispatch_md2(Serial, std::size_t n0, std::size_t n1, const F& f)
+{
+    for (std::size_t i = 0; i < n0; ++i) {
+        for (std::size_t j = 0; j < n1; ++j) {
+            f(i, j);
+        }
+    }
+}
+
+template <class F>
+void dispatch_md3(Serial, std::size_t n0, std::size_t n1, std::size_t n2, const F& f)
+{
+    for (std::size_t i = 0; i < n0; ++i) {
+        for (std::size_t j = 0; j < n1; ++j) {
+            for (std::size_t k = 0; k < n2; ++k) {
+                f(i, j, k);
+            }
+        }
+    }
+}
+
+template <class F, class T, class Combine>
+void dispatch_reduce(Serial, std::size_t b, std::size_t e, const F& f, T& result,
+                     T identity, Combine combine)
+{
+    T acc = identity;
+    for (std::size_t i = b; i < e; ++i) {
+        f(i, acc);
+    }
+    result = combine(result, acc);
+}
+
+#if defined(PSPL_ENABLE_OPENMP)
+template <class F>
+void dispatch_range(OpenMP, std::size_t b, std::size_t e, const F& f)
+{
+#pragma omp parallel for schedule(static)
+    for (long long i = static_cast<long long>(b); i < static_cast<long long>(e);
+         ++i) {
+        f(static_cast<std::size_t>(i));
+    }
+}
+
+template <class F>
+void dispatch_md2(OpenMP, std::size_t n0, std::size_t n1, const F& f)
+{
+#pragma omp parallel for collapse(2) schedule(static)
+    for (long long i = 0; i < static_cast<long long>(n0); ++i) {
+        for (long long j = 0; j < static_cast<long long>(n1); ++j) {
+            f(static_cast<std::size_t>(i), static_cast<std::size_t>(j));
+        }
+    }
+}
+
+template <class F>
+void dispatch_md3(OpenMP, std::size_t n0, std::size_t n1, std::size_t n2, const F& f)
+{
+#pragma omp parallel for collapse(3) schedule(static)
+    for (long long i = 0; i < static_cast<long long>(n0); ++i) {
+        for (long long j = 0; j < static_cast<long long>(n1); ++j) {
+            for (long long k = 0; k < static_cast<long long>(n2); ++k) {
+                f(static_cast<std::size_t>(i), static_cast<std::size_t>(j),
+                  static_cast<std::size_t>(k));
+            }
+        }
+    }
+}
+
+template <class F, class T, class Combine>
+void dispatch_reduce(OpenMP, std::size_t b, std::size_t e, const F& f, T& result,
+                     T identity, Combine combine)
+{
+    T acc = identity;
+#pragma omp parallel
+    {
+        T local = identity;
+#pragma omp for schedule(static) nowait
+        for (long long i = static_cast<long long>(b);
+             i < static_cast<long long>(e); ++i) {
+            f(static_cast<std::size_t>(i), local);
+        }
+#pragma omp critical(pspl_reduce)
+        acc = combine(acc, local);
+    }
+    result = combine(result, acc);
+}
+#endif
+
+class KernelTimer
+{
+public:
+    explicit KernelTimer(const std::string& label)
+        : m_label(label), m_active(profiling::enabled())
+    {
+        if (m_active) {
+            m_start = std::chrono::steady_clock::now();
+        }
+    }
+    ~KernelTimer()
+    {
+        if (m_active) {
+            profiling::record(
+                    m_label,
+                    std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - m_start)
+                            .count());
+        }
+    }
+
+private:
+    const std::string& m_label;
+    bool m_active;
+    std::chrono::steady_clock::time_point m_start;
+};
+
+} // namespace detail
+
+// ---------------------------------------------------------------------------
+// parallel_for
+// ---------------------------------------------------------------------------
+
+template <class Exec, class F>
+void parallel_for(const std::string& label, RangePolicy<Exec> policy, const F& f)
+{
+    detail::KernelTimer t(label);
+    detail::dispatch_range(Exec{}, policy.begin, policy.end, f);
+}
+
+/// Shorthand: iterate [0, n) on the default execution space.
+template <class F>
+void parallel_for(const std::string& label, std::size_t n, const F& f)
+{
+    parallel_for(label, RangePolicy<DefaultExecutionSpace>(n), f);
+}
+
+template <class Exec, class F>
+void parallel_for(const std::string& label, MDRangePolicy<2, Exec> policy,
+                  const F& f)
+{
+    detail::KernelTimer t(label);
+    detail::dispatch_md2(Exec{}, policy.upper[0], policy.upper[1], f);
+}
+
+template <class Exec, class F>
+void parallel_for(const std::string& label, MDRangePolicy<3, Exec> policy,
+                  const F& f)
+{
+    detail::KernelTimer t(label);
+    detail::dispatch_md3(Exec{}, policy.upper[0], policy.upper[1],
+                         policy.upper[2], f);
+}
+
+// ---------------------------------------------------------------------------
+// parallel_reduce with Sum/Max/Min reducers. The functor signature is
+// f(index, accumulator&).
+// ---------------------------------------------------------------------------
+
+template <class T>
+struct Sum {
+    T& value;
+    explicit Sum(T& v) : value(v) {}
+};
+
+template <class T>
+struct Max {
+    T& value;
+    explicit Max(T& v) : value(v) {}
+};
+
+template <class T>
+struct Min {
+    T& value;
+    explicit Min(T& v) : value(v) {}
+};
+
+template <class Exec, class F, class T>
+void parallel_reduce(const std::string& label, RangePolicy<Exec> policy,
+                     const F& f, Sum<T> reducer)
+{
+    detail::KernelTimer t(label);
+    reducer.value = T{};
+    detail::dispatch_reduce(Exec{}, policy.begin, policy.end, f, reducer.value,
+                            T{}, [](T a, T b) { return a + b; });
+}
+
+template <class Exec, class F, class T>
+void parallel_reduce(const std::string& label, RangePolicy<Exec> policy,
+                     const F& f, Max<T> reducer)
+{
+    detail::KernelTimer t(label);
+    const T identity = std::numeric_limits<T>::lowest();
+    reducer.value = identity;
+    detail::dispatch_reduce(Exec{}, policy.begin, policy.end, f, reducer.value,
+                            identity, [](T a, T b) { return a > b ? a : b; });
+}
+
+template <class Exec, class F, class T>
+void parallel_reduce(const std::string& label, RangePolicy<Exec> policy,
+                     const F& f, Min<T> reducer)
+{
+    detail::KernelTimer t(label);
+    const T identity = std::numeric_limits<T>::max();
+    reducer.value = identity;
+    detail::dispatch_reduce(Exec{}, policy.begin, policy.end, f, reducer.value,
+                            identity, [](T a, T b) { return a < b ? a : b; });
+}
+
+/// Shorthand: sum-reduce [0, n) on the default execution space.
+template <class F, class T>
+void parallel_reduce(const std::string& label, std::size_t n, const F& f,
+                     Sum<T> reducer)
+{
+    parallel_reduce(label, RangePolicy<DefaultExecutionSpace>(n), f, reducer);
+}
+
+} // namespace pspl

@@ -1,0 +1,87 @@
+#include "parallel/profiling.hpp"
+
+#include <atomic>
+#include <mutex>
+
+namespace pspl::profiling {
+
+namespace {
+
+std::atomic<bool> g_enabled{false};
+std::mutex g_mutex;
+std::map<std::string, RecordStats>& registry()
+{
+    static std::map<std::string, RecordStats> r;
+    return r;
+}
+
+} // namespace
+
+void set_enabled(bool on)
+{
+    g_enabled.store(on, std::memory_order_relaxed);
+}
+
+bool enabled()
+{
+    return g_enabled.load(std::memory_order_relaxed);
+}
+
+void clear()
+{
+    const std::lock_guard lock(g_mutex);
+    registry().clear();
+}
+
+void record(const std::string& label, double seconds)
+{
+    const std::lock_guard lock(g_mutex);
+    auto& s = registry()[label];
+    ++s.count;
+    s.total_seconds += seconds;
+}
+
+std::map<std::string, RecordStats> snapshot()
+{
+    const std::lock_guard lock(g_mutex);
+    return registry();
+}
+
+RecordStats stats_for(const std::string& label)
+{
+    const std::lock_guard lock(g_mutex);
+    const auto it = registry().find(label);
+    return it == registry().end() ? RecordStats{} : it->second;
+}
+
+double total_seconds_matching(const std::string& needle)
+{
+    const std::lock_guard lock(g_mutex);
+    double total = 0.0;
+    for (const auto& [label, stats] : registry()) {
+        if (label.find(needle) != std::string::npos) {
+            total += stats.total_seconds;
+        }
+    }
+    return total;
+}
+
+ScopedRegion::ScopedRegion(std::string name)
+    : m_name(std::move(name)), m_active(enabled())
+{
+    if (m_active) {
+        m_start = std::chrono::steady_clock::now();
+    }
+}
+
+ScopedRegion::~ScopedRegion()
+{
+    if (m_active) {
+        const double sec = std::chrono::duration<double>(
+                                   std::chrono::steady_clock::now() - m_start)
+                                   .count();
+        record(m_name, sec);
+    }
+}
+
+} // namespace pspl::profiling

@@ -1,0 +1,75 @@
+// Kokkos-tools-style profiling: every labeled kernel and region accumulates
+// (call count, total seconds) into a global registry that benchmarks read
+// back, mirroring the paper's `kp_reader *.dat` workflow (Appendix D).
+//
+// Profiling is off by default; benchmarks switch it on around the section
+// they measure so unit tests pay no timing overhead.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace pspl::profiling {
+
+struct RecordStats {
+    std::uint64_t count = 0;
+    double total_seconds = 0.0;
+    double avg_seconds() const { return count ? total_seconds / double(count) : 0.0; }
+};
+
+/// Globally enable/disable timing of labeled kernels and regions.
+void set_enabled(bool on);
+bool enabled();
+
+/// Reset all accumulated statistics.
+void clear();
+
+/// Record `seconds` against `label` (used by the parallel dispatch layer).
+void record(const std::string& label, double seconds);
+
+/// Snapshot of the registry, ordered by label.
+std::map<std::string, RecordStats> snapshot();
+
+/// Stats for one label (zeroes if never recorded).
+RecordStats stats_for(const std::string& label);
+
+/// Sum of total_seconds over every label containing `needle`.
+double total_seconds_matching(const std::string& needle);
+
+/// RAII region timer: `ScopedRegion r("ddc_splines_solve");` accumulates the
+/// enclosed wall time under the given name, like Kokkos profiling regions.
+class ScopedRegion
+{
+public:
+    explicit ScopedRegion(std::string name);
+    ~ScopedRegion();
+    ScopedRegion(const ScopedRegion&) = delete;
+    ScopedRegion& operator=(const ScopedRegion&) = delete;
+
+private:
+    std::string m_name;
+    bool m_active = false;
+    std::chrono::steady_clock::time_point m_start;
+};
+
+/// Simple monotonic timer used by benches that measure one section directly.
+class Timer
+{
+public:
+    Timer() : m_start(std::chrono::steady_clock::now()) {}
+    double seconds() const
+    {
+        return std::chrono::duration<double>(std::chrono::steady_clock::now()
+                                             - m_start)
+                .count();
+    }
+    void reset() { m_start = std::chrono::steady_clock::now(); }
+
+private:
+    std::chrono::steady_clock::time_point m_start;
+};
+
+} // namespace pspl::profiling

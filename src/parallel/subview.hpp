@@ -1,0 +1,97 @@
+// Subview slicing, mirroring Kokkos::subview semantics.
+//
+// Slicer vocabulary:
+//   pspl::ALL                      -- keep the whole dimension
+//   std::pair{begin, end}          -- keep the half-open range [begin, end)
+//   an integer                     -- fix the index, dropping the dimension
+//
+// The result aliases the parent allocation (shared ownership) with
+// LayoutStride, so e.g. one right-hand-side column of a (n, batch) block is
+// a rank-1 view with stride `batch` -- exactly the access pattern the paper's
+// batched serial solvers are written against.
+#pragma once
+
+#include "parallel/view.hpp"
+
+#include <type_traits>
+#include <utility>
+
+namespace pspl {
+
+struct all_t {
+    explicit all_t() = default;
+};
+inline constexpr all_t ALL{};
+
+namespace detail {
+
+template <class S>
+struct is_pair : std::false_type {
+};
+template <class A, class B>
+struct is_pair<std::pair<A, B>> : std::true_type {
+};
+
+template <class S>
+inline constexpr bool slice_keeps_dim_v =
+        std::is_same_v<std::decay_t<S>, all_t> || is_pair<std::decay_t<S>>::value;
+
+} // namespace detail
+
+template <class T, std::size_t Rank, class Layout, class... Slicers>
+auto subview(const View<T, Rank, Layout>& v, Slicers... slicers)
+{
+    static_assert(sizeof...(Slicers) == Rank,
+                  "subview needs one slicer per dimension");
+    constexpr std::size_t NewRank =
+            (std::size_t{detail::slice_keeps_dim_v<Slicers>} + ...);
+    static_assert(NewRank >= 1, "subview must keep at least one dimension");
+
+    std::array<std::size_t, NewRank> ext{};
+    std::array<std::size_t, NewRank> str{};
+    std::size_t offset = 0;
+    std::size_t out = 0;
+    std::size_t r = 0;
+
+    auto process = [&](auto&& s) {
+        using S = std::decay_t<decltype(s)>;
+        if constexpr (std::is_same_v<S, all_t>) {
+            ext[out] = v.extent(r);
+            str[out] = v.stride(r);
+            ++out;
+        } else if constexpr (detail::is_pair<S>::value) {
+            const auto begin = static_cast<std::size_t>(s.first);
+            const auto end = static_cast<std::size_t>(s.second);
+            PSPL_EXPECT(begin <= end && end <= v.extent(r),
+                        "subview range out of bounds");
+            offset += begin * v.stride(r);
+            ext[out] = end - begin;
+            str[out] = v.stride(r);
+            ++out;
+        } else {
+            const auto i = static_cast<std::size_t>(s);
+            PSPL_EXPECT(i < v.extent(r), "subview index out of bounds");
+            offset += i * v.stride(r);
+        }
+        ++r;
+    };
+    (process(slicers), ...);
+
+    return View<T, NewRank, LayoutStride>(
+            v.allocation(), v.data() + offset, ext, str, v.label());
+}
+
+/// Zero-copy logical transpose of a rank-2 view: extents and strides are
+/// swapped, the data is shared. This is the "layout abstraction" tool that
+/// lets batched kernels run against either dimension of a block without a
+/// physical transpose (paper §V-C future work: "fusing transpose kernels
+/// with spline building kernels").
+template <class T, class Layout>
+View<T, 2, LayoutStride> transposed_view(const View<T, 2, Layout>& v)
+{
+    return View<T, 2, LayoutStride>(v.allocation(), v.data(),
+                                    {v.extent(1), v.extent(0)},
+                                    {v.stride(1), v.stride(0)}, v.label());
+}
+
+} // namespace pspl

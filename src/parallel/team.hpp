@@ -1,0 +1,113 @@
+// Hierarchical (team) parallelism, mirroring Kokkos' TeamPolicy vocabulary:
+// a league of teams, each team running `team_size` members that cooperate
+// through TeamThreadRange-style nested loops.
+//
+// Host semantics: the league is parallelized over the execution space;
+// members of one team execute sequentially (like Kokkos' Serial backend,
+// which enforces team_size == 1 -- here any team_size is allowed and
+// members simply run in turn). team_barrier() is therefore a no-op; code
+// that relies on concurrent member progress between barriers is outside
+// this backend's contract, while data-parallel nested loops -- the batched
+// spline use case -- behave identically to a device build.
+#pragma once
+
+#include "parallel/parallel.hpp"
+
+#include <cstddef>
+#include <string>
+
+namespace pspl {
+
+class TeamMember
+{
+public:
+    TeamMember(std::size_t league_rank, int team_rank, int team_size,
+               std::size_t league_size)
+        : m_league_rank(league_rank)
+        , m_team_rank(team_rank)
+        , m_team_size(team_size)
+        , m_league_size(league_size)
+    {
+    }
+
+    std::size_t league_rank() const { return m_league_rank; }
+    std::size_t league_size() const { return m_league_size; }
+    int team_rank() const { return m_team_rank; }
+    int team_size() const { return m_team_size; }
+
+    /// No-op on host backends (members run sequentially).
+    void team_barrier() const {}
+
+private:
+    std::size_t m_league_rank;
+    int m_team_rank;
+    int m_team_size;
+    std::size_t m_league_size;
+};
+
+template <class Exec = DefaultExecutionSpace>
+struct TeamPolicy {
+    using execution_space = Exec;
+    std::size_t league_size = 0;
+    int team_size = 1;
+    TeamPolicy(std::size_t league, int team)
+        : league_size(league), team_size(team)
+    {
+        PSPL_EXPECT(team >= 1, "TeamPolicy: team_size must be >= 1");
+    }
+};
+
+/// Launch one functor call per (league entry, team member).
+template <class Exec, class F>
+void parallel_for(const std::string& label, TeamPolicy<Exec> policy,
+                  const F& f)
+{
+    const int ts = policy.team_size;
+    const std::size_t league = policy.league_size;
+    detail::KernelTimer t(label);
+    detail::dispatch_range(Exec{}, 0, league, [&](std::size_t l) {
+        for (int m = 0; m < ts; ++m) {
+            f(TeamMember(l, m, ts, league));
+        }
+    });
+}
+
+/// Strided split of [0, n) across the members of one team
+/// (Kokkos::TeamThreadRange analogue).
+template <class F>
+PSPL_INLINE_FUNCTION void team_thread_range(const TeamMember& member,
+                                            std::size_t n, const F& f)
+{
+    for (std::size_t i = static_cast<std::size_t>(member.team_rank()); i < n;
+         i += static_cast<std::size_t>(member.team_size())) {
+        f(i);
+    }
+}
+
+/// Innermost (vector-level) range: executed in full by the calling member
+/// (Kokkos::ThreadVectorRange analogue).
+template <class F>
+PSPL_INLINE_FUNCTION void thread_vector_range(const TeamMember&,
+                                              std::size_t n, const F& f)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        f(i);
+    }
+}
+
+/// Sum-reduction over a team-thread range. Kokkos semantics: every member
+/// observes the team-wide total. Members run sequentially here, so each
+/// computes the full sum (redundant but exact -- the host analogue of the
+/// broadcast that a device barrier provides).
+template <class F>
+PSPL_INLINE_FUNCTION double team_thread_reduce_sum(const TeamMember&,
+                                                   std::size_t n, const F& f)
+{
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        acc += f(i);
+    }
+    return acc;
+}
+
+} // namespace pspl

@@ -1,0 +1,194 @@
+// A rank-templated, reference-counted multi-dimensional array view.
+//
+// This is the data-structure substrate of the library: a small, from-scratch
+// analogue of Kokkos::View.  A View owns (or aliases, after subviewing) a
+// contiguous allocation and exposes strided indexing.  Copies are shallow and
+// cheap; the last copy releases the allocation.  All indexing members are
+// usable inside parallel kernels.
+#pragma once
+
+#include "parallel/layout.hpp"
+#include "parallel/macros.hpp"
+
+#include <array>
+#include <cstddef>
+#include <memory>
+#include <numeric>
+#include <string>
+#include <type_traits>
+#include <utility>
+
+namespace pspl {
+
+namespace detail {
+
+template <class... Is>
+inline constexpr bool all_integral_v = (std::is_convertible_v<Is, std::size_t> && ...);
+
+} // namespace detail
+
+template <class T, std::size_t Rank, class Layout = LayoutRight>
+class View
+{
+    static_assert(Rank >= 1 && Rank <= 4, "View supports rank 1..4");
+
+public:
+    using value_type = T;
+    using layout_type = Layout;
+    static constexpr std::size_t rank = Rank;
+
+    View() = default;
+
+    /// Allocating constructor: zero-initializes `extents...` elements.
+    template <class... Extents,
+              class = std::enable_if_t<sizeof...(Extents) == Rank
+                                       && detail::all_integral_v<Extents...>
+                                       && is_regular_layout_v<Layout>>>
+    explicit View(std::string label, Extents... extents)
+        : m_label(std::move(label))
+        , m_extent{static_cast<std::size_t>(extents)...}
+        , m_stride(Layout::strides(m_extent))
+    {
+        const std::size_t n = size();
+        m_alloc = std::shared_ptr<T[]>(new T[n]());
+        m_data = m_alloc.get();
+    }
+
+    /// Aliasing constructor used by subview(): shares ownership with the
+    /// parent allocation but indexes a window of it.
+    View(std::shared_ptr<T[]> alloc,
+         T* data,
+         std::array<std::size_t, Rank> extent,
+         std::array<std::size_t, Rank> stride,
+         std::string label)
+        : m_label(std::move(label))
+        , m_extent(extent)
+        , m_stride(stride)
+        , m_alloc(std::move(alloc))
+        , m_data(data)
+    {
+    }
+
+    /// Unmanaged wrapper around caller-owned memory (no ownership taken).
+    View(T* data, std::array<std::size_t, Rank> extent)
+        requires is_regular_layout_v<Layout>
+        : m_extent(extent), m_stride(Layout::strides(extent)), m_data(data)
+    {
+    }
+
+    PSPL_FORCEINLINE_FUNCTION T& operator()(std::size_t i0) const
+    {
+        static_assert(Rank == 1);
+        bounds_check(i0, 0);
+        return m_data[i0 * m_stride[0]];
+    }
+
+    PSPL_FORCEINLINE_FUNCTION T& operator()(std::size_t i0, std::size_t i1) const
+    {
+        static_assert(Rank == 2);
+        bounds_check(i0, 0);
+        bounds_check(i1, 1);
+        return m_data[i0 * m_stride[0] + i1 * m_stride[1]];
+    }
+
+    PSPL_FORCEINLINE_FUNCTION T&
+    operator()(std::size_t i0, std::size_t i1, std::size_t i2) const
+    {
+        static_assert(Rank == 3);
+        bounds_check(i0, 0);
+        bounds_check(i1, 1);
+        bounds_check(i2, 2);
+        return m_data[i0 * m_stride[0] + i1 * m_stride[1] + i2 * m_stride[2]];
+    }
+
+    PSPL_FORCEINLINE_FUNCTION T&
+    operator()(std::size_t i0, std::size_t i1, std::size_t i2, std::size_t i3) const
+    {
+        static_assert(Rank == 4);
+        bounds_check(i0, 0);
+        bounds_check(i1, 1);
+        bounds_check(i2, 2);
+        bounds_check(i3, 3);
+        return m_data[i0 * m_stride[0] + i1 * m_stride[1] + i2 * m_stride[2]
+                      + i3 * m_stride[3]];
+    }
+
+    PSPL_FORCEINLINE_FUNCTION std::size_t extent(std::size_t r) const
+    {
+        return m_extent[r];
+    }
+
+    PSPL_FORCEINLINE_FUNCTION std::size_t stride(std::size_t r) const
+    {
+        return m_stride[r];
+    }
+
+    std::size_t size() const
+    {
+        std::size_t n = 1;
+        for (std::size_t r = 0; r < Rank; ++r) {
+            n *= m_extent[r];
+        }
+        return n;
+    }
+
+    PSPL_FORCEINLINE_FUNCTION T* data() const { return m_data; }
+
+    const std::string& label() const { return m_label; }
+
+    bool is_allocated() const { return m_data != nullptr; }
+
+    /// True when elements are laid out without gaps (subviews usually not).
+    bool span_is_contiguous() const
+    {
+        // Sort-free check: the extent/stride pairs must tile [0, size).
+        std::size_t expect_right = 1;
+        bool right = true;
+        for (std::size_t r = Rank; r-- > 0;) {
+            if (m_stride[r] != expect_right) {
+                right = false;
+            }
+            expect_right *= m_extent[r];
+        }
+        std::size_t expect_left = 1;
+        bool left = true;
+        for (std::size_t r = 0; r < Rank; ++r) {
+            if (m_stride[r] != expect_left) {
+                left = false;
+            }
+            expect_left *= m_extent[r];
+        }
+        return right || left;
+    }
+
+    const std::shared_ptr<T[]>& allocation() const { return m_alloc; }
+
+private:
+    PSPL_FORCEINLINE_FUNCTION void bounds_check([[maybe_unused]] std::size_t i,
+                                                [[maybe_unused]] std::size_t r) const
+    {
+        if constexpr (bounds_check_enabled) {
+            if (i >= m_extent[r]) {
+                abort_with("View index out of bounds");
+            }
+        }
+    }
+
+    std::string m_label;
+    std::array<std::size_t, Rank> m_extent{};
+    std::array<std::size_t, Rank> m_stride{};
+    std::shared_ptr<T[]> m_alloc;
+    T* m_data = nullptr;
+};
+
+/// Convenience aliases mirroring the naming used throughout the paper.
+template <class T, class Layout = LayoutRight>
+using View1D = View<T, 1, Layout>;
+template <class T, class Layout = LayoutRight>
+using View2D = View<T, 2, Layout>;
+template <class T, class Layout = LayoutRight>
+using View3D = View<T, 3, Layout>;
+template <class T, class Layout = LayoutRight>
+using View4D = View<T, 4, Layout>;
+
+} // namespace pspl

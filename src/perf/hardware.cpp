@@ -1,0 +1,39 @@
+#include "perf/hardware.hpp"
+
+#include <cstdlib>
+
+namespace pspl::perf {
+
+HardwareSpec icelake_spec()
+{
+    return {"Icelake", 3174.4, 204.8};
+}
+
+HardwareSpec a100_spec()
+{
+    return {"A100", 9700.0, 1555.0};
+}
+
+HardwareSpec mi250x_spec()
+{
+    return {"MI250X", 26500.0, 1600.0};
+}
+
+std::vector<HardwareSpec> paper_platforms()
+{
+    return {icelake_spec(), a100_spec(), mi250x_spec()};
+}
+
+HardwareSpec host_spec()
+{
+    HardwareSpec spec{"Host", 50.0, 20.0};
+    if (const char* f = std::getenv("PSPL_PEAK_GFLOPS")) {
+        spec.peak_gflops = std::atof(f);
+    }
+    if (const char* b = std::getenv("PSPL_PEAK_BW_GBS")) {
+        spec.peak_bw_gbs = std::atof(b);
+    }
+    return spec;
+}
+
+} // namespace pspl::perf

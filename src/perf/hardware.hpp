@@ -1,0 +1,38 @@
+// Hardware descriptors (paper Table II) and the host platform description.
+//
+// The paper's portability study spans Intel Icelake, NVIDIA A100 and AMD
+// MI250X; this build runs on a host CPU, so the paper's specs are carried as
+// data. They feed the roofline (Eq. 10) and Pennycook metric (Eq. 8)
+// machinery, both for re-deriving the paper's Table V values and for
+// computing measured efficiencies on the host backends.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace pspl::perf {
+
+struct HardwareSpec {
+    std::string name;
+    double peak_gflops = 0.0; ///< FP64 peak [GFlops]
+    double peak_bw_gbs = 0.0; ///< peak memory bandwidth [GB/s]
+
+    double bf_ratio() const { return peak_bw_gbs / peak_gflops; }
+};
+
+/// Intel Xeon Gold 6346 (Table II).
+HardwareSpec icelake_spec();
+/// NVIDIA A100 (Table II).
+HardwareSpec a100_spec();
+/// AMD MI250X (Table II).
+HardwareSpec mi250x_spec();
+/// The paper's full platform set H = {Icelake, A100, MI250X}.
+std::vector<HardwareSpec> paper_platforms();
+
+/// Description of the machine this build runs on. Peak numbers are read
+/// from PSPL_PEAK_GFLOPS / PSPL_PEAK_BW_GBS if set, otherwise conservative
+/// laptop-class defaults are used (they only scale efficiency percentages,
+/// not the measured times).
+HardwareSpec host_spec();
+
+} // namespace pspl::perf

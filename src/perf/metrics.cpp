@@ -1,0 +1,78 @@
+#include "perf/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pspl::perf {
+
+double glups(std::size_t nx, std::size_t nv, double seconds)
+{
+    return static_cast<double>(nx) * static_cast<double>(nv) * 1e-9 / seconds;
+}
+
+double achieved_bandwidth_gbs(std::size_t nx, std::size_t nv, double seconds)
+{
+    return static_cast<double>(nx) * static_cast<double>(nv)
+           * paper_bytes_per_point / seconds * 1e-9;
+}
+
+double bandwidth_fraction_percent(double achieved_gbs, const HardwareSpec& spec)
+{
+    return 100.0 * achieved_gbs / spec.peak_bw_gbs;
+}
+
+double roofline_attainable_gflops(const HardwareSpec& spec,
+                                  double flops_per_byte)
+{
+    return std::min(spec.peak_gflops, spec.peak_bw_gbs * flops_per_byte);
+}
+
+double architectural_efficiency_percent(double achieved_gflops,
+                                        double attainable_gflops)
+{
+    return 100.0 * achieved_gflops / attainable_gflops;
+}
+
+double pennycook_portability(const std::vector<double>& efficiencies_percent)
+{
+    if (efficiencies_percent.empty()) {
+        return 0.0;
+    }
+    double denom = 0.0;
+    for (const double e : efficiencies_percent) {
+        if (e <= 0.0) {
+            return 0.0; // unsupported on some platform
+        }
+        denom += 1.0 / (e / 100.0);
+    }
+    return static_cast<double>(efficiencies_percent.size()) / denom;
+}
+
+KernelModel spline_builder_model(int degree, bool uniform)
+{
+    // Hand counts per grid point of one RHS column (corner-block work is
+    // O(nnz/n) per point and neglected, as in the paper's §V-B analysis).
+    double flops = 0.0;
+    if (uniform) {
+        if (degree == 3) {
+            // pttrs: forward mul+sub, backward div+mul+sub.
+            flops = 5.0;
+        } else {
+            // pbtrs with kd = degree/2 subdiagonals:
+            // forward div + kd*(mul+sub); backward kd*(mul+sub) + div.
+            const double kd = static_cast<double>(degree / 2);
+            flops = 4.0 * kd + 2.0;
+        }
+    } else {
+        // gbtrs with kl+ku = degree:
+        // forward kl*(mul+sub); backward (kl+ku)*(mul+sub) + div.
+        const double kl = static_cast<double>((degree + 1) / 2);
+        const double ku = static_cast<double>(degree / 2);
+        flops = 2.0 * kl + 2.0 * (kl + ku) + 1.0;
+    }
+    // One 8-byte load and one 8-byte store of the RHS per point under the
+    // perfect-cache assumption (the matrix itself is shared and cached).
+    return {flops, 16.0};
+}
+
+} // namespace pspl::perf

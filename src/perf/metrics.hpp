@@ -1,0 +1,62 @@
+// Performance metrics from the paper's evaluation section:
+//   - GLUPS (Eq. 7): Nx*Nv*1e-9 / t
+//   - achieved bandwidth (§V-B): Nx*Nv*8 / t, counting one 8-byte
+//     load/store of the right-hand side per grid point under the
+//     perfect-cache assumption;
+//   - roofline attainable performance (Eq. 10): min(F_i, B_i * f_a/b_a);
+//   - architectural efficiency (Eq. 9) and the Pennycook performance
+//     portability metric P (Eq. 8, harmonic mean over platforms).
+// Plus hand-counted flop/byte models of the spline building kernels used
+// to place them on the roofline (§V-B does the same hand counting).
+#pragma once
+
+#include "perf/hardware.hpp"
+
+#include <cstddef>
+#include <vector>
+
+namespace pspl::perf {
+
+/// Giga lattice updates per second (Eq. 7).
+double glups(std::size_t nx, std::size_t nv, double seconds);
+
+/// Achieved bandwidth in GB/s under the paper's one-load-store-per-point
+/// model (§V-B): Nx*Nv*8 bytes moved in `seconds`.
+double achieved_bandwidth_gbs(std::size_t nx, std::size_t nv, double seconds);
+
+/// Fraction (in percent) of a platform's peak bandwidth.
+double bandwidth_fraction_percent(double achieved_gbs,
+                                  const HardwareSpec& spec);
+
+/// Roofline-attainable performance (Eq. 10) for arithmetic intensity
+/// `flops_per_byte` on platform `spec`, in GFlops.
+double roofline_attainable_gflops(const HardwareSpec& spec,
+                                  double flops_per_byte);
+
+/// Architectural efficiency e_i (Eq. 9), in percent.
+double architectural_efficiency_percent(double achieved_gflops,
+                                        double attainable_gflops);
+
+/// Pennycook performance portability (Eq. 8): harmonic mean of the
+/// efficiencies (given in percent, returned as a fraction in [0, 1]).
+/// Returns 0 if the application is unsupported (efficiency <= 0) anywhere.
+double pennycook_portability(const std::vector<double>& efficiencies_percent);
+
+/// Hand-counted per-grid-point cost model of a spline building kernel.
+struct KernelModel {
+    double flops_per_point = 0.0;
+    double bytes_per_point = 0.0;
+    double flops_per_byte() const { return flops_per_point / bytes_per_point; }
+};
+
+/// Cost model for the fused-spmv spline builder at the given spline degree
+/// and uniformity, per grid point of the RHS (hand counts as in §V-B).
+/// Bytes use the paper's perfect-cache model: 8 bytes in + 8 bytes out of
+/// RHS data per point -- the paper's bandwidth formula charges only 8, so
+/// `paper_bytes_per_point` is also provided.
+KernelModel spline_builder_model(int degree, bool uniform);
+
+/// The 8-bytes-per-point convention of the paper's bandwidth formula.
+inline constexpr double paper_bytes_per_point = 8.0;
+
+} // namespace pspl::perf

@@ -1,0 +1,73 @@
+#include "perf/report.hpp"
+
+#include "parallel/macros.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace pspl::perf {
+
+std::string fmt(double value, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    return buf;
+}
+
+std::string fmt_time(double seconds)
+{
+    if (seconds < 1e-6) {
+        return fmt(seconds * 1e9, 2) + " ns";
+    }
+    if (seconds < 1e-3) {
+        return fmt(seconds * 1e6, 2) + " us";
+    }
+    if (seconds < 1.0) {
+        return fmt(seconds * 1e3, 2) + " ms";
+    }
+    return fmt(seconds, 3) + " s";
+}
+
+Table::Table(std::vector<std::string> headers) : m_headers(std::move(headers))
+{
+}
+
+void Table::add_row(std::vector<std::string> cells)
+{
+    PSPL_EXPECT(cells.size() == m_headers.size(),
+                "Table: row width mismatch");
+    m_rows.push_back(std::move(cells));
+}
+
+std::string Table::str() const
+{
+    std::vector<std::size_t> width(m_headers.size());
+    for (std::size_t c = 0; c < m_headers.size(); ++c) {
+        width[c] = m_headers[c].size();
+    }
+    for (const auto& row : m_rows) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            width[c] = std::max(width[c], row[c].size());
+        }
+    }
+    std::ostringstream out;
+    auto emit_row = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            out << "| " << row[c]
+                << std::string(width[c] - row[c].size() + 1, ' ');
+        }
+        out << "|\n";
+    };
+    emit_row(m_headers);
+    for (std::size_t c = 0; c < m_headers.size(); ++c) {
+        out << "|" << std::string(width[c] + 2, '-');
+    }
+    out << "|\n";
+    for (const auto& row : m_rows) {
+        emit_row(row);
+    }
+    return out.str();
+}
+
+} // namespace pspl::perf

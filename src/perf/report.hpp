@@ -1,0 +1,33 @@
+// Plain-text table rendering for the benchmark harnesses: each bench binary
+// prints rows shaped like the paper's tables so measured output can be
+// diffed against the published numbers (EXPERIMENTS.md records both).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace pspl::perf {
+
+/// Fixed-precision double formatting ("3.22", "268.6", ...).
+std::string fmt(double value, int precision = 2);
+
+/// Seconds rendered with an adaptive unit (ns/us/ms/s), paper-style.
+std::string fmt_time(double seconds);
+
+class Table
+{
+public:
+    explicit Table(std::vector<std::string> headers);
+
+    void add_row(std::vector<std::string> cells);
+
+    /// Render with aligned columns and a header separator.
+    std::string str() const;
+
+private:
+    std::vector<std::string> m_headers;
+    std::vector<std::vector<std::string>> m_rows;
+};
+
+} // namespace pspl::perf

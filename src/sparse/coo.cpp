@@ -1,0 +1,45 @@
+#include "sparse/coo.hpp"
+
+#include <cmath>
+#include <vector>
+
+namespace pspl::sparse {
+
+Coo Coo::from_dense(const View2D<double>& a, double threshold)
+{
+    const std::size_t nrows = a.extent(0);
+    const std::size_t ncols = a.extent(1);
+    std::vector<int> rows;
+    std::vector<int> cols;
+    std::vector<double> vals;
+    for (std::size_t i = 0; i < nrows; ++i) {
+        for (std::size_t j = 0; j < ncols; ++j) {
+            if (std::abs(a(i, j)) > threshold) {
+                rows.push_back(static_cast<int>(i));
+                cols.push_back(static_cast<int>(j));
+                vals.push_back(a(i, j));
+            }
+        }
+    }
+    IdxType rows_idx("coo_rows", rows.size());
+    IdxType cols_idx("coo_cols", cols.size());
+    ValueType values("coo_vals", vals.size());
+    for (std::size_t k = 0; k < vals.size(); ++k) {
+        rows_idx(k) = rows[k];
+        cols_idx(k) = cols[k];
+        values(k) = vals[k];
+    }
+    return Coo(nrows, ncols, rows_idx, cols_idx, values);
+}
+
+View2D<double> Coo::to_dense() const
+{
+    View2D<double> a("coo_dense", m_nrows, m_ncols);
+    for (std::size_t nz = 0; nz < nnz(); ++nz) {
+        a(static_cast<std::size_t>(m_rows_idx(nz)),
+          static_cast<std::size_t>(m_cols_idx(nz))) += m_values(nz);
+    }
+    return a;
+}
+
+} // namespace pspl::sparse

@@ -1,0 +1,66 @@
+// COO (COOrdinate list) sparse storage, the format the paper chooses for the
+// Schur corner blocks "in order to avoid implementing kernels for both CSR
+// and CSC formats" (Listing 5). All accessors are usable inside parallel
+// kernels; iteration over nnz() entries replaces the dense GEMV loops.
+#pragma once
+
+#include "parallel/macros.hpp"
+#include "parallel/view.hpp"
+
+#include <cstddef>
+
+namespace pspl::sparse {
+
+class Coo
+{
+public:
+    using IdxType = View1D<int>;
+    using ValueType = View1D<double>;
+
+    Coo() = default;
+
+    Coo(std::size_t nrows, std::size_t ncols, IdxType rows_idx, IdxType cols_idx,
+        ValueType values)
+        : m_nrows(nrows)
+        , m_ncols(ncols)
+        , m_rows_idx(std::move(rows_idx))
+        , m_cols_idx(std::move(cols_idx))
+        , m_values(std::move(values))
+    {
+    }
+
+    PSPL_FUNCTION std::size_t nnz() const { return m_values.extent(0); }
+    PSPL_FUNCTION std::size_t nrows() const { return m_nrows; }
+    PSPL_FUNCTION std::size_t ncols() const { return m_ncols; }
+    PSPL_FUNCTION const IdxType& rows_idx() const { return m_rows_idx; }
+    PSPL_FUNCTION const IdxType& cols_idx() const { return m_cols_idx; }
+    PSPL_FUNCTION const ValueType& values() const { return m_values; }
+
+    /// Extract the entries of a dense matrix with |a_ij| > threshold.
+    /// The paper uses this to exploit the exponential decay of
+    /// beta = Q^{-1} gamma: a (999,1) block keeps only ~48 nonzeros.
+    static Coo from_dense(const View2D<double>& a, double threshold = 0.0);
+
+    /// Scatter back to a dense matrix (testing / debugging aid).
+    View2D<double> to_dense() const;
+
+    /// y -= this * x  (the fused-kernel SpMV of Listing 6, serial, one RHS).
+    template <class XView, class YView>
+    PSPL_INLINE_FUNCTION void spmv_sub(const XView& x, const YView& y) const
+    {
+        for (std::size_t nz = 0; nz < nnz(); ++nz) {
+            const auto r = static_cast<std::size_t>(m_rows_idx(nz));
+            const auto c = static_cast<std::size_t>(m_cols_idx(nz));
+            y(r) -= m_values(nz) * x(c);
+        }
+    }
+
+private:
+    std::size_t m_nrows = 0;
+    std::size_t m_ncols = 0;
+    IdxType m_rows_idx;
+    IdxType m_cols_idx;
+    ValueType m_values;
+};
+
+} // namespace pspl::sparse

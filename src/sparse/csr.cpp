@@ -1,0 +1,59 @@
+#include "sparse/csr.hpp"
+
+#include <cmath>
+#include <vector>
+
+namespace pspl::sparse {
+
+Csr Csr::from_dense(const View2D<double>& a, double threshold)
+{
+    const std::size_t nrows = a.extent(0);
+    const std::size_t ncols = a.extent(1);
+    std::vector<int> rp(nrows + 1, 0);
+    std::vector<int> ci;
+    std::vector<double> vals;
+    for (std::size_t i = 0; i < nrows; ++i) {
+        for (std::size_t j = 0; j < ncols; ++j) {
+            if (std::abs(a(i, j)) > threshold) {
+                ci.push_back(static_cast<int>(j));
+                vals.push_back(a(i, j));
+            }
+        }
+        rp[i + 1] = static_cast<int>(vals.size());
+    }
+    View1D<int> row_ptr("csr_row_ptr", nrows + 1);
+    View1D<int> col_idx("csr_col_idx", ci.size());
+    View1D<double> values("csr_values", vals.size());
+    for (std::size_t i = 0; i <= nrows; ++i) {
+        row_ptr(i) = rp[i];
+    }
+    for (std::size_t k = 0; k < vals.size(); ++k) {
+        col_idx(k) = ci[k];
+        values(k) = vals[k];
+    }
+    return Csr(nrows, ncols, row_ptr, col_idx, values);
+}
+
+View2D<double> Csr::to_dense() const
+{
+    View2D<double> a("csr_dense", m_nrows, m_ncols);
+    for (std::size_t i = 0; i < m_nrows; ++i) {
+        for (int k = m_row_ptr(i); k < m_row_ptr(i + 1); ++k) {
+            a(i, static_cast<std::size_t>(m_col_idx(static_cast<std::size_t>(k))))
+                    += m_values(static_cast<std::size_t>(k));
+        }
+    }
+    return a;
+}
+
+double Csr::at(std::size_t i, std::size_t j) const
+{
+    for (int k = m_row_ptr(i); k < m_row_ptr(i + 1); ++k) {
+        if (m_col_idx(static_cast<std::size_t>(k)) == static_cast<int>(j)) {
+            return m_values(static_cast<std::size_t>(k));
+        }
+    }
+    return 0.0;
+}
+
+} // namespace pspl::sparse

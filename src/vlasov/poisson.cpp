@@ -1,0 +1,80 @@
+#include "vlasov/poisson.hpp"
+
+#include "parallel/macros.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace pspl::vlasov {
+
+Poisson1DPeriodic::Poisson1DPeriodic(const bsplines::BSplineBasis& basis_x)
+    : m_length(basis_x.length())
+{
+    PSPL_EXPECT(basis_x.is_periodic(),
+                "Poisson1DPeriodic: basis must be periodic");
+    const std::size_t n = basis_x.nbasis();
+    const auto pts = basis_x.interpolation_points();
+
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) { return pts[a] < pts[b]; });
+
+    m_order = View1D<int>("poisson_order", n);
+    m_dx = View1D<double>("poisson_dx", n);
+    for (std::size_t s = 0; s < n; ++s) {
+        m_order(s) = static_cast<int>(order[s]);
+        const double here = pts[order[s]];
+        const double next = s + 1 < n ? pts[order[s + 1]]
+                                      : pts[order[0]] + m_length;
+        m_dx(s) = next - here;
+    }
+}
+
+void Poisson1DPeriodic::solve(const View1D<double>& rho,
+                              const View1D<double>& efield) const
+{
+    const std::size_t nn = n();
+    PSPL_EXPECT(rho.extent(0) == nn && efield.extent(0) == nn,
+                "Poisson1DPeriodic: extent mismatch");
+
+    // Mean charge (dx-weighted so non-uniform point spacing is handled).
+    double mean = 0.0;
+    for (std::size_t s = 0; s < nn; ++s) {
+        mean += rho(static_cast<std::size_t>(m_order(s))) * m_dx(s);
+    }
+    mean /= m_length;
+
+    // Cumulative trapezoid integral in sorted order (spectrally accurate on
+    // periodic data), then remove the mean of E.
+    double acc = 0.0;
+    efield(static_cast<std::size_t>(m_order(0))) = 0.0;
+    for (std::size_t s = 0; s + 1 < nn; ++s) {
+        const auto i = static_cast<std::size_t>(m_order(s));
+        const auto inext = static_cast<std::size_t>(m_order(s + 1));
+        acc += 0.5 * ((rho(i) - mean) + (rho(inext) - mean)) * m_dx(s);
+        efield(inext) = acc;
+    }
+    double esum = 0.0;
+    for (std::size_t s = 0; s < nn; ++s) {
+        const auto i = static_cast<std::size_t>(m_order(s));
+        esum += efield(i) * m_dx(s);
+    }
+    esum /= m_length;
+    for (std::size_t s = 0; s < nn; ++s) {
+        const auto i = static_cast<std::size_t>(m_order(s));
+        efield(i) -= esum;
+    }
+}
+
+double Poisson1DPeriodic::field_energy(const View1D<double>& efield) const
+{
+    double e2 = 0.0;
+    for (std::size_t s = 0; s < n(); ++s) {
+        const auto i = static_cast<std::size_t>(m_order(s));
+        e2 += efield(i) * efield(i) * m_dx(s);
+    }
+    return 0.5 * e2;
+}
+
+} // namespace pspl::vlasov

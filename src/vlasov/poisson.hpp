@@ -1,0 +1,42 @@
+// 1-D periodic Poisson/electric-field solver for Vlasov-Poisson systems:
+//     dE/dx = rho(x) - <rho>,   <E> = 0.
+// rho is given at the spline interpolation points of a periodic basis
+// (which are a cyclic rotation of sorted order for Greville points); the
+// field is integrated in sorted order and returned at the same points.
+//
+// This is the Poisson substrate of the paper's motivating application
+// ("solving 5D Vlasov and 3D Poisson equations"); a 1-D field solve
+// suffices for the 1D1V benchmarks.
+#pragma once
+
+#include "bsplines/basis.hpp"
+#include "parallel/view.hpp"
+
+#include <cstddef>
+#include <vector>
+
+namespace pspl::vlasov {
+
+class Poisson1DPeriodic
+{
+public:
+    Poisson1DPeriodic() = default;
+
+    explicit Poisson1DPeriodic(const bsplines::BSplineBasis& basis_x);
+
+    std::size_t n() const { return m_dx.is_allocated() ? m_dx.extent(0) : 0; }
+
+    /// Solve dE/dx = rho - <rho> with zero-mean E. `rho` and `efield` are
+    /// indexed like the basis interpolation points (rho(i) at point i).
+    void solve(const View1D<double>& rho, const View1D<double>& efield) const;
+
+    /// 0.5 * integral E^2 dx (midpoint rule on the sorted grid).
+    double field_energy(const View1D<double>& efield) const;
+
+private:
+    View1D<int> m_order;  ///< sorted-order permutation of the points
+    View1D<double> m_dx;  ///< cell width assigned to each sorted point
+    double m_length = 0.0;
+};
+
+} // namespace pspl::vlasov

@@ -1,0 +1,267 @@
+// Tests for clamped (open-knot-vector, non-periodic) B-splines: basis
+// properties, Greville collocation, the corner-free (k = 0) solver path,
+// interpolation accuracy, boundary behaviour and spline quadrature.
+#include "bsplines/collocation.hpp"
+#include "bsplines/knots.hpp"
+#include "core/matrix_structure.hpp"
+#include "core/schur_solver.hpp"
+#include "core/spline_builder.hpp"
+#include "core/spline_evaluator.hpp"
+#include "parallel/deep_copy.hpp"
+#include "parallel/subview.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <tuple>
+
+namespace {
+
+using namespace pspl;
+using bsplines::BSplineBasis;
+using bsplines::Boundary;
+using core::SplineBuilder;
+using core::SplineEvaluator;
+
+class ClampedParam
+    : public ::testing::TestWithParam<std::tuple<int, bool>>
+{
+protected:
+    BSplineBasis make(std::size_t ncells) const
+    {
+        const auto [degree, uniform] = GetParam();
+        if (uniform) {
+            return BSplineBasis::clamped_uniform(degree, ncells, 0.0, 2.0);
+        }
+        return BSplineBasis::clamped_non_uniform(
+                degree, bsplines::stretched_breaks(ncells, 0.0, 2.0, 0.4));
+    }
+};
+
+TEST_P(ClampedParam, BasisCountAndBoundaryFlags)
+{
+    const auto basis = make(20);
+    const auto [degree, uniform] = GetParam();
+    (void)uniform;
+    EXPECT_FALSE(basis.is_periodic());
+    EXPECT_EQ(basis.boundary(), Boundary::Clamped);
+    EXPECT_EQ(basis.nbasis(), 20u + static_cast<std::size_t>(degree));
+}
+
+TEST_P(ClampedParam, PartitionOfUnityIncludingBoundaries)
+{
+    const auto basis = make(16);
+    std::vector<double> vals(static_cast<std::size_t>(basis.degree()) + 1);
+    for (int s = 0; s <= 400; ++s) {
+        const double x = 2.0 * static_cast<double>(s) / 400.0;
+        basis.eval_basis(x, vals.data());
+        double sum = 0.0;
+        for (const double v : vals) {
+            EXPECT_GE(v, -1e-14);
+            sum += v;
+        }
+        EXPECT_NEAR(sum, 1.0, 1e-12) << "x=" << x;
+    }
+}
+
+TEST_P(ClampedParam, EndpointBasisIsInterpolatory)
+{
+    // With an open knot vector, the first basis function equals 1 at xmin
+    // and the last equals 1 at xmax.
+    const auto basis = make(12);
+    std::vector<double> vals(static_cast<std::size_t>(basis.degree()) + 1);
+    const long jmin0 = basis.eval_basis(basis.xmin(), vals.data());
+    EXPECT_EQ(basis.basis_index(jmin0), 0u);
+    EXPECT_NEAR(vals[0], 1.0, 1e-14);
+
+    const long jmin1 = basis.eval_basis(basis.xmax(), vals.data());
+    EXPECT_EQ(basis.basis_index(jmin1 + basis.degree()), basis.nbasis() - 1);
+    EXPECT_NEAR(vals[static_cast<std::size_t>(basis.degree())], 1.0, 1e-14);
+}
+
+TEST_P(ClampedParam, GrevillePointsSpanClosedDomain)
+{
+    const auto basis = make(24);
+    const auto pts = basis.interpolation_points();
+    ASSERT_EQ(pts.size(), basis.nbasis());
+    EXPECT_DOUBLE_EQ(pts.front(), basis.xmin());
+    EXPECT_DOUBLE_EQ(pts.back(), basis.xmax());
+    for (std::size_t i = 0; i + 1 < pts.size(); ++i) {
+        EXPECT_LT(pts[i], pts[i + 1]); // strictly increasing, no wrap
+    }
+}
+
+TEST_P(ClampedParam, CollocationMatrixHasNoCorners)
+{
+    const auto basis = make(32);
+    const auto a = bsplines::collocation_matrix(basis);
+    const auto s = core::analyze_structure(a);
+    EXPECT_EQ(s.corner_width, 0u);
+    EXPECT_LE(s.kl + s.ku, 2u * static_cast<std::size_t>(basis.degree()));
+    core::SchurSolver solver(a);
+    EXPECT_EQ(solver.device_data().k, 0u);
+}
+
+TEST_P(ClampedParam, InterpolationPropertyHolds)
+{
+    const auto basis = make(40);
+    const std::size_t n = basis.nbasis();
+    SplineBuilder builder(basis);
+    View2D<double> b("b", n, 3);
+    const auto pts = basis.interpolation_points();
+    auto f = [](double x, std::size_t j) {
+        return std::exp(-x) * std::sin(3.0 * x + static_cast<double>(j));
+    };
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < 3; ++j) {
+            b(i, j) = f(pts[i], j);
+        }
+    }
+    const auto values = clone(b);
+    builder.build_inplace(b);
+    SplineEvaluator eval(basis);
+    for (std::size_t j = 0; j < 3; ++j) {
+        auto coeffs = subview(b, ALL, j);
+        for (std::size_t i = 0; i < n; ++i) {
+            EXPECT_NEAR(eval(pts[i], coeffs), values(i, j), 1e-11);
+        }
+    }
+}
+
+TEST_P(ClampedParam, ConvergesAtExpectedOrder)
+{
+    const auto [degree, uniform] = GetParam();
+    auto max_err = [&](std::size_t ncells) {
+        const auto basis =
+                uniform ? BSplineBasis::clamped_uniform(degree, ncells, 0.0,
+                                                        2.0)
+                        : BSplineBasis::clamped_non_uniform(
+                                  degree, bsplines::stretched_breaks(
+                                                  ncells, 0.0, 2.0, 0.4));
+        const std::size_t n = basis.nbasis();
+        SplineBuilder builder(basis);
+        View2D<double> b("b", n, 1);
+        const auto pts = basis.interpolation_points();
+        auto f = [](double x) { return std::sin(2.5 * x) + 0.2 * x; };
+        for (std::size_t i = 0; i < n; ++i) {
+            b(i, 0) = f(pts[i]);
+        }
+        builder.build_inplace(b);
+        SplineEvaluator eval(basis);
+        auto coeffs = subview(b, ALL, std::size_t{0});
+        double err = 0.0;
+        for (int s = 0; s <= 2000; ++s) {
+            const double x = 2.0 * static_cast<double>(s) / 2000.0;
+            err = std::max(err, std::abs(eval(x, coeffs) - f(x)));
+        }
+        return err;
+    };
+    const double e1 = max_err(32);
+    const double e2 = max_err(64);
+    EXPECT_GT(e1 / e2, std::pow(2.0, degree + 1) / 4.0)
+            << "e1=" << e1 << " e2=" << e2;
+}
+
+TEST_P(ClampedParam, EvaluatorClampsOutsideDomain)
+{
+    const auto basis = make(16);
+    const std::size_t n = basis.nbasis();
+    View1D<double> coeffs("c", n);
+    deep_copy(coeffs, 1.0);
+    SplineEvaluator eval(basis);
+    // Constant spline: inside and (clamped) outside all evaluate to 1.
+    EXPECT_NEAR(eval(-5.0, coeffs), 1.0, 1e-13);
+    EXPECT_NEAR(eval(7.0, coeffs), 1.0, 1e-13);
+}
+
+INSTANTIATE_TEST_SUITE_P(DegreesGrids, ClampedParam,
+                         ::testing::Combine(::testing::Values(3, 4, 5),
+                                            ::testing::Bool()),
+                         [](const auto& info) {
+                             const int d = std::get<0>(info.param);
+                             const bool u = std::get<1>(info.param);
+                             return std::string("deg") + std::to_string(d)
+                                    + (u ? "_uniform" : "_nonuniform");
+                         });
+
+TEST(ClampedBasis, LinearDegreeOneIsPiecewiseLinearInterpolation)
+{
+    const auto basis = BSplineBasis::clamped_uniform(1, 10, 0.0, 1.0);
+    EXPECT_EQ(basis.nbasis(), 11u);
+    // Degree-1 clamped splines at Greville points = hat functions at the
+    // grid nodes: the collocation matrix is the identity.
+    const auto a = bsplines::collocation_matrix(basis);
+    for (std::size_t i = 0; i < 11; ++i) {
+        for (std::size_t j = 0; j < 11; ++j) {
+            EXPECT_NEAR(a(i, j), i == j ? 1.0 : 0.0, 1e-14);
+        }
+    }
+}
+
+TEST(ClampedBasis, IntegralsSumToDomainLength)
+{
+    for (const int degree : {1, 2, 3, 4, 5}) {
+        const auto basis = BSplineBasis::clamped_uniform(degree, 13, -1.0, 3.0);
+        double total = 0.0;
+        for (std::size_t i = 0; i < basis.nbasis(); ++i) {
+            total += basis.basis_integral(i);
+        }
+        // Partition of unity integrates to the domain length.
+        EXPECT_NEAR(total, 4.0, 1e-12) << "degree " << degree;
+    }
+}
+
+TEST(PeriodicBasis, IntegralsSumToDomainLength)
+{
+    for (const int degree : {3, 4, 5}) {
+        const auto basis = BSplineBasis::uniform(degree, 17, 0.0, 2.0);
+        double total = 0.0;
+        for (std::size_t i = 0; i < basis.nbasis(); ++i) {
+            total += basis.basis_integral(i);
+        }
+        EXPECT_NEAR(total, 2.0, 1e-12) << "degree " << degree;
+    }
+}
+
+TEST(SplineQuadrature, ExactForInterpolatedPolynomialClamped)
+{
+    // A degree-3 spline represents cubics exactly on a clamped basis; the
+    // analytic integral must match.
+    const auto basis = BSplineBasis::clamped_uniform(3, 16, 0.0, 1.0);
+    const std::size_t n = basis.nbasis();
+    SplineBuilder builder(basis);
+    View2D<double> b("b", n, 1);
+    const auto pts = basis.interpolation_points();
+    auto f = [](double x) { return x * x * x - 0.5 * x + 2.0; };
+    for (std::size_t i = 0; i < n; ++i) {
+        b(i, 0) = f(pts[i]);
+    }
+    builder.build_inplace(b);
+    SplineEvaluator eval(basis);
+    auto coeffs = subview(b, ALL, std::size_t{0});
+    // Integral of x^3 - 0.5x + 2 on [0,1] = 1/4 - 1/4 + 2 = 2.
+    EXPECT_NEAR(eval.integrate(coeffs), 2.0, 1e-12);
+    // And the spline itself reproduces the cubic pointwise.
+    for (int s = 0; s <= 100; ++s) {
+        const double x = static_cast<double>(s) / 100.0;
+        EXPECT_NEAR(eval(x, coeffs), f(x), 1e-11);
+    }
+}
+
+TEST(SplineQuadrature, PeriodicIntegralOfSinIsZero)
+{
+    const auto basis = BSplineBasis::uniform(3, 64, 0.0, 1.0);
+    SplineBuilder builder(basis);
+    View2D<double> b("b", 64, 1);
+    const auto pts = basis.interpolation_points();
+    for (std::size_t i = 0; i < 64; ++i) {
+        b(i, 0) = std::sin(2.0 * std::numbers::pi * pts[i]) + 3.0;
+    }
+    builder.build_inplace(b);
+    SplineEvaluator eval(basis);
+    auto coeffs = subview(b, ALL, std::size_t{0});
+    EXPECT_NEAR(eval.integrate(coeffs), 3.0, 1e-10);
+}
+
+} // namespace

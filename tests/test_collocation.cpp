@@ -1,0 +1,153 @@
+// Tests for the collocation matrix assembly: Fig. 1 sparsity, row sums,
+// and the Table I matrix classes recovered by structure analysis.
+#include "bsplines/collocation.hpp"
+#include "bsplines/knots.hpp"
+#include "core/matrix_structure.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+namespace {
+
+using pspl::View2D;
+using pspl::bsplines::BSplineBasis;
+using pspl::bsplines::collocation_matrix;
+using pspl::bsplines::sparsity_pattern;
+using pspl::bsplines::stretched_breaks;
+using pspl::core::analyze_structure;
+using pspl::core::SolverKind;
+
+TEST(Collocation, RowsSumToOne)
+{
+    // Partition of unity evaluated at the interpolation points: every row
+    // of A sums to exactly 1.
+    for (const int degree : {3, 4, 5}) {
+        const auto basis = BSplineBasis::uniform(degree, 24, 0.0, 1.0);
+        const auto a = collocation_matrix(basis);
+        for (std::size_t i = 0; i < a.extent(0); ++i) {
+            double sum = 0.0;
+            for (std::size_t j = 0; j < a.extent(1); ++j) {
+                sum += a(i, j);
+            }
+            EXPECT_NEAR(sum, 1.0, 1e-12) << "degree " << degree << " row " << i;
+        }
+    }
+}
+
+TEST(Collocation, UniformCubicIsTridiagonalPlusCorners)
+{
+    const std::size_t n = 20;
+    const auto basis = BSplineBasis::uniform(3, n, 0.0, 1.0);
+    const auto a = collocation_matrix(basis);
+    // Each row has exactly 3 nonzeros: 1/6, 2/3, 1/6 cyclically.
+    for (std::size_t i = 0; i < n; ++i) {
+        std::size_t nnz = 0;
+        for (std::size_t j = 0; j < n; ++j) {
+            if (std::abs(a(i, j)) > 1e-14) {
+                ++nnz;
+                EXPECT_TRUE(std::abs(a(i, j) - 1.0 / 6.0) < 1e-12
+                            || std::abs(a(i, j) - 2.0 / 3.0) < 1e-12)
+                        << a(i, j);
+            }
+        }
+        EXPECT_EQ(nnz, 3u) << "row " << i;
+    }
+    // Wrap-around corners must exist (periodicity).
+    const auto s = analyze_structure(a);
+    EXPECT_GE(s.corner_width, 1u);
+}
+
+TEST(Collocation, PatternStringShape)
+{
+    const auto basis = BSplineBasis::uniform(3, 8, 0.0, 1.0);
+    const auto a = collocation_matrix(basis);
+    const auto pat = sparsity_pattern(a);
+    // 8 rows of 8 chars + newline each.
+    EXPECT_EQ(pat.size(), 8u * 9u);
+    std::size_t stars = 0;
+    for (const char c : pat) {
+        stars += (c == '*');
+    }
+    EXPECT_EQ(stars, 24u); // 3 nonzeros per row
+}
+
+class TableIParam
+    : public ::testing::TestWithParam<std::tuple<int, bool, SolverKind>>
+{
+};
+
+TEST_P(TableIParam, StructureAnalysisReproducesTableI)
+{
+    const auto [degree, uniform, expected] = GetParam();
+    const std::size_t n = 64;
+    const auto basis = uniform
+                               ? BSplineBasis::uniform(degree, n, 0.0, 1.0)
+                               : BSplineBasis::non_uniform(
+                                         degree,
+                                         stretched_breaks(n, 0.0, 1.0, 0.5));
+    const auto a = collocation_matrix(basis);
+    const auto s = analyze_structure(a);
+    EXPECT_EQ(s.recommended, expected)
+            << "degree " << degree << (uniform ? " uniform" : " non-uniform")
+            << " got " << to_string(s.recommended);
+    EXPECT_GT(s.corner_width, 0u);
+    EXPECT_LE(s.corner_width, static_cast<std::size_t>(degree));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+        TableI, TableIParam,
+        ::testing::Values(
+                // Table I: uniform degree 3 -> PDS tridiagonal (pttrs)
+                std::make_tuple(3, true, SolverKind::PTTRS),
+                // uniform degree 4, 5 -> PDS banded (pbtrs)
+                std::make_tuple(4, true, SolverKind::PBTRS),
+                std::make_tuple(5, true, SolverKind::PBTRS),
+                // non-uniform degrees -> general banded (gbtrs)
+                std::make_tuple(3, false, SolverKind::GBTRS),
+                std::make_tuple(4, false, SolverKind::GBTRS),
+                std::make_tuple(5, false, SolverKind::GBTRS)),
+        [](const auto& info) {
+            const int d = std::get<0>(info.param);
+            const bool u = std::get<1>(info.param);
+            (void)std::get<2>(info.param);
+            return std::string("deg") + std::to_string(d)
+                   + (u ? "_uniform" : "_nonuniform");
+        });
+
+TEST(Collocation, CustomPointsOverload)
+{
+    const auto basis = BSplineBasis::uniform(3, 12, 0.0, 1.0);
+    const auto pts = basis.interpolation_points();
+    const auto a1 = collocation_matrix(basis);
+    const auto a2 = collocation_matrix(basis, pts);
+    for (std::size_t i = 0; i < 12; ++i) {
+        for (std::size_t j = 0; j < 12; ++j) {
+            EXPECT_DOUBLE_EQ(a1(i, j), a2(i, j));
+        }
+    }
+}
+
+TEST(Collocation, MatrixIsWellConditionedDiagonallyDominantish)
+{
+    // The spline interpolation matrix is well conditioned (paper cites
+    // [33]); sanity-check that the diagonal entry dominates its row for the
+    // uniform cubic case.
+    const auto basis = BSplineBasis::uniform(3, 32, 0.0, 1.0);
+    const auto a = collocation_matrix(basis);
+    for (std::size_t i = 0; i < a.extent(0); ++i) {
+        double diag = 0.0;
+        double off = 0.0;
+        for (std::size_t j = 0; j < a.extent(1); ++j) {
+            // The interpolation point of row i collocates basis j=i+shift
+            // cyclically; find the max entry instead of assuming the shift.
+            diag = std::max(diag, std::abs(a(i, j)));
+            off += std::abs(a(i, j));
+        }
+        off -= diag;
+        EXPECT_GT(diag, off);
+    }
+}
+
+} // namespace

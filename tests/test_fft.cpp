@@ -1,0 +1,211 @@
+// Tests for the FFT substrate: agreement with a naive DFT for power-of-two
+// and arbitrary lengths (Bluestein), roundtrip, Parseval, linearity, and
+// the spectral Poisson solver against the quadrature-based one.
+#include "fft/fft.hpp"
+#include "fft/spectral_poisson.hpp"
+#include "bsplines/knots.hpp"
+#include "vlasov/poisson.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <numbers>
+#include <random>
+#include <vector>
+
+namespace {
+
+using namespace pspl;
+using cplx = std::complex<double>;
+
+std::vector<cplx> naive_dft(const std::vector<cplx>& x, bool inverse)
+{
+    const std::size_t n = x.size();
+    const double sign = inverse ? 1.0 : -1.0;
+    std::vector<cplx> out(n, {0.0, 0.0});
+    for (std::size_t k = 0; k < n; ++k) {
+        for (std::size_t m = 0; m < n; ++m) {
+            const double ang = sign * 2.0 * std::numbers::pi
+                               * static_cast<double>(k * m)
+                               / static_cast<double>(n);
+            out[k] += x[m] * cplx(std::cos(ang), std::sin(ang));
+        }
+        if (inverse) {
+            out[k] /= static_cast<double>(n);
+        }
+    }
+    return out;
+}
+
+std::vector<cplx> random_signal(std::size_t n, unsigned seed)
+{
+    std::mt19937 rng(seed);
+    std::uniform_real_distribution<double> dist(-1.0, 1.0);
+    std::vector<cplx> x(n);
+    for (auto& v : x) {
+        v = cplx(dist(rng), dist(rng));
+    }
+    return x;
+}
+
+class FftSized : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(FftSized, MatchesNaiveDft)
+{
+    const std::size_t n = GetParam();
+    auto x = random_signal(n, 5 + static_cast<unsigned>(n));
+    const auto ref = naive_dft(x, false);
+    fft::transform(x, fft::Direction::Forward);
+    for (std::size_t k = 0; k < n; ++k) {
+        EXPECT_NEAR(x[k].real(), ref[k].real(), 1e-9 * static_cast<double>(n))
+                << "k=" << k;
+        EXPECT_NEAR(x[k].imag(), ref[k].imag(), 1e-9 * static_cast<double>(n));
+    }
+}
+
+TEST_P(FftSized, RoundTripIsIdentity)
+{
+    const std::size_t n = GetParam();
+    auto x = random_signal(n, 11 + static_cast<unsigned>(n));
+    const auto orig = x;
+    fft::transform(x, fft::Direction::Forward);
+    fft::transform(x, fft::Direction::Backward);
+    for (std::size_t k = 0; k < n; ++k) {
+        EXPECT_NEAR(x[k].real(), orig[k].real(), 1e-11);
+        EXPECT_NEAR(x[k].imag(), orig[k].imag(), 1e-11);
+    }
+}
+
+TEST_P(FftSized, ParsevalHolds)
+{
+    const std::size_t n = GetParam();
+    auto x = random_signal(n, 23 + static_cast<unsigned>(n));
+    double time_energy = 0.0;
+    for (const auto& v : x) {
+        time_energy += std::norm(v);
+    }
+    fft::transform(x, fft::Direction::Forward);
+    double freq_energy = 0.0;
+    for (const auto& v : x) {
+        freq_energy += std::norm(v);
+    }
+    EXPECT_NEAR(freq_energy, time_energy * static_cast<double>(n),
+                1e-9 * time_energy * static_cast<double>(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, FftSized,
+                         ::testing::Values(1, 2, 3, 4, 7, 8, 12, 16, 37, 64,
+                                           100, 128, 1000));
+
+TEST(Fft, PureToneLandsInSingleBin)
+{
+    const std::size_t n = 64;
+    std::vector<cplx> x(n);
+    const std::size_t tone = 5;
+    for (std::size_t m = 0; m < n; ++m) {
+        const double ang = 2.0 * std::numbers::pi * static_cast<double>(tone)
+                           * static_cast<double>(m) / static_cast<double>(n);
+        x[m] = cplx(std::cos(ang), std::sin(ang));
+    }
+    fft::transform(x, fft::Direction::Forward);
+    for (std::size_t k = 0; k < n; ++k) {
+        if (k == tone) {
+            EXPECT_NEAR(x[k].real(), static_cast<double>(n), 1e-9);
+        } else {
+            EXPECT_NEAR(std::abs(x[k]), 0.0, 1e-9);
+        }
+    }
+}
+
+TEST(Fft, LinearityAndRealInput)
+{
+    const std::size_t n = 100; // Bluestein path
+    std::vector<double> r(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        r[i] = std::sin(0.17 * static_cast<double>(i));
+    }
+    const auto spec = fft::forward_real(r);
+    ASSERT_EQ(spec.size(), n);
+    // Real input => Hermitian spectrum: X_k = conj(X_{n-k}).
+    for (std::size_t k = 1; k < n; ++k) {
+        EXPECT_NEAR(spec[k].real(), spec[n - k].real(), 1e-9);
+        EXPECT_NEAR(spec[k].imag(), -spec[n - k].imag(), 1e-9);
+    }
+    EXPECT_TRUE(fft::is_pow2(64));
+    EXPECT_FALSE(fft::is_pow2(100));
+    EXPECT_FALSE(fft::is_pow2(0));
+}
+
+TEST(SpectralPoisson, MatchesAnalyticField)
+{
+    const double k = 0.5;
+    const double lx = 2.0 * std::numbers::pi / k;
+    const std::size_t n = 64;
+    const auto basis = bsplines::BSplineBasis::uniform(3, n, 0.0, lx);
+    fft::SpectralPoisson1D poisson(basis);
+    View1D<double> rho("rho", n);
+    View1D<double> e("e", n);
+    const auto pts = basis.interpolation_points();
+    const double alpha = 0.3;
+    for (std::size_t i = 0; i < n; ++i) {
+        rho(i) = 2.0 + alpha * std::cos(k * pts[i]);
+    }
+    poisson.solve(rho, e);
+    for (std::size_t i = 0; i < n; ++i) {
+        // Spectral: exact for a single mode.
+        EXPECT_NEAR(e(i), (alpha / k) * std::sin(k * pts[i]), 1e-12);
+    }
+}
+
+TEST(SpectralPoisson, AgreesWithQuadraturePoisson)
+{
+    const std::size_t n = 128;
+    const double lx = 10.0;
+    const auto basis = bsplines::BSplineBasis::uniform(3, n, 0.0, lx);
+    fft::SpectralPoisson1D spectral(basis);
+    vlasov::Poisson1DPeriodic quadrature(basis);
+    View1D<double> rho("rho", n);
+    View1D<double> e1("e1", n);
+    View1D<double> e2("e2", n);
+    const auto pts = basis.interpolation_points();
+    for (std::size_t i = 0; i < n; ++i) {
+        rho(i) = 1.0 + 0.2 * std::sin(2.0 * std::numbers::pi * pts[i] / lx)
+                 + 0.05 * std::cos(6.0 * std::numbers::pi * pts[i] / lx);
+    }
+    spectral.solve(rho, e1);
+    quadrature.solve(rho, e2);
+    for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_NEAR(e1(i), e2(i), 1e-3);
+    }
+}
+
+TEST(SpectralPoisson, OddGridSizeWorks)
+{
+    // Bluestein path: n = 100 is not a power of two; nn odd = 81 too.
+    const std::size_t n = 81;
+    const double lx = 2.0 * std::numbers::pi;
+    const auto basis = bsplines::BSplineBasis::uniform(3, n, 0.0, lx);
+    fft::SpectralPoisson1D poisson(basis);
+    View1D<double> rho("rho", n);
+    View1D<double> e("e", n);
+    const auto pts = basis.interpolation_points();
+    for (std::size_t i = 0; i < n; ++i) {
+        rho(i) = std::cos(3.0 * pts[i]);
+    }
+    poisson.solve(rho, e);
+    for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_NEAR(e(i), std::sin(3.0 * pts[i]) / 3.0, 1e-11);
+    }
+}
+
+TEST(SpectralPoisson, RejectsNonUniformBasis)
+{
+    const auto basis = bsplines::BSplineBasis::non_uniform(
+            3, bsplines::stretched_breaks(32, 0.0, 1.0, 0.3));
+    EXPECT_DEATH(fft::SpectralPoisson1D{basis}, "uniform");
+}
+
+} // namespace

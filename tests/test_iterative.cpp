@@ -1,0 +1,453 @@
+// Tests for the mini-Ginkgo iterative solvers: CG/BiCGStab/GMRES against
+// direct references, block-Jacobi preconditioning, and the chunked
+// multi-RHS driver.
+#include "hostlapack/dense.hpp"
+#include "hostlapack/getrf.hpp"
+#include "iterative/bicgstab.hpp"
+#include "iterative/cg.hpp"
+#include "iterative/bicg.hpp"
+#include "iterative/chunked.hpp"
+#include "iterative/ilu0.hpp"
+#include "iterative/gmres.hpp"
+#include "parallel/deep_copy.hpp"
+#include "sparse/csr.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <vector>
+
+namespace {
+
+using namespace pspl;
+using iterative::BlockJacobi;
+using iterative::ChunkedIterativeSolver;
+using iterative::Config;
+using iterative::IterativeKind;
+
+View2D<double> spd_dense(std::size_t n, unsigned seed)
+{
+    std::mt19937 rng(seed);
+    std::uniform_real_distribution<double> dist(-0.5, 0.5);
+    View2D<double> a("a", n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = i + 1; j < std::min(n, i + 4); ++j) {
+            const double v = dist(rng);
+            a(i, j) = v;
+            a(j, i) = v;
+        }
+        a(i, i) = 4.0;
+    }
+    return a;
+}
+
+View2D<double> nonsym_dense(std::size_t n, unsigned seed)
+{
+    std::mt19937 rng(seed);
+    std::uniform_real_distribution<double> dist(-0.5, 0.5);
+    View2D<double> a("a", n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = i > 2 ? i - 2 : 0; j < std::min(n, i + 4); ++j) {
+            a(i, j) = dist(rng);
+        }
+        a(i, i) = 4.0;
+    }
+    return a;
+}
+
+std::vector<double> direct_solve(const View2D<double>& a,
+                                 const std::vector<double>& b)
+{
+    const std::size_t n = a.extent(0);
+    auto lu = clone(a);
+    View1D<int> ipiv("ipiv", n);
+    EXPECT_EQ(hostlapack::getrf(lu, ipiv), 0);
+    View1D<double> x("x", n);
+    for (std::size_t i = 0; i < n; ++i) {
+        x(i) = b[i];
+    }
+    hostlapack::getrs(lu, ipiv, x);
+    std::vector<double> out(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        out[i] = x(i);
+    }
+    return out;
+}
+
+std::vector<double> wave(std::size_t n, double phase)
+{
+    std::vector<double> b(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        b[i] = std::sin(0.3 * static_cast<double>(i) + phase);
+    }
+    return b;
+}
+
+TEST(Cg, ConvergesOnSpdSystem)
+{
+    const std::size_t n = 60;
+    const auto dense = spd_dense(n, 1);
+    const auto a = sparse::Csr::from_dense(dense, 0.0);
+    const auto b = wave(n, 0.0);
+    const auto ref = direct_solve(dense, b);
+    std::vector<double> x(n, 0.0);
+    Config cfg;
+    cfg.tolerance = 1e-13;
+    const auto r = iterative::cg_solve(a, nullptr, b, x, cfg);
+    EXPECT_TRUE(r.converged);
+    EXPECT_LT(r.relative_residual, 1e-13);
+    for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_NEAR(x[i], ref[i], 1e-10);
+    }
+}
+
+TEST(Cg, PreconditionerReducesIterations)
+{
+    const std::size_t n = 120;
+    const auto dense = spd_dense(n, 2);
+    const auto a = sparse::Csr::from_dense(dense, 0.0);
+    const auto b = wave(n, 0.4);
+    Config cfg;
+    cfg.tolerance = 1e-12;
+
+    std::vector<double> x1(n, 0.0);
+    const auto plain = iterative::cg_solve(a, nullptr, b, x1, cfg);
+    BlockJacobi precond(a, 8);
+    std::vector<double> x2(n, 0.0);
+    const auto prec = iterative::cg_solve(a, &precond, b, x2, cfg);
+
+    EXPECT_TRUE(plain.converged);
+    EXPECT_TRUE(prec.converged);
+    EXPECT_LE(prec.iterations, plain.iterations);
+    for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_NEAR(x1[i], x2[i], 1e-9);
+    }
+}
+
+TEST(BiCGStab, ConvergesOnNonsymmetricSystem)
+{
+    const std::size_t n = 80;
+    const auto dense = nonsym_dense(n, 3);
+    const auto a = sparse::Csr::from_dense(dense, 0.0);
+    const auto b = wave(n, 1.0);
+    const auto ref = direct_solve(dense, b);
+    std::vector<double> x(n, 0.0);
+    Config cfg;
+    cfg.tolerance = 1e-13;
+    const auto r = iterative::bicgstab_solve(a, nullptr, b, x, cfg);
+    EXPECT_TRUE(r.converged);
+    for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_NEAR(x[i], ref[i], 1e-9);
+    }
+}
+
+TEST(Gmres, ConvergesOnNonsymmetricSystem)
+{
+    const std::size_t n = 80;
+    const auto dense = nonsym_dense(n, 4);
+    const auto a = sparse::Csr::from_dense(dense, 0.0);
+    const auto b = wave(n, 2.0);
+    const auto ref = direct_solve(dense, b);
+    std::vector<double> x(n, 0.0);
+    Config cfg;
+    cfg.tolerance = 1e-13;
+    const auto r = iterative::gmres_solve(a, nullptr, b, x, cfg);
+    EXPECT_TRUE(r.converged);
+    for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_NEAR(x[i], ref[i], 1e-9);
+    }
+}
+
+TEST(Gmres, RestartStillConverges)
+{
+    const std::size_t n = 100;
+    const auto dense = nonsym_dense(n, 5);
+    const auto a = sparse::Csr::from_dense(dense, 0.0);
+    const auto b = wave(n, 0.1);
+    std::vector<double> x(n, 0.0);
+    Config cfg;
+    cfg.tolerance = 1e-12;
+    cfg.restart = 5; // force several restart cycles
+    const auto r = iterative::gmres_solve(a, nullptr, b, x, cfg);
+    EXPECT_TRUE(r.converged);
+    EXPECT_LT(r.relative_residual, 1e-12);
+}
+
+TEST(Solvers, ZeroRhsGivesZeroSolution)
+{
+    const std::size_t n = 20;
+    const auto a = sparse::Csr::from_dense(spd_dense(n, 6), 0.0);
+    const std::vector<double> b(n, 0.0);
+    Config cfg;
+    for (int which = 0; which < 3; ++which) {
+        std::vector<double> x(n, 5.0); // nonzero guess must be reset
+        iterative::ColumnResult r;
+        if (which == 0) {
+            r = iterative::cg_solve(a, nullptr, b, x, cfg);
+        } else if (which == 1) {
+            r = iterative::bicgstab_solve(a, nullptr, b, x, cfg);
+        } else {
+            r = iterative::gmres_solve(a, nullptr, b, x, cfg);
+        }
+        EXPECT_TRUE(r.converged);
+        EXPECT_EQ(r.iterations, 0u);
+        for (std::size_t i = 0; i < n; ++i) {
+            EXPECT_EQ(x[i], 0.0);
+        }
+    }
+}
+
+TEST(Solvers, GoodInitialGuessConvergesInstantly)
+{
+    const std::size_t n = 40;
+    const auto dense = spd_dense(n, 7);
+    const auto a = sparse::Csr::from_dense(dense, 0.0);
+    const auto b = wave(n, 0.9);
+    const auto ref = direct_solve(dense, b);
+    std::vector<double> x = ref; // exact guess
+    Config cfg;
+    cfg.tolerance = 1e-10;
+    const auto r = iterative::cg_solve(a, nullptr, b, x, cfg);
+    EXPECT_TRUE(r.converged);
+    EXPECT_EQ(r.iterations, 0u);
+}
+
+TEST(BlockJacobi, ExactForBlockDiagonalMatrix)
+{
+    // If A itself is block diagonal with blocks <= max_block_size, the
+    // preconditioned residual vanishes after one application.
+    const std::size_t n = 12;
+    const std::size_t bs = 4;
+    std::mt19937 rng(8);
+    std::uniform_real_distribution<double> dist(-1.0, 1.0);
+    View2D<double> dense("a", n, n);
+    for (std::size_t blk = 0; blk < n / bs; ++blk) {
+        for (std::size_t i = 0; i < bs; ++i) {
+            for (std::size_t j = 0; j < bs; ++j) {
+                dense(blk * bs + i, blk * bs + j) = dist(rng);
+            }
+            dense(blk * bs + i, blk * bs + i) += 4.0;
+        }
+    }
+    const auto a = sparse::Csr::from_dense(dense, 0.0);
+    BlockJacobi precond(a, bs);
+    EXPECT_EQ(precond.nblocks(), n / bs);
+
+    const auto b = wave(n, 0.2);
+    const auto ref = direct_solve(dense, b);
+    std::vector<double> z(n);
+    precond.apply(b, z);
+    for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_NEAR(z[i], ref[i], 1e-11);
+    }
+}
+
+TEST(BlockJacobi, RejectsInvalidBlockSize)
+{
+    const auto a = sparse::Csr::from_dense(spd_dense(8, 9), 0.0);
+    EXPECT_DEATH(BlockJacobi(a, 0), "max_block_size");
+    EXPECT_DEATH(BlockJacobi(a, 64), "max_block_size");
+}
+
+TEST(Chunked, SolvesMultiRhsAcrossChunkBoundaries)
+{
+    const std::size_t n = 50;
+    const std::size_t nrhs = 23;
+    const auto dense = nonsym_dense(n, 10);
+    const auto a = sparse::Csr::from_dense(dense, 0.0);
+    Config cfg;
+    cfg.tolerance = 1e-12;
+    // chunk = 7 forces 4 chunks with a ragged tail.
+    ChunkedIterativeSolver solver(a, IterativeKind::BiCGStab, cfg, 7, 4);
+
+    View2D<double> b("b", n, nrhs);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < nrhs; ++j) {
+            b(i, j) = std::cos(0.1 * static_cast<double>(i * nrhs + j));
+        }
+    }
+    const auto rhs_copy = clone(b);
+    const auto stats = solver.solve_inplace(b);
+    EXPECT_TRUE(stats.all_converged);
+    EXPECT_EQ(stats.columns, nrhs);
+    EXPECT_GT(stats.max_iterations, 0u);
+    EXPECT_LE(stats.mean_iterations(),
+              static_cast<double>(stats.max_iterations));
+
+    for (std::size_t j = 0; j < nrhs; ++j) {
+        std::vector<double> col(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            col[i] = rhs_copy(i, j);
+        }
+        const auto ref = direct_solve(dense, col);
+        for (std::size_t i = 0; i < n; ++i) {
+            EXPECT_NEAR(b(i, j), ref[i], 1e-8) << "col " << j;
+        }
+    }
+}
+
+TEST(Chunked, GmresAndBicgstabAgree)
+{
+    const std::size_t n = 40;
+    const std::size_t nrhs = 6;
+    const auto dense = nonsym_dense(n, 11);
+    const auto a = sparse::Csr::from_dense(dense, 0.0);
+    Config cfg;
+    cfg.tolerance = 1e-13;
+
+    View2D<double> b1("b1", n, nrhs);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < nrhs; ++j) {
+            b1(i, j) = std::sin(0.05 * static_cast<double>(i + 3 * j));
+        }
+    }
+    auto b2 = clone(b1);
+
+    ChunkedIterativeSolver s1(a, IterativeKind::GMRES, cfg, 8192, 8);
+    ChunkedIterativeSolver s2(a, IterativeKind::BiCGStab, cfg, 8192, 8);
+    EXPECT_TRUE(s1.solve_inplace(b1).all_converged);
+    EXPECT_TRUE(s2.solve_inplace(b2).all_converged);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < nrhs; ++j) {
+            EXPECT_NEAR(b1(i, j), b2(i, j), 1e-8);
+        }
+    }
+}
+
+TEST(Chunked, KindNames)
+{
+    EXPECT_STREQ(to_string(IterativeKind::CG), "CG");
+    EXPECT_STREQ(to_string(IterativeKind::BiCG), "BiCG");
+    EXPECT_STREQ(to_string(IterativeKind::BiCGStab), "BiCGStab");
+    EXPECT_STREQ(to_string(IterativeKind::GMRES), "GMRES");
+}
+
+TEST(BiCG, ConvergesOnNonsymmetricSystem)
+{
+    const std::size_t n = 70;
+    const auto dense = nonsym_dense(n, 15);
+    const auto a = sparse::Csr::from_dense(dense, 0.0);
+    const auto b = wave(n, 1.3);
+    const auto ref = direct_solve(dense, b);
+    std::vector<double> x(n, 0.0);
+    Config cfg;
+    cfg.tolerance = 1e-12;
+    const auto r = iterative::bicg_solve(a, nullptr, b, x, cfg);
+    EXPECT_TRUE(r.converged);
+    for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_NEAR(x[i], ref[i], 1e-8);
+    }
+}
+
+TEST(BiCG, ReducesToCgIterationsOnSpdSystem)
+{
+    // On an SPD matrix BiCG is mathematically equivalent to CG: iteration
+    // counts must coincide (each BiCG iteration costs an extra A^T apply).
+    const std::size_t n = 90;
+    const auto dense = spd_dense(n, 16);
+    const auto a = sparse::Csr::from_dense(dense, 0.0);
+    const auto b = wave(n, 0.6);
+    Config cfg;
+    cfg.tolerance = 1e-11;
+    std::vector<double> x1(n, 0.0);
+    std::vector<double> x2(n, 0.0);
+    const auto rc = iterative::cg_solve(a, nullptr, b, x1, cfg);
+    const auto rb = iterative::bicg_solve(a, nullptr, b, x2, cfg);
+    EXPECT_TRUE(rc.converged);
+    EXPECT_TRUE(rb.converged);
+    EXPECT_NEAR(static_cast<double>(rc.iterations),
+                static_cast<double>(rb.iterations), 1.0);
+}
+
+TEST(Ilu0, ExactOnBandedMatrixPattern)
+{
+    // With zero fill-in required (banded matrix, full band stored), ILU(0)
+    // IS the LU factorization: a single application solves the system.
+    const std::size_t n = 40;
+    const auto dense = nonsym_dense(n, 17);
+    const auto a = sparse::Csr::from_dense(dense, 0.0);
+    iterative::Ilu0 precond(a);
+    const auto b = wave(n, 0.2);
+    const auto ref = direct_solve(dense, b);
+    std::vector<double> z(n);
+    precond.apply(b, z);
+    for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_NEAR(z[i], ref[i], 1e-9);
+    }
+}
+
+TEST(Ilu0, PreconditionedKrylovConvergesInOneIteration)
+{
+    const std::size_t n = 60;
+    const auto dense = nonsym_dense(n, 18);
+    const auto a = sparse::Csr::from_dense(dense, 0.0);
+    iterative::Ilu0 precond(a);
+    const auto b = wave(n, 0.8);
+    std::vector<double> x(n, 0.0);
+    Config cfg;
+    cfg.tolerance = 1e-12;
+    const auto r = iterative::gmres_solve(a, &precond, b, x, cfg);
+    EXPECT_TRUE(r.converged);
+    EXPECT_LE(r.iterations, 2u);
+}
+
+TEST(Ilu0, BeatsBlockJacobiOnPeriodicSplineMatrix)
+{
+    // The periodic corners are the only entries ILU(0) approximates, so it
+    // needs (far) fewer iterations than block-Jacobi on the spline system.
+    const std::size_t n = 200;
+    View2D<double> dense("a", n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        dense(i, i) = 2.0 / 3.0;
+        dense(i, (i + 1) % n) = 1.0 / 6.0;
+        dense((i + 1) % n, i) = 1.0 / 6.0;
+    }
+    const auto a = sparse::Csr::from_dense(dense, 0.0);
+    const auto b = wave(n, 0.5);
+    Config cfg;
+    cfg.tolerance = 1e-13;
+
+    iterative::Ilu0 ilu(a);
+    BlockJacobi bj(a, 8);
+    std::vector<double> x1(n, 0.0);
+    std::vector<double> x2(n, 0.0);
+    const auto ri = iterative::bicgstab_solve(a, &ilu, b, x1, cfg);
+    const auto rj = iterative::bicgstab_solve(a, &bj, b, x2, cfg);
+    EXPECT_TRUE(ri.converged);
+    EXPECT_TRUE(rj.converged);
+    EXPECT_LT(ri.iterations, rj.iterations);
+}
+
+TEST(Ilu0, ChunkedDriverSupportsIlu0)
+{
+    const std::size_t n = 50;
+    const auto dense = nonsym_dense(n, 19);
+    const auto a = sparse::Csr::from_dense(dense, 0.0);
+    Config cfg;
+    cfg.tolerance = 1e-12;
+    ChunkedIterativeSolver solver(a, IterativeKind::BiCGStab, cfg, 16, 0,
+                                  /*use_ilu0=*/true);
+    View2D<double> b("b", n, 5);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < 5; ++j) {
+            b(i, j) = std::sin(0.21 * static_cast<double>(i + 7 * j));
+        }
+    }
+    const auto rhs_copy = clone(b);
+    const auto stats = solver.solve_inplace(b);
+    EXPECT_TRUE(stats.all_converged);
+    EXPECT_LE(stats.max_iterations, 3u);
+    for (std::size_t j = 0; j < 5; ++j) {
+        std::vector<double> col(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            col[i] = rhs_copy(i, j);
+        }
+        const auto ref = direct_solve(dense, col);
+        for (std::size_t i = 0; i < n; ++i) {
+            EXPECT_NEAR(b(i, j), ref[i], 1e-8);
+        }
+    }
+}
+
+} // namespace

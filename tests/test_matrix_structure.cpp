@@ -1,0 +1,152 @@
+// Unit tests for the banded+corners structure analysis on synthetic
+// matrices with known shape.
+#include "core/matrix_structure.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using pspl::View2D;
+using pspl::core::analyze_structure;
+using pspl::core::SolverKind;
+
+/// Cyclic banded matrix: band [lo, hi] around the diagonal (mod n).
+View2D<double> cyclic_banded(std::size_t n, int lo, int hi, bool symmetric)
+{
+    View2D<double> a("a", n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (int o = -lo; o <= hi; ++o) {
+            const auto j = static_cast<std::size_t>(
+                    ((static_cast<long>(i) + o) % static_cast<long>(n)
+                     + static_cast<long>(n))
+                    % static_cast<long>(n));
+            double v = (o == 0) ? 4.0 : 1.0 / (2.0 + std::abs(o));
+            if (!symmetric && o > 0) {
+                v *= 1.5; // break symmetry
+            }
+            a(i, j) = v;
+        }
+    }
+    return a;
+}
+
+TEST(MatrixStructure, SymmetricCyclicTridiagonalIsPttrs)
+{
+    const auto a = cyclic_banded(32, 1, 1, true);
+    const auto s = analyze_structure(a);
+    EXPECT_EQ(s.corner_width, 1u);
+    EXPECT_EQ(s.kl, 1u);
+    EXPECT_EQ(s.ku, 1u);
+    EXPECT_TRUE(s.q_symmetric);
+    EXPECT_EQ(s.recommended, SolverKind::PTTRS);
+}
+
+TEST(MatrixStructure, SymmetricCyclicPentadiagonalIsPbtrs)
+{
+    const auto a = cyclic_banded(32, 2, 2, true);
+    const auto s = analyze_structure(a);
+    EXPECT_EQ(s.corner_width, 2u);
+    EXPECT_EQ(s.kl, 2u);
+    EXPECT_EQ(s.ku, 2u);
+    EXPECT_TRUE(s.q_symmetric);
+    EXPECT_EQ(s.recommended, SolverKind::PBTRS);
+}
+
+TEST(MatrixStructure, NonSymmetricCyclicBandIsGbtrs)
+{
+    const auto a = cyclic_banded(40, 1, 2, false);
+    const auto s = analyze_structure(a);
+    EXPECT_EQ(s.corner_width, 2u);
+    EXPECT_EQ(s.kl, 1u);
+    EXPECT_EQ(s.ku, 2u);
+    EXPECT_FALSE(s.q_symmetric);
+    EXPECT_EQ(s.recommended, SolverKind::GBTRS);
+}
+
+TEST(MatrixStructure, DenseMatrixFallsBackToGetrs)
+{
+    const std::size_t n = 10;
+    View2D<double> a("a", n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            a(i, j) = 1.0 + static_cast<double>(i * n + j);
+        }
+    }
+    const auto s = analyze_structure(a);
+    EXPECT_EQ(s.recommended, SolverKind::GETRS);
+}
+
+TEST(MatrixStructure, PureBandWithoutCornersHasZeroWidth)
+{
+    const std::size_t n = 24;
+    View2D<double> a("a", n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        a(i, i) = 4.0;
+        if (i + 1 < n) {
+            a(i, i + 1) = 1.0;
+            a(i + 1, i) = 1.0;
+        }
+    }
+    const auto s = analyze_structure(a);
+    EXPECT_EQ(s.corner_width, 0u);
+    EXPECT_EQ(s.kl, 1u);
+    EXPECT_EQ(s.ku, 1u);
+    EXPECT_TRUE(s.q_symmetric);
+    EXPECT_EQ(s.recommended, SolverKind::PTTRS);
+}
+
+TEST(MatrixStructure, AsymmetricCorners)
+{
+    // Band + a single far corner entry on the top right only.
+    const std::size_t n = 30;
+    View2D<double> a("a", n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        a(i, i) = 2.0;
+    }
+    a(0, n - 3) = 1.0; // requires k >= 3
+    const auto s = analyze_structure(a);
+    EXPECT_EQ(s.corner_width, 3u);
+}
+
+TEST(MatrixStructure, ToleranceIgnoresNoise)
+{
+    auto a = cyclic_banded(16, 1, 1, true);
+    // Add sub-tolerance noise everywhere.
+    for (std::size_t i = 0; i < 16; ++i) {
+        for (std::size_t j = 0; j < 16; ++j) {
+            a(i, j) += 1e-16;
+        }
+    }
+    const auto s = analyze_structure(a, 1e-12);
+    EXPECT_EQ(s.corner_width, 1u);
+    EXPECT_EQ(s.kl, 1u);
+    EXPECT_EQ(s.recommended, SolverKind::PTTRS);
+}
+
+TEST(MatrixStructure, NonSymmetricTridiagonalIsGttrs)
+{
+    const std::size_t n = 30;
+    View2D<double> a("a", n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        a(i, i) = 3.0;
+        a(i, (i + 1) % n) = 1.0;
+        a((i + 1) % n, i) = -0.5; // non-symmetric
+    }
+    const auto s = analyze_structure(a);
+    EXPECT_EQ(s.corner_width, 1u);
+    EXPECT_EQ(s.kl, 1u);
+    EXPECT_EQ(s.ku, 1u);
+    EXPECT_FALSE(s.q_symmetric);
+    EXPECT_EQ(s.recommended, SolverKind::GTTRS);
+}
+
+TEST(MatrixStructure, SolverKindNames)
+{
+    EXPECT_STREQ(to_string(SolverKind::PTTRS), "pttrs");
+    EXPECT_STREQ(to_string(SolverKind::GTTRS), "gttrs");
+    EXPECT_STREQ(to_string(SolverKind::PBTRS), "pbtrs");
+    EXPECT_STREQ(to_string(SolverKind::GBTRS), "gbtrs");
+    EXPECT_STREQ(to_string(SolverKind::GETRS), "getrs");
+}
+
+} // namespace

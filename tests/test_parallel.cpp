@@ -1,0 +1,200 @@
+// Unit tests for the execution spaces, parallel dispatch and profiling.
+#include "parallel/parallel.hpp"
+#include "parallel/view.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <string>
+#include <vector>
+
+namespace {
+
+using pspl::MDRangePolicy;
+using pspl::RangePolicy;
+using pspl::View1D;
+using pspl::View2D;
+
+template <class Exec>
+class ParallelTyped : public ::testing::Test
+{
+};
+
+#if defined(PSPL_ENABLE_OPENMP)
+using ExecSpaces = ::testing::Types<pspl::Serial, pspl::OpenMP>;
+#else
+using ExecSpaces = ::testing::Types<pspl::Serial>;
+#endif
+TYPED_TEST_SUITE(ParallelTyped, ExecSpaces);
+
+TYPED_TEST(ParallelTyped, ForVisitsEveryIndexOnce)
+{
+    const std::size_t n = 1000;
+    View1D<int> hits("hits", n);
+    pspl::parallel_for("test_for", RangePolicy<TypeParam>(n),
+                       [=](std::size_t i) { hits(i) += 1; });
+    for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(hits(i), 1) << i;
+    }
+}
+
+TYPED_TEST(ParallelTyped, ForRespectsBeginEnd)
+{
+    const std::size_t n = 100;
+    View1D<int> hits("hits", n);
+    pspl::parallel_for("test_for_range", RangePolicy<TypeParam>(10, 20),
+                       [=](std::size_t i) { hits(i) = 1; });
+    for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(hits(i), (i >= 10 && i < 20) ? 1 : 0);
+    }
+}
+
+TYPED_TEST(ParallelTyped, MDRange2Covers)
+{
+    View2D<int> hits("hits", 13, 17);
+    pspl::parallel_for("test_md2", MDRangePolicy<2, TypeParam>({13, 17}),
+                       [=](std::size_t i, std::size_t j) { hits(i, j) += 1; });
+    for (std::size_t i = 0; i < 13; ++i) {
+        for (std::size_t j = 0; j < 17; ++j) {
+            EXPECT_EQ(hits(i, j), 1);
+        }
+    }
+}
+
+TYPED_TEST(ParallelTyped, MDRange3Covers)
+{
+    pspl::View3D<int> hits("hits", 5, 6, 7);
+    pspl::parallel_for("test_md3", MDRangePolicy<3, TypeParam>({5, 6, 7}),
+                       [=](std::size_t i, std::size_t j, std::size_t k) {
+                           hits(i, j, k) += 1;
+                       });
+    for (std::size_t i = 0; i < 5; ++i) {
+        for (std::size_t j = 0; j < 6; ++j) {
+            for (std::size_t k = 0; k < 7; ++k) {
+                EXPECT_EQ(hits(i, j, k), 1);
+            }
+        }
+    }
+}
+
+TYPED_TEST(ParallelTyped, ReduceSum)
+{
+    const std::size_t n = 10000;
+    double sum = -1.0;
+    pspl::parallel_reduce(
+            "test_sum", RangePolicy<TypeParam>(n),
+            [](std::size_t i, double& acc) {
+                acc += static_cast<double>(i);
+            },
+            pspl::Sum<double>(sum));
+    EXPECT_DOUBLE_EQ(sum, static_cast<double>(n) * (n - 1) / 2.0);
+}
+
+TYPED_TEST(ParallelTyped, ReduceMaxMin)
+{
+    const std::size_t n = 1000;
+    View1D<double> v("v", n);
+    for (std::size_t i = 0; i < n; ++i) {
+        v(i) = std::sin(static_cast<double>(i));
+    }
+    v(123) = 50.0;
+    v(777) = -50.0;
+    double mx = 0.0;
+    double mn = 0.0;
+    pspl::parallel_reduce(
+            "test_max", RangePolicy<TypeParam>(n),
+            [=](std::size_t i, double& acc) { acc = std::max(acc, v(i)); },
+            pspl::Max<double>(mx));
+    pspl::parallel_reduce(
+            "test_min", RangePolicy<TypeParam>(n),
+            [=](std::size_t i, double& acc) { acc = std::min(acc, v(i)); },
+            pspl::Min<double>(mn));
+    EXPECT_DOUBLE_EQ(mx, 50.0);
+    EXPECT_DOUBLE_EQ(mn, -50.0);
+}
+
+TYPED_TEST(ParallelTyped, EmptyRangeIsNoop)
+{
+    int touched = 0;
+    pspl::parallel_for("test_empty", RangePolicy<TypeParam>(0),
+                       [&](std::size_t) { touched = 1; });
+    EXPECT_EQ(touched, 0);
+    double sum = 99.0;
+    pspl::parallel_reduce(
+            "test_empty_sum", RangePolicy<TypeParam>(0),
+            [](std::size_t, double& acc) { acc += 1.0; },
+            pspl::Sum<double>(sum));
+    EXPECT_EQ(sum, 0.0);
+}
+
+TEST(ExecutionSpace, Names)
+{
+    EXPECT_STREQ(pspl::Serial::name(), "Serial");
+    EXPECT_EQ(pspl::Serial::concurrency(), 1);
+#if defined(PSPL_ENABLE_OPENMP)
+    EXPECT_STREQ(pspl::OpenMP::name(), "OpenMP");
+    EXPECT_GE(pspl::OpenMP::concurrency(), 1);
+#endif
+}
+
+TEST(Profiling, KernelsRecordWhenEnabled)
+{
+    namespace prof = pspl::profiling;
+    prof::clear();
+    prof::set_enabled(true);
+    pspl::parallel_for("profiled_kernel", std::size_t{100},
+                       [](std::size_t) {});
+    pspl::parallel_for("profiled_kernel", std::size_t{100},
+                       [](std::size_t) {});
+    prof::set_enabled(false);
+    const auto stats = prof::stats_for("profiled_kernel");
+    EXPECT_EQ(stats.count, 2u);
+    EXPECT_GE(stats.total_seconds, 0.0);
+    EXPECT_GE(stats.avg_seconds(), 0.0);
+}
+
+TEST(Profiling, DisabledRecordsNothing)
+{
+    namespace prof = pspl::profiling;
+    prof::clear();
+    prof::set_enabled(false);
+    pspl::parallel_for("invisible_kernel", std::size_t{10},
+                       [](std::size_t) {});
+    EXPECT_EQ(prof::stats_for("invisible_kernel").count, 0u);
+}
+
+TEST(Profiling, ScopedRegionAccumulates)
+{
+    namespace prof = pspl::profiling;
+    prof::clear();
+    prof::set_enabled(true);
+    {
+        prof::ScopedRegion r("my_region");
+        volatile double x = 0.0;
+        for (int i = 0; i < 10000; ++i) {
+            x = x + 1.0;
+        }
+    }
+    prof::set_enabled(false);
+    const auto stats = prof::stats_for("my_region");
+    EXPECT_EQ(stats.count, 1u);
+    EXPECT_GT(stats.total_seconds, 0.0);
+}
+
+TEST(Profiling, MatchingAggregation)
+{
+    namespace prof = pspl::profiling;
+    prof::clear();
+    prof::record("pspl::a::kernel1", 1.0);
+    prof::record("pspl::a::kernel2", 2.0);
+    prof::record("pspl::b::kernel", 4.0);
+    EXPECT_DOUBLE_EQ(prof::total_seconds_matching("pspl::a"), 3.0);
+    EXPECT_DOUBLE_EQ(prof::total_seconds_matching("kernel"), 7.0);
+    const auto snap = prof::snapshot();
+    EXPECT_EQ(snap.size(), 3u);
+    prof::clear();
+    EXPECT_TRUE(prof::snapshot().empty());
+}
+
+} // namespace

@@ -1,0 +1,164 @@
+// Tests for the performance-metric machinery: GLUPS, bandwidth, roofline,
+// efficiencies and the Pennycook portability metric, cross-checked against
+// the paper's own numbers where possible.
+#include "perf/hardware.hpp"
+#include "perf/metrics.hpp"
+#include "perf/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace {
+
+using namespace pspl::perf;
+
+TEST(Metrics, GlupsDefinition)
+{
+    // Eq. 7: 1000 * 100000 points in 0.1 s -> 1 GLUPS.
+    EXPECT_DOUBLE_EQ(glups(1000, 100000, 0.1), 1.0);
+    EXPECT_DOUBLE_EQ(glups(1024, 100, 1.0), 1024.0 * 100.0 * 1e-9);
+}
+
+TEST(Metrics, BandwidthDefinition)
+{
+    // 1000 x 100000 doubles = 0.8 GB moved; in 1 s -> 0.8 GB/s.
+    EXPECT_NEAR(achieved_bandwidth_gbs(1000, 100000, 1.0), 0.8, 1e-12);
+    // Paper Table III spmv on A100: 2.98 ms per iteration-> ~268 GB/s
+    // (the paper's Table V value 268.6 GB/s).
+    const double t = 2.98e-3;
+    EXPECT_NEAR(achieved_bandwidth_gbs(1000, 100000, t), 268.456, 0.1);
+}
+
+TEST(Metrics, BandwidthFractionAgainstPeak)
+{
+    // Paper Table V: 268.6 GB/s on A100 = 17.3 % of 1555 GB/s.
+    const auto a100 = a100_spec();
+    EXPECT_NEAR(bandwidth_fraction_percent(268.6, a100), 17.27, 0.05);
+    const auto icelake = icelake_spec();
+    EXPECT_NEAR(bandwidth_fraction_percent(9.75, icelake), 4.76, 0.02);
+}
+
+TEST(Metrics, RooflineIsMinOfComputeAndMemory)
+{
+    const HardwareSpec spec{"X", 100.0, 10.0};
+    // Memory bound: 1 flop/byte -> 10 GFlops.
+    EXPECT_DOUBLE_EQ(roofline_attainable_gflops(spec, 1.0), 10.0);
+    // Compute bound: 100 flops/byte -> capped at 100 GFlops.
+    EXPECT_DOUBLE_EQ(roofline_attainable_gflops(spec, 100.0), 100.0);
+    // Crossover at B/F ratio.
+    EXPECT_DOUBLE_EQ(roofline_attainable_gflops(spec, 10.0), 100.0);
+}
+
+TEST(Metrics, EfficiencyPercent)
+{
+    EXPECT_DOUBLE_EQ(architectural_efficiency_percent(5.0, 10.0), 50.0);
+    EXPECT_DOUBLE_EQ(architectural_efficiency_percent(10.0, 10.0), 100.0);
+}
+
+TEST(Metrics, PennycookHarmonicMean)
+{
+    // Harmonic mean of equal values is that value.
+    EXPECT_NEAR(pennycook_portability({50.0, 50.0, 50.0}), 0.5, 1e-12);
+    // Hand-checked: H(10%, 20%) = 2 / (10 + 5) = 0.1333...
+    EXPECT_NEAR(pennycook_portability({10.0, 20.0}), 2.0 / 15.0, 1e-12);
+    // Unsupported platform zeroes the metric (Eq. 8's "otherwise" branch).
+    EXPECT_DOUBLE_EQ(pennycook_portability({50.0, 0.0}), 0.0);
+    EXPECT_DOUBLE_EQ(pennycook_portability({}), 0.0);
+}
+
+TEST(Metrics, PennycookReproducesPaperTableV)
+{
+    // Table V row "uniform (Degree 3)": efficiencies 4.38 %, 17.3 %, 15.5 %
+    // yield P = 0.086.
+    const double p = pennycook_portability({4.38, 17.3, 15.5});
+    EXPECT_NEAR(p, 0.086, 0.002);
+    // Row "non-uniform (Degree 5)": 2.42 %, 9.15 %, 3.7 % -> 0.038.
+    const double p2 = pennycook_portability({2.42, 9.15, 3.7});
+    EXPECT_NEAR(p2, 0.038, 0.002);
+}
+
+TEST(Hardware, TableIISpecs)
+{
+    const auto ice = icelake_spec();
+    EXPECT_EQ(ice.name, "Icelake");
+    EXPECT_DOUBLE_EQ(ice.peak_gflops, 3174.4);
+    EXPECT_DOUBLE_EQ(ice.peak_bw_gbs, 204.8);
+    EXPECT_NEAR(ice.bf_ratio(), 0.064, 0.001);
+
+    const auto a100 = a100_spec();
+    EXPECT_NEAR(a100.bf_ratio(), 0.160, 0.001);
+    const auto mi = mi250x_spec();
+    EXPECT_NEAR(mi.bf_ratio(), 0.060, 0.001);
+
+    const auto set = paper_platforms();
+    ASSERT_EQ(set.size(), 3u);
+    EXPECT_EQ(set[1].name, "A100");
+}
+
+TEST(Hardware, HostSpecRespectsEnvironment)
+{
+    setenv("PSPL_PEAK_GFLOPS", "123.5", 1);
+    setenv("PSPL_PEAK_BW_GBS", "45.25", 1);
+    const auto h = host_spec();
+    EXPECT_DOUBLE_EQ(h.peak_gflops, 123.5);
+    EXPECT_DOUBLE_EQ(h.peak_bw_gbs, 45.25);
+    unsetenv("PSPL_PEAK_GFLOPS");
+    unsetenv("PSPL_PEAK_BW_GBS");
+    const auto d = host_spec();
+    EXPECT_GT(d.peak_gflops, 0.0);
+    EXPECT_GT(d.peak_bw_gbs, 0.0);
+}
+
+TEST(KernelModel, FlopCountsScaleWithDegree)
+{
+    const auto u3 = spline_builder_model(3, true);
+    const auto u5 = spline_builder_model(5, true);
+    const auto n3 = spline_builder_model(3, false);
+    const auto n5 = spline_builder_model(5, false);
+    EXPECT_GT(u5.flops_per_point, u3.flops_per_point);
+    EXPECT_GT(n5.flops_per_point, n3.flops_per_point);
+    // Non-uniform costs more than uniform at equal degree (gbtrs vs pttrs).
+    EXPECT_GT(n3.flops_per_point, u3.flops_per_point);
+    // All memory bound on every paper platform: intensity below B/F
+    // crossover.
+    for (const auto& spec : paper_platforms()) {
+        const double attainable =
+                roofline_attainable_gflops(spec, u3.flops_per_byte());
+        EXPECT_LT(attainable, spec.peak_gflops);
+    }
+}
+
+TEST(Report, FormatHelpers)
+{
+    EXPECT_EQ(fmt(3.14159, 2), "3.14");
+    EXPECT_EQ(fmt(2.0, 0), "2");
+    EXPECT_EQ(fmt_time(2.5e-9), "2.50 ns");
+    EXPECT_EQ(fmt_time(3.2e-6), "3.20 us");
+    EXPECT_EQ(fmt_time(11.39e-3), "11.39 ms");
+    EXPECT_EQ(fmt_time(2.0), "2.000 s");
+}
+
+TEST(Report, TableRendering)
+{
+    Table t({"name", "value"});
+    t.add_row({"alpha", "1"});
+    t.add_row({"beta-very-long", "2.5"});
+    const auto s = t.str();
+    // Header, separator, two rows.
+    EXPECT_NE(s.find("| name"), std::string::npos);
+    EXPECT_NE(s.find("| beta-very-long | 2.5"), std::string::npos);
+    std::size_t lines = 0;
+    for (const char c : s) {
+        lines += (c == '\n');
+    }
+    EXPECT_EQ(lines, 4u);
+}
+
+TEST(Report, TableRejectsRaggedRows)
+{
+    Table t({"a", "b"});
+    EXPECT_DEATH(t.add_row({"only-one"}), "row width");
+}
+
+} // namespace

@@ -1,0 +1,176 @@
+// Unit tests for COO (Listing 5 storage) and CSR sparse matrices.
+#include "parallel/deep_copy.hpp"
+#include "parallel/subview.hpp"
+#include "sparse/coo.hpp"
+#include "sparse/csr.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace {
+
+using namespace pspl;
+
+View2D<double> sample_dense()
+{
+    View2D<double> a("a", 4, 5);
+    a(0, 0) = 1.0;
+    a(0, 4) = 2.0;
+    a(1, 2) = -3.0;
+    a(2, 1) = 1e-18; // below typical thresholds
+    a(3, 3) = 4.0;
+    return a;
+}
+
+TEST(Coo, FromDenseKeepsAllNonzerosAtZeroThreshold)
+{
+    const auto a = sample_dense();
+    const auto coo = sparse::Coo::from_dense(a, 0.0);
+    EXPECT_EQ(coo.nnz(), 5u);
+    EXPECT_EQ(coo.nrows(), 4u);
+    EXPECT_EQ(coo.ncols(), 5u);
+}
+
+TEST(Coo, ThresholdDropsTinyEntries)
+{
+    const auto a = sample_dense();
+    const auto coo = sparse::Coo::from_dense(a, 1e-15);
+    EXPECT_EQ(coo.nnz(), 4u);
+}
+
+TEST(Coo, ToDenseRoundTrip)
+{
+    const auto a = sample_dense();
+    const auto coo = sparse::Coo::from_dense(a, 0.0);
+    const auto back = coo.to_dense();
+    for (std::size_t i = 0; i < 4; ++i) {
+        for (std::size_t j = 0; j < 5; ++j) {
+            EXPECT_DOUBLE_EQ(back(i, j), a(i, j));
+        }
+    }
+}
+
+TEST(Coo, SpmvSubSubtractsProduct)
+{
+    const auto a = sample_dense();
+    const auto coo = sparse::Coo::from_dense(a, 0.0);
+    View1D<double> x("x", 5);
+    for (std::size_t j = 0; j < 5; ++j) {
+        x(j) = static_cast<double>(j) + 1.0;
+    }
+    View1D<double> y("y", 4);
+    for (std::size_t i = 0; i < 4; ++i) {
+        y(i) = 100.0;
+    }
+    coo.spmv_sub(x, y);
+    // Expected: y_i = 100 - sum_j a(i,j) x_j
+    EXPECT_DOUBLE_EQ(y(0), 100.0 - (1.0 * 1.0 + 2.0 * 5.0));
+    EXPECT_DOUBLE_EQ(y(1), 100.0 - (-3.0 * 3.0));
+    EXPECT_NEAR(y(2), 100.0, 1e-12);
+    EXPECT_DOUBLE_EQ(y(3), 100.0 - 4.0 * 4.0);
+}
+
+TEST(Coo, EmptyMatrix)
+{
+    View2D<double> zero("z", 3, 3);
+    const auto coo = sparse::Coo::from_dense(zero, 0.0);
+    EXPECT_EQ(coo.nnz(), 0u);
+    View1D<double> x("x", 3);
+    View1D<double> y("y", 3);
+    y(1) = 5.0;
+    coo.spmv_sub(x, y); // no-op
+    EXPECT_DOUBLE_EQ(y(1), 5.0);
+}
+
+TEST(Csr, FromDenseStructure)
+{
+    const auto a = sample_dense();
+    const auto csr = sparse::Csr::from_dense(a, 1e-15);
+    EXPECT_EQ(csr.nnz(), 4u);
+    EXPECT_EQ(csr.row_ptr()(0), 0);
+    EXPECT_EQ(csr.row_ptr()(4), 4);
+    EXPECT_DOUBLE_EQ(csr.at(0, 0), 1.0);
+    EXPECT_DOUBLE_EQ(csr.at(0, 4), 2.0);
+    EXPECT_DOUBLE_EQ(csr.at(1, 2), -3.0);
+    EXPECT_DOUBLE_EQ(csr.at(2, 1), 0.0); // dropped
+    EXPECT_DOUBLE_EQ(csr.at(3, 3), 4.0);
+    EXPECT_DOUBLE_EQ(csr.at(3, 0), 0.0); // structural zero
+}
+
+TEST(Csr, ToDenseRoundTrip)
+{
+    const auto a = sample_dense();
+    const auto csr = sparse::Csr::from_dense(a, 0.0);
+    const auto back = csr.to_dense();
+    for (std::size_t i = 0; i < 4; ++i) {
+        for (std::size_t j = 0; j < 5; ++j) {
+            EXPECT_DOUBLE_EQ(back(i, j), a(i, j));
+        }
+    }
+}
+
+TEST(Csr, ApplySingleRhs)
+{
+    const auto a = sample_dense();
+    const auto csr = sparse::Csr::from_dense(a, 0.0);
+    View1D<double> x("x", 5);
+    for (std::size_t j = 0; j < 5; ++j) {
+        x(j) = static_cast<double>(j) - 2.0;
+    }
+    View1D<double> y("y", 4);
+    csr.apply(x, y);
+    for (std::size_t i = 0; i < 4; ++i) {
+        double ref = 0.0;
+        for (std::size_t j = 0; j < 5; ++j) {
+            ref += a(i, j) * x(j);
+        }
+        EXPECT_NEAR(y(i), ref, 1e-14);
+    }
+}
+
+template <class Exec>
+class CsrBlockTyped : public ::testing::Test
+{
+};
+
+#if defined(PSPL_ENABLE_OPENMP)
+using ExecSpaces = ::testing::Types<pspl::Serial, pspl::OpenMP>;
+#else
+using ExecSpaces = ::testing::Types<pspl::Serial>;
+#endif
+TYPED_TEST_SUITE(CsrBlockTyped, ExecSpaces);
+
+TYPED_TEST(CsrBlockTyped, ApplyBlockMatchesColumnwiseApply)
+{
+    const std::size_t n = 20;
+    const std::size_t nrhs = 7;
+    View2D<double> dense("d", n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        dense(i, i) = 2.0;
+        dense(i, (i + 1) % n) = -0.5;
+        dense((i + 3) % n, i) = 0.25;
+    }
+    const auto csr = sparse::Csr::from_dense(dense, 0.0);
+    View2D<double> x("x", n, nrhs);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < nrhs; ++j) {
+            x(i, j) = std::sin(static_cast<double>(i * nrhs + j));
+        }
+    }
+    View2D<double> y("y", n, nrhs);
+    csr.apply_block<TypeParam>(x, y);
+    for (std::size_t j = 0; j < nrhs; ++j) {
+        View1D<double> xc("xc", n);
+        View1D<double> yc("yc", n);
+        for (std::size_t i = 0; i < n; ++i) {
+            xc(i) = x(i, j);
+        }
+        csr.apply(xc, yc);
+        for (std::size_t i = 0; i < n; ++i) {
+            EXPECT_NEAR(y(i, j), yc(i), 1e-14);
+        }
+    }
+}
+
+} // namespace

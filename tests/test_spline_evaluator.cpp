@@ -1,0 +1,185 @@
+// Tests for the spline evaluator: exactness, periodicity, derivatives and
+// the batched evaluation path.
+#include "core/spline_builder.hpp"
+#include "core/spline_evaluator.hpp"
+#include "parallel/deep_copy.hpp"
+#include "parallel/subview.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+namespace {
+
+using namespace pspl;
+using bsplines::BSplineBasis;
+using core::SplineBuilder;
+using core::SplineEvaluator;
+
+constexpr double two_pi = 2.0 * std::numbers::pi;
+
+/// Build the coefficient column interpolating f on the given basis.
+View2D<double> build_coeffs(const BSplineBasis& basis, double (*f)(double))
+{
+    const std::size_t n = basis.nbasis();
+    View2D<double> b("b", n, 1);
+    const auto pts = basis.interpolation_points();
+    for (std::size_t i = 0; i < n; ++i) {
+        b(i, 0) = f(pts[i]);
+    }
+    SplineBuilder builder(basis);
+    builder.build_inplace(b);
+    return b;
+}
+
+double sin1(double x)
+{
+    return std::sin(two_pi * x);
+}
+
+TEST(Evaluator, ConstantSplineIsExactEverywhere)
+{
+    const auto basis = BSplineBasis::uniform(5, 16, 0.0, 1.0);
+    View1D<double> coeffs("c", 16);
+    deep_copy(coeffs, 3.25);
+    SplineEvaluator eval(basis);
+    for (int s = 0; s < 100; ++s) {
+        const double x = 0.013 * static_cast<double>(s);
+        EXPECT_NEAR(eval(x, coeffs), 3.25, 1e-13);
+    }
+}
+
+TEST(Evaluator, PeriodicityOfEvaluation)
+{
+    const auto basis = BSplineBasis::uniform(3, 32, 0.0, 1.0);
+    const auto b = build_coeffs(basis, sin1);
+    auto coeffs = subview(b, ALL, std::size_t{0});
+    SplineEvaluator eval(basis);
+    for (int s = 0; s < 50; ++s) {
+        const double x = 0.02 * static_cast<double>(s) + 0.001;
+        EXPECT_NEAR(eval(x, coeffs), eval(x + 1.0, coeffs), 1e-13);
+        EXPECT_NEAR(eval(x, coeffs), eval(x - 2.0, coeffs), 1e-12);
+    }
+}
+
+TEST(Evaluator, InterpolatesSmoothFunctionAccurately)
+{
+    const auto basis = BSplineBasis::uniform(5, 64, 0.0, 1.0);
+    const auto b = build_coeffs(basis, sin1);
+    auto coeffs = subview(b, ALL, std::size_t{0});
+    SplineEvaluator eval(basis);
+    for (int s = 0; s < 500; ++s) {
+        const double x = static_cast<double>(s) / 500.0;
+        EXPECT_NEAR(eval(x, coeffs), sin1(x), 1e-8);
+    }
+}
+
+TEST(Evaluator, DerivativeOfSinIsCos)
+{
+    const auto basis = BSplineBasis::uniform(5, 128, 0.0, 1.0);
+    const auto b = build_coeffs(basis, sin1);
+    auto coeffs = subview(b, ALL, std::size_t{0});
+    SplineEvaluator eval(basis);
+    for (int s = 0; s < 200; ++s) {
+        const double x = static_cast<double>(s) / 200.0;
+        EXPECT_NEAR(eval.deriv(x, coeffs), two_pi * std::cos(two_pi * x),
+                    1e-5);
+    }
+}
+
+TEST(Evaluator, DerivativeOfConstantIsZero)
+{
+    const auto basis = BSplineBasis::uniform(3, 20, 0.0, 1.0);
+    View1D<double> coeffs("c", 20);
+    deep_copy(coeffs, 7.0);
+    SplineEvaluator eval(basis);
+    for (int s = 0; s < 60; ++s) {
+        EXPECT_NEAR(eval.deriv(0.017 * static_cast<double>(s), coeffs), 0.0,
+                    1e-11);
+    }
+}
+
+TEST(Evaluator, EvaluateManyMatchesPointwise)
+{
+    const auto basis = BSplineBasis::uniform(3, 24, 0.0, 1.0);
+    const auto b = build_coeffs(basis, sin1);
+    View1D<double> coeffs("c", 24);
+    for (std::size_t i = 0; i < 24; ++i) {
+        coeffs(i) = b(i, 0);
+    }
+    SplineEvaluator eval(basis);
+    std::vector<double> pts;
+    for (int s = 0; s < 37; ++s) {
+        pts.push_back(0.027 * static_cast<double>(s));
+    }
+    const auto many = eval.evaluate_many(pts, coeffs);
+    ASSERT_EQ(many.size(), pts.size());
+    for (std::size_t p = 0; p < pts.size(); ++p) {
+        EXPECT_DOUBLE_EQ(many[p], eval(pts[p], coeffs));
+    }
+}
+
+template <class Exec>
+class EvaluatorExecTyped : public ::testing::Test
+{
+};
+
+#if defined(PSPL_ENABLE_OPENMP)
+using ExecSpaces = ::testing::Types<pspl::Serial, pspl::OpenMP>;
+#else
+using ExecSpaces = ::testing::Types<pspl::Serial>;
+#endif
+TYPED_TEST_SUITE(EvaluatorExecTyped, ExecSpaces);
+
+TYPED_TEST(EvaluatorExecTyped, BatchedEvaluationMatchesScalarPath)
+{
+    const auto basis = BSplineBasis::uniform(4, 30, 0.0, 1.0);
+    const std::size_t n = basis.nbasis();
+    const std::size_t batch = 9;
+    View2D<double> values("v", n, batch);
+    const auto pts_v = basis.interpolation_points();
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < batch; ++j) {
+            values(i, j) = std::sin(two_pi * pts_v[i]
+                                    + 0.2 * static_cast<double>(j));
+        }
+    }
+    SplineBuilder builder(basis);
+    builder.build_inplace(values);
+
+    const std::size_t npts = 51;
+    View1D<double> query("q", npts);
+    for (std::size_t p = 0; p < npts; ++p) {
+        query(p) = static_cast<double>(p) / static_cast<double>(npts) + 0.003;
+    }
+    View2D<double> out("out", npts, batch);
+    SplineEvaluator eval(basis);
+    eval.evaluate_batched<TypeParam>(query, values, out);
+
+    for (std::size_t j = 0; j < batch; ++j) {
+        auto coeffs = subview(values, ALL, j);
+        for (std::size_t p = 0; p < npts; ++p) {
+            EXPECT_NEAR(out(p, j), eval(query(p), coeffs), 1e-14);
+        }
+    }
+}
+
+TEST(Evaluator, SmoothnessAcrossKnots)
+{
+    // A degree-p spline is C^{p-1}: the first derivative must be continuous
+    // across break points.
+    const auto basis = BSplineBasis::uniform(3, 16, 0.0, 1.0);
+    const auto b = build_coeffs(basis, sin1);
+    auto coeffs = subview(b, ALL, std::size_t{0});
+    SplineEvaluator eval(basis);
+    const double h = 1e-9;
+    for (std::size_t c = 0; c <= 16; ++c) {
+        const double xk = basis.break_point(std::min<std::size_t>(c, 15));
+        const double left = eval.deriv(xk - h, coeffs);
+        const double right = eval.deriv(xk + h, coeffs);
+        EXPECT_NEAR(left, right, 1e-5);
+    }
+}
+
+} // namespace

@@ -1,0 +1,254 @@
+// Unit tests for the View/subview/deep_copy substrate.
+#include "parallel/deep_copy.hpp"
+#include "parallel/subview.hpp"
+#include "parallel/view.hpp"
+
+#include <gtest/gtest.h>
+
+#include <utility>
+
+namespace {
+
+using pspl::ALL;
+using pspl::LayoutLeft;
+using pspl::LayoutRight;
+using pspl::subview;
+using pspl::View;
+using pspl::View1D;
+using pspl::View2D;
+using pspl::View3D;
+
+TEST(View, AllocatesZeroInitialized)
+{
+    View2D<double> v("v", 3, 4);
+    EXPECT_EQ(v.extent(0), 3u);
+    EXPECT_EQ(v.extent(1), 4u);
+    EXPECT_EQ(v.size(), 12u);
+    EXPECT_EQ(v.label(), "v");
+    for (std::size_t i = 0; i < 3; ++i) {
+        for (std::size_t j = 0; j < 4; ++j) {
+            EXPECT_EQ(v(i, j), 0.0);
+        }
+    }
+}
+
+TEST(View, LayoutRightStrides)
+{
+    View3D<double> v("v", 2, 3, 4);
+    EXPECT_EQ(v.stride(0), 12u);
+    EXPECT_EQ(v.stride(1), 4u);
+    EXPECT_EQ(v.stride(2), 1u);
+    EXPECT_TRUE(v.span_is_contiguous());
+}
+
+TEST(View, LayoutLeftStrides)
+{
+    View<double, 3, LayoutLeft> v("v", 2, 3, 4);
+    EXPECT_EQ(v.stride(0), 1u);
+    EXPECT_EQ(v.stride(1), 2u);
+    EXPECT_EQ(v.stride(2), 6u);
+    EXPECT_TRUE(v.span_is_contiguous());
+}
+
+TEST(View, IndexingWritesDistinctElements)
+{
+    View2D<int> v("v", 4, 5);
+    int c = 0;
+    for (std::size_t i = 0; i < 4; ++i) {
+        for (std::size_t j = 0; j < 5; ++j) {
+            v(i, j) = c++;
+        }
+    }
+    c = 0;
+    for (std::size_t i = 0; i < 4; ++i) {
+        for (std::size_t j = 0; j < 5; ++j) {
+            EXPECT_EQ(v(i, j), c++);
+        }
+    }
+}
+
+TEST(View, CopiesAreShallow)
+{
+    View1D<double> a("a", 5);
+    View1D<double> b = a;
+    b(2) = 42.0;
+    EXPECT_EQ(a(2), 42.0);
+    EXPECT_EQ(a.data(), b.data());
+}
+
+TEST(View, DefaultConstructedIsUnallocated)
+{
+    View1D<double> v;
+    EXPECT_FALSE(v.is_allocated());
+}
+
+TEST(View, UnmanagedWrapsExistingMemory)
+{
+    double buf[6] = {0, 1, 2, 3, 4, 5};
+    View<double, 2, LayoutRight> v(buf, {2, 3});
+    EXPECT_EQ(v(0, 2), 2.0);
+    EXPECT_EQ(v(1, 0), 3.0);
+    v(1, 2) = 99.0;
+    EXPECT_EQ(buf[5], 99.0);
+}
+
+TEST(Subview, ColumnOfMatrixIsStrided)
+{
+    View2D<double> m("m", 4, 6);
+    for (std::size_t i = 0; i < 4; ++i) {
+        for (std::size_t j = 0; j < 6; ++j) {
+            m(i, j) = 10.0 * static_cast<double>(i) + static_cast<double>(j);
+        }
+    }
+    auto col = subview(m, ALL, std::size_t{2});
+    static_assert(decltype(col)::rank == 1);
+    EXPECT_EQ(col.extent(0), 4u);
+    EXPECT_EQ(col.stride(0), 6u);
+    for (std::size_t i = 0; i < 4; ++i) {
+        EXPECT_EQ(col(i), 10.0 * static_cast<double>(i) + 2.0);
+    }
+}
+
+TEST(Subview, RowOfMatrixIsContiguous)
+{
+    View2D<double> m("m", 4, 6);
+    m(1, 3) = 7.0;
+    auto row = subview(m, std::size_t{1}, ALL);
+    EXPECT_EQ(row.extent(0), 6u);
+    EXPECT_EQ(row.stride(0), 1u);
+    EXPECT_EQ(row(3), 7.0);
+}
+
+TEST(Subview, PairSelectsHalfOpenRange)
+{
+    View1D<double> v("v", 10);
+    for (std::size_t i = 0; i < 10; ++i) {
+        v(i) = static_cast<double>(i);
+    }
+    auto w = subview(v, std::pair<std::size_t, std::size_t>(3, 7));
+    EXPECT_EQ(w.extent(0), 4u);
+    EXPECT_EQ(w(0), 3.0);
+    EXPECT_EQ(w(3), 6.0);
+    w(0) = -1.0;
+    EXPECT_EQ(v(3), -1.0); // aliases parent
+}
+
+TEST(Subview, BlockOfMatrix)
+{
+    View2D<double> m("m", 6, 8);
+    for (std::size_t i = 0; i < 6; ++i) {
+        for (std::size_t j = 0; j < 8; ++j) {
+            m(i, j) = static_cast<double>(i * 8 + j);
+        }
+    }
+    auto blk = subview(m, std::pair<std::size_t, std::size_t>(2, 5),
+                       std::pair<std::size_t, std::size_t>(1, 4));
+    EXPECT_EQ(blk.extent(0), 3u);
+    EXPECT_EQ(blk.extent(1), 3u);
+    EXPECT_EQ(blk(0, 0), m(2, 1));
+    EXPECT_EQ(blk(2, 2), m(4, 3));
+}
+
+TEST(Subview, OfSubviewComposes)
+{
+    View2D<double> m("m", 8, 8);
+    m(5, 6) = 3.5;
+    auto rows = subview(m, std::pair<std::size_t, std::size_t>(4, 8), ALL);
+    auto cell = subview(rows, std::size_t{1}, ALL);
+    EXPECT_EQ(cell(6), 3.5);
+}
+
+TEST(Subview, KeepsAllocationAlive)
+{
+    View<double, 1, pspl::LayoutStride> alias;
+    {
+        View1D<double> owner("owner", 4);
+        owner(1) = 2.5;
+        alias = subview(owner, std::pair<std::size_t, std::size_t>(0, 4));
+    }
+    // Owner went out of scope; alias shares ownership so this is valid.
+    EXPECT_EQ(alias(1), 2.5);
+}
+
+TEST(Subview, Rank3ToRank1)
+{
+    View3D<double> t("t", 3, 4, 5);
+    t(2, 1, 3) = 9.0;
+    auto line = subview(t, std::size_t{2}, std::size_t{1}, ALL);
+    EXPECT_EQ(line.extent(0), 5u);
+    EXPECT_EQ(line(3), 9.0);
+}
+
+TEST(DeepCopy, CopiesAcrossLayouts)
+{
+    View<double, 2, LayoutRight> src("src", 3, 4);
+    View<double, 2, LayoutLeft> dst("dst", 3, 4);
+    for (std::size_t i = 0; i < 3; ++i) {
+        for (std::size_t j = 0; j < 4; ++j) {
+            src(i, j) = static_cast<double>(i * 4 + j);
+        }
+    }
+    pspl::deep_copy(dst, src);
+    for (std::size_t i = 0; i < 3; ++i) {
+        for (std::size_t j = 0; j < 4; ++j) {
+            EXPECT_EQ(dst(i, j), src(i, j));
+        }
+    }
+}
+
+TEST(DeepCopy, ScalarFill)
+{
+    View2D<double> v("v", 3, 3);
+    pspl::deep_copy(v, 2.5);
+    for (std::size_t i = 0; i < 3; ++i) {
+        for (std::size_t j = 0; j < 3; ++j) {
+            EXPECT_EQ(v(i, j), 2.5);
+        }
+    }
+}
+
+TEST(DeepCopy, CloneIsIndependent)
+{
+    View1D<double> a("a", 3);
+    a(0) = 1.0;
+    auto b = pspl::clone(a);
+    b(0) = 5.0;
+    EXPECT_EQ(a(0), 1.0);
+    EXPECT_EQ(b(0), 5.0);
+}
+
+TEST(View, Rank4AllocationAndIndexing)
+{
+    pspl::View4D<double> v("v", 2, 3, 4, 5);
+    EXPECT_EQ(v.size(), 120u);
+    EXPECT_EQ(v.stride(0), 60u);
+    EXPECT_EQ(v.stride(3), 1u);
+    v(1, 2, 3, 4) = 8.5;
+    EXPECT_EQ(v.data()[119], 8.5);
+    auto line = subview(v, std::size_t{1}, std::size_t{2}, std::size_t{3},
+                        ALL);
+    EXPECT_EQ(line(4), 8.5);
+}
+
+TEST(TransposedView, LayoutLeftSource)
+{
+    View<double, 2, LayoutLeft> m("m", 3, 4);
+    m(2, 1) = -4.5;
+    auto t = pspl::transposed_view(m);
+    EXPECT_EQ(t.extent(0), 4u);
+    EXPECT_EQ(t.extent(1), 3u);
+    EXPECT_EQ(t(1, 2), -4.5);
+    // Transposing a LayoutLeft view yields row-contiguous access.
+    EXPECT_EQ(t.stride(1), 1u);
+}
+
+TEST(Subview, StridedViewIsNotContiguous)
+{
+    View2D<double> m("m", 4, 6);
+    auto col = subview(m, ALL, std::size_t{0});
+    EXPECT_FALSE(col.span_is_contiguous());
+    auto row = subview(m, std::size_t{0}, ALL);
+    EXPECT_TRUE(row.span_is_contiguous());
+}
+
+} // namespace

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Plot the Fig. 2 analogue from the benchmark harness output.
+
+Mirrors the paper artifact's `comparison.py` workflow: run the Fig. 2
+benches with table output captured to text files, then render the GLUPS
+curves per (solver path, mesh, degree).
+
+Usage:
+    ./build/bench/bench_fig2_direct    > fig2_direct.txt
+    ./build/bench/bench_fig2_iterative > fig2_iterative.txt
+    python3 tools/plot_fig2.py fig2_direct.txt fig2_iterative.txt -o fig2.png
+
+Only needs matplotlib; the parser reads the aligned '|'-separated summary
+tables the benches print.
+"""
+from __future__ import annotations
+
+import argparse
+import collections
+import re
+import sys
+
+
+def parse_table(path: str):
+    """Yield dict rows from the '|'-delimited summary table in `path`."""
+    rows = []
+    header = None
+    with open(path) as fh:
+        for line in fh:
+            if not line.startswith("|"):
+                continue
+            cells = [c.strip() for c in line.strip().strip("|").split("|")]
+            if header is None:
+                header = cells
+                continue
+            if set(line.strip()) <= {"|", "-", " "}:
+                continue
+            if len(cells) == len(header):
+                rows.append(dict(zip(header, cells)))
+    return rows
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("tables", nargs="+", help="bench summary output files")
+    ap.add_argument("-o", "--output", default="fig2.png")
+    args = ap.parse_args()
+
+    try:
+        import matplotlib
+
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        print("matplotlib not available; printing parsed rows instead")
+        for path in args.tables:
+            for row in parse_table(path):
+                print(path, row)
+        return 0
+
+    fig, axes = plt.subplots(1, len(args.tables), figsize=(6 * len(args.tables), 4.5), squeeze=False)
+    for ax, path in zip(axes[0], args.tables):
+        series = collections.defaultdict(list)
+        for row in parse_table(path):
+            if "GLUPS" not in row or "Nv" not in row:
+                continue
+            key_parts = [row.get("solver", ""), row.get("mesh", ""), "deg " + row.get("degree", "?")]
+            key = " ".join(p for p in key_parts if p)
+            series[key].append((int(row["Nv"]), float(row["GLUPS"])))
+        for key, pts in sorted(series.items()):
+            pts.sort()
+            style = "-o" if "uniform" in key and "non" not in key else "--x"
+            ax.plot([p[0] for p in pts], [p[1] for p in pts], style, label=key)
+        ax.set_xscale("log")
+        ax.set_xlabel("Nv (batch size)")
+        ax.set_ylabel("GLUPS")
+        ax.set_title(re.sub(r"\.txt$", "", path))
+        ax.grid(True, alpha=0.3)
+        ax.legend(fontsize=7)
+    fig.tight_layout()
+    fig.savefig(args.output, dpi=150)
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
