@@ -1,0 +1,229 @@
+// Ablation: SIMD-across-batch pack width. The fused builder kernels run
+// with W adjacent batch entries per iteration in simd<double, W> packs
+// (parallel/simd.hpp); this harness sweeps the scalar fused kernel against
+// W = 2/4/8 packs across degrees 3/4/5 on uniform and non-uniform grids --
+// i.e. every Q-factor kind of the structure analysis (pttrs/pbtrs/gbtrs).
+//
+// The expected shape of the result: the Q-solve recurrences are serial in
+// the matrix dimension, so the scalar kernel is latency-bound; packs put W
+// independent columns behind each vector instruction and the kernel
+// approaches the bandwidth roof instead. The table reports the effective
+// vector width (scalar time / SIMD time) and verifies the SIMD coefficients
+// match the scalar ones to <= 4 ULP.
+//
+// Defaults use batch = 20000; PSPL_BENCH_FULL=1 runs the paper's
+// (n, batch) = (1000, 100000). `--json <path>` emits machine-readable
+// records; other flags are forwarded to google-benchmark.
+#include "bench/common.hpp"
+#include "core/spline_builder.hpp"
+#include "perf/hardware.hpp"
+#include "perf/metrics.hpp"
+#include "perf/report.hpp"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+
+namespace {
+
+using namespace pspl;
+using core::BuilderVersion;
+using core::SplineBuilder;
+
+constexpr std::size_t kN = 1000;
+
+std::size_t batch_size()
+{
+    return bench::env_size("PSPL_BENCH_BATCH",
+                           bench::full_scale() ? 100000 : 20000);
+}
+
+/// ULP distance via the monotonic lexicographic mapping of IEEE doubles.
+std::uint64_t ulp_distance(double a, double b)
+{
+    const auto lex = [](double d) {
+        std::uint64_t u;
+        std::memcpy(&u, &d, sizeof(u));
+        return (u >> 63) ? ~u : (u | 0x8000000000000000ull);
+    };
+    const std::uint64_t x = lex(a);
+    const std::uint64_t y = lex(b);
+    return x > y ? x - y : y - x;
+}
+
+/// Solve with the explicit-width SIMD fused chain (W = 1 means the scalar
+/// fused kernel, the ablation baseline).
+template <int W>
+void solve_w(const SplineBuilder& builder, const View2D<double>& b)
+{
+    if constexpr (W == 1) {
+        builder.build_inplace(b);
+    } else {
+        core::schur_solve_batched_simd<W>(builder.solver().device_data(), b,
+                                          /*use_spmv=*/false);
+    }
+}
+
+template <int W>
+void bm_simd_width(benchmark::State& state)
+{
+    const std::size_t batch = batch_size();
+    const int degree = static_cast<int>(state.range(0));
+    const bool uniform = state.range(1) != 0;
+    const auto basis = bench::make_basis(degree, uniform, kN);
+    SplineBuilder builder(basis, BuilderVersion::Fused);
+    View2D<double> b("b", basis.nbasis(), batch);
+    bench::fill_rhs(basis, b);
+    for (auto _ : state) {
+        solve_w<W>(builder, b);
+        benchmark::DoNotOptimize(b.data());
+    }
+    state.SetBytesProcessed(
+            static_cast<int64_t>(state.iterations())
+            * static_cast<int64_t>(basis.nbasis() * batch * sizeof(double)));
+}
+
+void register_benchmarks()
+{
+    const auto add = [](const char* name, auto fn) {
+        ::benchmark::RegisterBenchmark(name, fn)
+                ->Args({3, 1})
+                ->Args({5, 0})
+                ->Unit(benchmark::kMillisecond);
+    };
+    add("build_simd/scalar", bm_simd_width<1>);
+    add("build_simd/W2", bm_simd_width<2>);
+    add("build_simd/W4", bm_simd_width<4>);
+    add("build_simd/W8", bm_simd_width<8>);
+}
+
+struct SweepResult {
+    double scalar_seconds = 0.0;
+    double w4_seconds = 0.0;
+};
+
+/// One (degree, grid) row group of the summary table: time scalar vs packs,
+/// check ULP agreement, record JSON.
+SweepResult sweep_case(int degree, bool uniform, std::size_t batch,
+                       perf::Table& table, bench::JsonReport& json)
+{
+    const auto basis = bench::make_basis(degree, uniform, kN);
+    const std::size_t n = basis.nbasis();
+    SplineBuilder builder(basis, BuilderVersion::Fused);
+    const char* grid = uniform ? "uniform" : "non-uniform";
+
+    // Scalar fused reference coefficients (for the ULP check) and time.
+    View2D<double> ref("ref", n, batch);
+    bench::fill_rhs(basis, ref);
+    builder.build_inplace(ref);
+    View2D<double> b("b", n, batch);
+
+    const auto time_case = [&](auto solve) {
+        bench::fill_rhs(basis, b);
+        solve(); // warm-up (and the ULP payload: b now holds coefficients)
+        const double t = bench::median_seconds(5, [&] {
+            bench::fill_rhs(basis, b);
+            solve();
+        });
+        const double fill =
+                bench::median_seconds(3, [&] { bench::fill_rhs(basis, b); });
+        return t - fill > 0 ? t - fill : t;
+    };
+
+    SweepResult result;
+    const auto run_width = [&](int w, auto solve) {
+        const double t = time_case(solve);
+        // ULP check on a fresh solve of the same values.
+        bench::fill_rhs(basis, b);
+        solve();
+        std::uint64_t ulp = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            for (std::size_t j = 0; j < batch; ++j) {
+                const std::uint64_t d = ulp_distance(ref(i, j), b(i, j));
+                ulp = d > ulp ? d : ulp;
+            }
+        }
+        if (w == 1) {
+            result.scalar_seconds = t;
+        }
+        if (w == 4) {
+            result.w4_seconds = t;
+        }
+        const double speedup = result.scalar_seconds / t;
+        const double gbs = perf::achieved_bandwidth_gbs(n, batch, t);
+        table.add_row(
+                {"deg " + std::to_string(degree) + " " + grid,
+                 w == 1 ? "scalar" : "W=" + std::to_string(w),
+                 perf::fmt_time(t), perf::fmt(speedup, 2) + "x",
+                 w == 1 ? "-"
+                        : perf::fmt(perf::simd_lane_efficiency_percent(
+                                            result.scalar_seconds, t, w),
+                                    0) + "%",
+                 perf::fmt(gbs, 2) + " GB/s", std::to_string(ulp)});
+        json.add("ablation_simd",
+                 {{"degree", bench::JsonReport::num(degree)},
+                  {"uniform", uniform ? "true" : "false"},
+                  {"width", bench::JsonReport::num(w)},
+                  {"n", bench::JsonReport::num(n)},
+                  {"batch", bench::JsonReport::num(batch)},
+                  {"isa", bench::JsonReport::str(perf::compiled_isa_name())},
+                  {"seconds", bench::JsonReport::num(t)},
+                  {"speedup_vs_scalar", bench::JsonReport::num(speedup)},
+                  {"bandwidth_gbs", bench::JsonReport::num(gbs)},
+                  {"max_ulp_vs_scalar",
+                   bench::JsonReport::num(static_cast<double>(ulp))}});
+        if (ulp > 4) {
+            std::printf("FAIL: W=%d deg=%d %s exceeds 4 ULP (max %llu)\n", w,
+                        degree, grid,
+                        static_cast<unsigned long long>(ulp));
+        }
+    };
+
+    run_width(1, [&] { solve_w<1>(builder, b); });
+    run_width(2, [&] { solve_w<2>(builder, b); });
+    run_width(4, [&] { solve_w<4>(builder, b); });
+    run_width(8, [&] { solve_w<8>(builder, b); });
+    return result;
+}
+
+} // namespace
+
+int main(int argc, char** argv)
+{
+    auto json = pspl::bench::JsonReport::from_args(argc, argv);
+    ::benchmark::Initialize(&argc, argv);
+    std::printf("compiled ISA: %s\n", perf::compiled_isa_summary().c_str());
+    register_benchmarks();
+    ::benchmark::RunSpecifiedBenchmarks();
+
+    const std::size_t batch = batch_size();
+    std::printf("\nSIMD pack-width ablation -- fused build at (n, batch) = "
+                "(%zu, %zu)\n\n",
+                kN, batch);
+    perf::Table table({"case", "width", "time", "speedup vs scalar",
+                       "lane efficiency", "bandwidth (8B/pt)",
+                       "max ULP vs scalar"});
+    SweepResult acceptance;
+    for (const int degree : {3, 4, 5}) {
+        for (const bool uniform : {true, false}) {
+            const auto r = sweep_case(degree, uniform, batch, table, json);
+            if (degree == 3 && uniform) {
+                acceptance = r;
+            }
+        }
+    }
+    std::printf("%s\n", table.str().c_str());
+    const double w4_speedup = acceptance.w4_seconds > 0.0
+            ? acceptance.scalar_seconds / acceptance.w4_seconds
+            : 0.0;
+    std::printf("degree-3 uniform W=4 speedup vs scalar fused: %.2fx "
+                "(target >= 1.5x)\n",
+                w4_speedup);
+    std::printf("effective vector width at W=4: %.2f lanes of 4\n",
+                perf::effective_vector_width(acceptance.scalar_seconds,
+                                             acceptance.w4_seconds));
+    json.write();
+    return 0;
+}

@@ -17,6 +17,7 @@
 #include "bench/common.hpp"
 #include "core/spline_builder.hpp"
 #include "parallel/deep_copy.hpp"
+#include "perf/hardware.hpp"
 #include "perf/metrics.hpp"
 #include "perf/report.hpp"
 
@@ -59,7 +60,9 @@ void bm_builder_version(benchmark::State& state, BuilderVersion version)
 
 int main(int argc, char** argv)
 {
+    auto json = pspl::bench::JsonReport::from_args(argc, argv);
     ::benchmark::Initialize(&argc, argv);
+    std::printf("compiled ISA: %s\n", perf::compiled_isa_summary().c_str());
 
     const std::size_t batch = batch_size();
     ::benchmark::RegisterBenchmark(
@@ -80,6 +83,18 @@ int main(int argc, char** argv)
                 bm_builder_version(s, BuilderVersion::FusedSpmv);
             })
             ->Unit(benchmark::kMillisecond);
+    ::benchmark::RegisterBenchmark(
+            "spline_build/kernel_fusion_simd",
+            [](benchmark::State& s) {
+                bm_builder_version(s, BuilderVersion::FusedSimd);
+            })
+            ->Unit(benchmark::kMillisecond);
+    ::benchmark::RegisterBenchmark(
+            "spline_build/gemv_to_spmv_simd",
+            [](benchmark::State& s) {
+                bm_builder_version(s, BuilderVersion::FusedSpmvSimd);
+            })
+            ->Unit(benchmark::kMillisecond);
     ::benchmark::RunSpecifiedBenchmarks();
 
     // ---- Paper-shaped summary (Table III) ----------------------------------
@@ -98,8 +113,10 @@ int main(int argc, char** argv)
     perf::Table table({"Version", "Time", "Speedup vs original",
                        "Bandwidth (8B/pt model)"});
     double baseline_time = 0.0;
-    for (const auto version : {BuilderVersion::Baseline, BuilderVersion::Fused,
-                               BuilderVersion::FusedSpmv}) {
+    for (const auto version :
+         {BuilderVersion::Baseline, BuilderVersion::Fused,
+          BuilderVersion::FusedSpmv, BuilderVersion::FusedSimd,
+          BuilderVersion::FusedSpmvSimd}) {
         SplineBuilder builder(basis, version);
         bench::fill_rhs(basis, b);
         builder.build_inplace(b); // warm-up
@@ -115,15 +132,25 @@ int main(int argc, char** argv)
         if (version == BuilderVersion::Baseline) {
             baseline_time = solve;
         }
+        const double gbs = perf::achieved_bandwidth_gbs(kN, batch, solve);
         table.add_row({to_string(version), perf::fmt_time(solve),
                        perf::fmt(baseline_time / solve, 2) + "x",
-                       perf::fmt(perf::achieved_bandwidth_gbs(kN, batch,
-                                                              solve),
-                                 2)
-                               + " GB/s"});
+                       perf::fmt(gbs, 2) + " GB/s"});
+        json.add("table3_spline_build",
+                 {{"version", bench::JsonReport::str(to_string(version))},
+                  {"n", bench::JsonReport::num(kN)},
+                  {"batch", bench::JsonReport::num(batch)},
+                  {"degree", bench::JsonReport::num(3)},
+                  {"uniform", "true"},
+                  {"isa", bench::JsonReport::str(perf::compiled_isa_name())},
+                  {"seconds", bench::JsonReport::num(solve)},
+                  {"speedup_vs_baseline",
+                   bench::JsonReport::num(baseline_time / solve)},
+                  {"bandwidth_gbs", bench::JsonReport::num(gbs)}});
     }
     std::printf("%s\nPaper speedups: fusion 1.30x/2.25x/1.42x, spmv "
                 "1.78x/3.82x/5.01x cumulative (Icelake/A100/MI250X).\n",
                 table.str().c_str());
+    json.write();
     return 0;
 }

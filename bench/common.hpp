@@ -13,9 +13,13 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
-#include <numbers>
+#include <cstring>
+#include <string>
+#include <utility>
 #include <vector>
+#include <numbers>
 
 namespace pspl::bench {
 
@@ -87,6 +91,114 @@ void fill_rhs_raw(const BView& b)
         }
     }
 }
+
+/// Machine-readable result sink behind the `--json <path>` flag shared by
+/// all bench harnesses: each record is one benchmark result (name, problem
+/// parameters, wall time, derived bandwidth...) and the file is a plain
+/// JSON array of flat objects, so committed BENCH_*.json artifacts diff
+/// cleanly and feed plotting scripts without a parser dependency.
+class JsonReport
+{
+public:
+    JsonReport() = default;
+    explicit JsonReport(std::string path) : m_path(std::move(path)) {}
+
+    /// Consumes `--json <path>` or `--json=<path>` from argv (the flag must
+    /// be removed before benchmark::Initialize, which rejects unknown
+    /// flags). Returns a disabled report when the flag is absent.
+    static JsonReport from_args(int& argc, char** argv)
+    {
+        for (int i = 1; i < argc; ++i) {
+            std::string path;
+            int consumed = 0;
+            if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+                path = argv[i + 1];
+                consumed = 2;
+            } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+                path = argv[i] + 7;
+                consumed = 1;
+            }
+            if (consumed > 0) {
+                for (int j = i; j + consumed < argc; ++j) {
+                    argv[j] = argv[j + consumed];
+                }
+                argc -= consumed;
+                return JsonReport(std::move(path));
+            }
+        }
+        return JsonReport();
+    }
+
+    bool enabled() const { return !m_path.empty(); }
+
+    /// JSON number literal (%.17g survives a double round-trip).
+    static std::string num(double v)
+    {
+        char buf[40];
+        std::snprintf(buf, sizeof(buf), "%.17g", v);
+        return buf;
+    }
+
+    static std::string num(std::size_t v) { return std::to_string(v); }
+    static std::string num(int v) { return std::to_string(v); }
+
+    /// JSON string literal (quotes and escapes the payload).
+    static std::string str(const std::string& s)
+    {
+        std::string out = "\"";
+        for (const char c : s) {
+            if (c == '"' || c == '\\') {
+                out += '\\';
+            }
+            out += c;
+        }
+        out += '"';
+        return out;
+    }
+
+    /// One record: `fields` is an ordered list of key -> preformatted JSON
+    /// value pairs (use num()/str()).
+    void add(const std::string& bench_name,
+             std::vector<std::pair<std::string, std::string>> fields)
+    {
+        if (!enabled()) {
+            return;
+        }
+        std::string rec = "{\"bench\": " + str(bench_name);
+        for (const auto& [key, value] : fields) {
+            rec += ", " + str(key) + ": " + value;
+        }
+        rec += "}";
+        m_records.push_back(std::move(rec));
+    }
+
+    /// Writes the accumulated array; no-op when disabled.
+    void write() const
+    {
+        if (!enabled()) {
+            return;
+        }
+        std::FILE* f = std::fopen(m_path.c_str(), "w");
+        if (f == nullptr) {
+            std::fprintf(stderr, "JsonReport: cannot open %s\n",
+                         m_path.c_str());
+            return;
+        }
+        std::fputs("[\n", f);
+        for (std::size_t i = 0; i < m_records.size(); ++i) {
+            std::fprintf(f, "  %s%s\n", m_records[i].c_str(),
+                         i + 1 < m_records.size() ? "," : "");
+        }
+        std::fputs("]\n", f);
+        std::fclose(f);
+        std::printf("JSON results written to %s (%zu records)\n",
+                    m_path.c_str(), m_records.size());
+    }
+
+private:
+    std::string m_path;
+    std::vector<std::string> m_records;
+};
 
 /// Median wall time of `reps` calls to f().
 template <class F>

@@ -12,12 +12,16 @@
 namespace pspl::batched {
 
 struct SerialGbtrsInternal {
-    template <typename ValueType>
+    /// Factor band and RHS carry separate value types so the shared scalar
+    /// factorization can drive a pack-typed RHS (SIMD-across-batch). Pivot
+    /// branches depend only on the shared ipiv, so control flow stays
+    /// batch-uniform and whole packs are swapped.
+    template <typename AValueType, typename BValueType>
     PSPL_INLINE_FUNCTION static int
     invoke(const int n, const int kl, const int ku,
-           const ValueType* PSPL_RESTRICT ab, const int abs0, const int abs1,
+           const AValueType* PSPL_RESTRICT ab, const int abs0, const int abs1,
            const int* PSPL_RESTRICT ipiv, const int ipivs0,
-           ValueType* PSPL_RESTRICT b, const int bs0)
+           BValueType* PSPL_RESTRICT b, const int bs0)
     {
         const int kv = kl + ku;
         // Forward: apply the row interchanges and the unit-lower band L.
@@ -25,12 +29,12 @@ struct SerialGbtrsInternal {
             for (int j = 0; j < n - 1; j++) {
                 const int p = ipiv[j * ipivs0];
                 if (p != j) {
-                    const ValueType t = b[j * bs0];
+                    const BValueType t = b[j * bs0];
                     b[j * bs0] = b[p * bs0];
                     b[p * bs0] = t;
                 }
                 const int km = kl < n - 1 - j ? kl : n - 1 - j;
-                const ValueType bj = b[j * bs0];
+                const BValueType bj = b[j * bs0];
                 for (int i = 1; i <= km; i++) {
                     b[(j + i) * bs0] -= ab[(kv + i) * abs0 + j * abs1] * bj;
                 }
@@ -38,7 +42,7 @@ struct SerialGbtrsInternal {
         }
         // Backward: U has bandwidth kv.
         for (int j = n - 1; j >= 0; j--) {
-            ValueType acc = b[j * bs0];
+            BValueType acc = b[j * bs0];
             const int reach = kv < n - 1 - j ? kv : n - 1 - j;
             for (int i = 1; i <= reach; i++) {
                 acc -= ab[(kv - i) * abs0 + (j + i) * abs1] * b[(j + i) * bs0];

@@ -12,15 +12,18 @@
 namespace pspl::batched {
 
 struct SerialGemvInternal {
-    template <typename ValueType>
+    /// Matrix/scalars and vectors carry separate value types so the shared
+    /// scalar matrix can drive pack-typed x/y (SIMD-across-batch): the
+    /// accumulator is then a pack and every a_ij broadcasts across lanes.
+    template <typename AValueType, typename BValueType>
     PSPL_INLINE_FUNCTION static int
-    invoke(const int m, const int n, const ValueType alpha,
-           const ValueType* PSPL_RESTRICT a, const int as0, const int as1,
-           const ValueType* PSPL_RESTRICT x, const int xs0,
-           const ValueType beta, ValueType* PSPL_RESTRICT y, const int ys0)
+    invoke(const int m, const int n, const AValueType alpha,
+           const AValueType* PSPL_RESTRICT a, const int as0, const int as1,
+           const BValueType* PSPL_RESTRICT x, const int xs0,
+           const AValueType beta, BValueType* PSPL_RESTRICT y, const int ys0)
     {
         for (int i = 0; i < m; i++) {
-            ValueType acc = 0;
+            BValueType acc = 0;
             for (int j = 0; j < n; j++) {
                 acc += a[i * as0 + j * as1] * x[j * xs0];
             }
@@ -38,20 +41,25 @@ struct SerialGemv {
     invoke(const double alpha, const AViewType& a, const XViewType& x,
            const double beta, const YViewType& y)
     {
+        // Deduce the matrix element type from the view so float matrices
+        // get float scalars (avoids a double/float deduction conflict).
+        using AScalar = std::remove_cv_t<std::remove_pointer_t<decltype(a.data())>>;
         if constexpr (std::is_same_v<ArgTrans, Trans::Transpose>) {
             return SerialGemvInternal::invoke(
                     static_cast<int>(a.extent(1)), static_cast<int>(a.extent(0)),
-                    alpha, a.data(), static_cast<int>(a.stride(1)),
+                    static_cast<AScalar>(alpha), a.data(),
+                    static_cast<int>(a.stride(1)),
                     static_cast<int>(a.stride(0)), x.data(),
-                    static_cast<int>(x.stride(0)), beta, y.data(),
-                    static_cast<int>(y.stride(0)));
+                    static_cast<int>(x.stride(0)), static_cast<AScalar>(beta),
+                    y.data(), static_cast<int>(y.stride(0)));
         } else {
             return SerialGemvInternal::invoke(
                     static_cast<int>(a.extent(0)), static_cast<int>(a.extent(1)),
-                    alpha, a.data(), static_cast<int>(a.stride(0)),
+                    static_cast<AScalar>(alpha), a.data(),
+                    static_cast<int>(a.stride(0)),
                     static_cast<int>(a.stride(1)), x.data(),
-                    static_cast<int>(x.stride(0)), beta, y.data(),
-                    static_cast<int>(y.stride(0)));
+                    static_cast<int>(x.stride(0)), static_cast<AScalar>(beta),
+                    y.data(), static_cast<int>(y.stride(0)));
         }
     }
 };

@@ -12,24 +12,28 @@
 namespace pspl::batched {
 
 struct SerialGetrsInternal {
-    template <typename ValueType>
+    /// LU factor and RHS carry separate value types so the shared scalar
+    /// factorization can drive a pack-typed RHS (SIMD-across-batch). Pivot
+    /// branches depend only on the shared ipiv, so control flow stays
+    /// batch-uniform and whole packs are swapped.
+    template <typename AValueType, typename BValueType>
     PSPL_INLINE_FUNCTION static int
-    invoke(const int n, const ValueType* PSPL_RESTRICT lu, const int as0,
+    invoke(const int n, const AValueType* PSPL_RESTRICT lu, const int as0,
            const int as1, const int* PSPL_RESTRICT ipiv, const int ipivs0,
-           ValueType* PSPL_RESTRICT b, const int bs0)
+           BValueType* PSPL_RESTRICT b, const int bs0)
     {
         // Apply row interchanges.
         for (int k = 0; k < n; k++) {
             const int p = ipiv[k * ipivs0];
             if (p != k) {
-                const ValueType t = b[k * bs0];
+                const BValueType t = b[k * bs0];
                 b[k * bs0] = b[p * bs0];
                 b[p * bs0] = t;
             }
         }
         // Forward substitution with unit-diagonal L.
         for (int i = 1; i < n; i++) {
-            ValueType acc = b[i * bs0];
+            BValueType acc = b[i * bs0];
             for (int j = 0; j < i; j++) {
                 acc -= lu[i * as0 + j * as1] * b[j * bs0];
             }
@@ -37,7 +41,7 @@ struct SerialGetrsInternal {
         }
         // Backward substitution with U.
         for (int i = n - 1; i >= 0; i--) {
-            ValueType acc = b[i * bs0];
+            BValueType acc = b[i * bs0];
             for (int j = i + 1; j < n; j++) {
                 acc -= lu[i * as0 + j * as1] * b[j * bs0];
             }

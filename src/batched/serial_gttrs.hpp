@@ -12,21 +12,25 @@
 namespace pspl::batched {
 
 struct SerialGttrsInternal {
-    template <typename ValueType>
+    /// Factor arrays and RHS carry separate value types so the shared
+    /// scalar factorization can drive a pack-typed RHS (SIMD-across-batch).
+    /// The pivot branch depends only on ipiv, which is shared by every
+    /// batch entry, so control flow stays batch-uniform.
+    template <typename AValueType, typename BValueType>
     PSPL_INLINE_FUNCTION static int
-    invoke(const int n, const ValueType* PSPL_RESTRICT dl, const int dls0,
-           const ValueType* PSPL_RESTRICT d, const int ds0,
-           const ValueType* PSPL_RESTRICT du, const int dus0,
-           const ValueType* PSPL_RESTRICT du2, const int du2s0,
+    invoke(const int n, const AValueType* PSPL_RESTRICT dl, const int dls0,
+           const AValueType* PSPL_RESTRICT d, const int ds0,
+           const AValueType* PSPL_RESTRICT du, const int dus0,
+           const AValueType* PSPL_RESTRICT du2, const int du2s0,
            const int* PSPL_RESTRICT ipiv, const int ipivs0,
-           ValueType* PSPL_RESTRICT b, const int bs0)
+           BValueType* PSPL_RESTRICT b, const int bs0)
     {
         // Forward: apply L and the recorded interchanges.
         for (int i = 0; i + 1 < n; i++) {
             if (ipiv[i * ipivs0] == i) {
                 b[(i + 1) * bs0] -= dl[i * dls0] * b[i * bs0];
             } else {
-                const ValueType temp = b[i * bs0];
+                const BValueType temp = b[i * bs0];
                 b[i * bs0] = b[(i + 1) * bs0];
                 b[(i + 1) * bs0] = temp - dl[i * dls0] * b[i * bs0];
             }

@@ -12,15 +12,17 @@
 namespace pspl::batched {
 
 struct SerialPbtrsInternal {
-    template <typename ValueType>
+    /// Factor band and RHS carry separate value types so the shared scalar
+    /// factorization can drive a pack-typed RHS (SIMD-across-batch).
+    template <typename AValueType, typename BValueType>
     PSPL_INLINE_FUNCTION static int
-    invoke(const int n, const int kd, const ValueType* PSPL_RESTRICT ab,
-           const int abs0, const int abs1, ValueType* PSPL_RESTRICT b,
+    invoke(const int n, const int kd, const AValueType* PSPL_RESTRICT ab,
+           const int abs0, const int abs1, BValueType* PSPL_RESTRICT b,
            const int bs0)
     {
         // L y = b (forward substitution over the band).
         for (int j = 0; j < n; j++) {
-            const ValueType bj = b[j * bs0] / ab[j * abs1];
+            const BValueType bj = b[j * bs0] / ab[j * abs1];
             b[j * bs0] = bj;
             const int km = kd < n - 1 - j ? kd : n - 1 - j;
             for (int i = 1; i <= km; i++) {
@@ -29,7 +31,7 @@ struct SerialPbtrsInternal {
         }
         // L^T x = y (backward substitution).
         for (int j = n - 1; j >= 0; j--) {
-            ValueType acc = b[j * bs0];
+            BValueType acc = b[j * bs0];
             const int km = kd < n - 1 - j ? kd : n - 1 - j;
             for (int i = 1; i <= km; i++) {
                 acc -= ab[i * abs0 + j * abs1] * b[(j + i) * bs0];

@@ -13,11 +13,14 @@
 namespace pspl::batched {
 
 struct SerialPttrsInternal {
-    template <typename ValueType>
+    /// Factor arrays and RHS carry separate value types so the shared
+    /// scalar factorization can drive a pack-typed RHS
+    /// (BValueType = simd<double, W>, SIMD-across-batch execution).
+    template <typename AValueType, typename BValueType>
     PSPL_INLINE_FUNCTION static int
-    invoke(const int n, const ValueType* PSPL_RESTRICT d, const int ds0,
-           const ValueType* PSPL_RESTRICT e, const int es0,
-           ValueType* PSPL_RESTRICT b, const int bs0)
+    invoke(const int n, const AValueType* PSPL_RESTRICT d, const int ds0,
+           const AValueType* PSPL_RESTRICT e, const int es0,
+           BValueType* PSPL_RESTRICT b, const int bs0)
     {
         // Solve A * x = b using the factorization L * D * L**T.
         for (int i = 1; i < n; i++) {

@@ -11,9 +11,33 @@
 
 namespace pspl::batched {
 
+struct SerialSpmvCooInternal {
+    /// Matrix values and x/y carry separate value types so the shared
+    /// scalar COO block can drive pack-typed x/y (SIMD-across-batch). The
+    /// raw restrict-qualified pointers matter here: without them the
+    /// indirect y(r) store forces the compiler to reload vals/x each
+    /// iteration, blocking autovectorization of the scalar path.
+    template <typename AValueType, typename BValueType>
+    PSPL_INLINE_FUNCTION static int
+    invoke(const int nnz, const int* PSPL_RESTRICT rows, const int rs0,
+           const int* PSPL_RESTRICT cols, const int cs0,
+           const AValueType* PSPL_RESTRICT vals, const int vs0,
+           const AValueType alpha, const BValueType* PSPL_RESTRICT x,
+           const int xs0, BValueType* PSPL_RESTRICT y, const int ys0)
+    {
+        for (int nz = 0; nz < nnz; ++nz) {
+            y[rows[nz * rs0] * ys0] +=
+                    alpha * vals[nz * vs0] * x[cols[nz * cs0] * xs0];
+        }
+        return 0;
+    }
+};
+
 struct SerialSpmvCoo {
     /// y += alpha * A * x, A in COO format; x and y may be strided rank-1
-    /// subviews of the right-hand-side block.
+    /// subviews of the right-hand-side block (or pack spans in the SIMD
+    /// path -- x and y must alias disjoint storage, which the Schur split
+    /// b0/b1 guarantees).
     template <typename XViewType, typename YViewType>
     PSPL_INLINE_FUNCTION static int invoke(const double alpha,
                                            const sparse::Coo& a,
@@ -23,12 +47,13 @@ struct SerialSpmvCoo {
         const auto& rows = a.rows_idx();
         const auto& cols = a.cols_idx();
         const auto& vals = a.values();
-        for (std::size_t nz = 0; nz < a.nnz(); ++nz) {
-            const auto r = static_cast<std::size_t>(rows(nz));
-            const auto c = static_cast<std::size_t>(cols(nz));
-            y(r) += alpha * vals(nz) * x(c);
-        }
-        return 0;
+        return SerialSpmvCooInternal::invoke(
+                static_cast<int>(a.nnz()), rows.data(),
+                static_cast<int>(rows.stride(0)), cols.data(),
+                static_cast<int>(cols.stride(0)), vals.data(),
+                static_cast<int>(vals.stride(0)), alpha, x.data(),
+                static_cast<int>(x.stride(0)), y.data(),
+                static_cast<int>(y.stride(0)));
     }
 };
 

@@ -8,6 +8,8 @@
 #include "batched/batched.hpp"
 #include "core/schur_solver.hpp"
 #include "parallel/parallel.hpp"
+#include "parallel/simd.hpp"
+#include "parallel/simd_view.hpp"
 #include "parallel/subview.hpp"
 #include "parallel/view.hpp"
 
@@ -19,6 +21,11 @@ enum class BuilderVersion {
     Baseline = 0,
     Fused = 1,
     FusedSpmv = 2,
+    /// Fused kernel with W batch entries per iteration in simd<double, W>
+    /// packs (W = native vector width of the TU's ISA).
+    FusedSimd = 3,
+    /// FusedSpmv with the same SIMD-across-batch mapping.
+    FusedSpmvSimd = 4,
 };
 
 const char* to_string(BuilderVersion v);
@@ -104,14 +111,98 @@ void solve_fused_spmv(const SchurDeviceData& s, const BView& b,
                  });
 }
 
+/// Contiguous span of packs with the rank-1 view interface the batched
+/// kernels expect. The SIMD solve stages W batch columns into one of these
+/// (unit pack stride, resident in cache) and runs every kernel pass on it
+/// with ValueType = simd<double, W>.
+template <class T, int W>
+struct PackSpan {
+    using value_type = simd<T, W>;
+
+    simd<T, W>* PSPL_RESTRICT ptr = nullptr;
+    std::size_t len = 0;
+
+    PSPL_FORCEINLINE_FUNCTION simd<T, W>& operator()(std::size_t i) const
+    {
+        return ptr[i];
+    }
+    PSPL_FORCEINLINE_FUNCTION std::size_t extent(std::size_t) const
+    {
+        return len;
+    }
+    PSPL_FORCEINLINE_FUNCTION simd<T, W>* data() const { return ptr; }
+    PSPL_FORCEINLINE_FUNCTION std::size_t stride(std::size_t) const
+    {
+        return 1;
+    }
+};
+
+/// SIMD-across-batch version of solve_fused / solve_fused_spmv: each
+/// iteration stages W adjacent RHS columns into a per-thread pack buffer,
+/// runs the whole Algorithm-1 chain on packs (the Q-solve recurrence then
+/// advances W independent columns per vector instruction instead of one),
+/// and scatters the result back. Tail chunks zero-fill their dead lanes.
+template <int W, bool UseSpmv, class Exec, class BView>
+void solve_fused_simd(const SchurDeviceData& s, const BView& b,
+                      std::size_t batch)
+{
+    using Pack = simd<double, W>;
+    // Per-thread staging workspace: one pack per matrix row. Allocated per
+    // solve, amortized over batch/concurrency chunks per thread.
+    View<Pack, 2> ws("pspl::simd_workspace",
+                     static_cast<std::size_t>(Exec::concurrency()), s.n);
+    const std::string label = UseSpmv ? "pspl::batched::SerialQsolve-Spmv-Simd"
+                                      : "pspl::batched::SerialQsolve-Gemv-Simd";
+    for_each_batch_simd<W>(label, RangePolicy<Exec>(batch),
+                           [=](const BatchChunk<W>& chunk) {
+        Pack* PSPL_RESTRICT buf =
+                &ws(static_cast<std::size_t>(Exec::thread_rank()), 0);
+        simd_load_chunk<W>(b, 0, s.n, chunk.begin, chunk.lanes, buf);
+        const PackSpan<double, W> b0{buf, s.n0};
+        const PackSpan<double, W> b1{buf + s.n0, s.k};
+        solve_q_serial(s, b0);
+        if (s.k > 0) {
+            if constexpr (UseSpmv) {
+                batched::SerialSpmvCoo::invoke(-1.0, s.lambda_coo, b0, b1);
+            } else {
+                batched::SerialGemv<>::invoke(-1.0, s.lambda_dense, b0, 1.0,
+                                              b1);
+            }
+            batched::SerialGetrs<>::invoke(s.delta_lu, s.delta_ipiv, b1);
+            if constexpr (UseSpmv) {
+                batched::SerialSpmvCoo::invoke(-1.0, s.beta_coo, b1, b0);
+            } else {
+                batched::SerialGemv<>::invoke(-1.0, s.beta_dense, b1, 1.0, b0);
+            }
+        }
+        simd_store_chunk<W>(b, 0, s.n, chunk.begin, chunk.lanes, buf);
+    });
+}
+
 } // namespace detail
 
+/// Explicit-width SIMD batched solve (the ablation entry point): packs of W
+/// adjacent columns through the fused (dense-gemv) or fused-spmv chain.
+template <int W, class Exec = DefaultExecutionSpace, class BView>
+void schur_solve_batched_simd(const SchurDeviceData& s, const BView& b,
+                              bool use_spmv = true)
+{
+    const std::size_t batch = b.extent(1);
+    if (use_spmv) {
+        detail::solve_fused_simd<W, true, Exec>(s, b, batch);
+    } else {
+        detail::solve_fused_simd<W, false, Exec>(s, b, batch);
+    }
+}
+
 /// Solve A x = b in place for every column of `b` (shape (n, batch)) with
-/// the requested kernel version.
+/// the requested kernel version. The SIMD versions use the native pack
+/// width of the ISA this translation unit was compiled for.
 template <class Exec = DefaultExecutionSpace, class BView>
 void schur_solve_batched(const SchurDeviceData& s, const BView& b,
                          BuilderVersion version)
 {
+    constexpr int native_w = simd_preferred_width<double>;
     const std::size_t batch = b.extent(1);
     switch (version) {
     case BuilderVersion::Baseline:
@@ -122,6 +213,12 @@ void schur_solve_batched(const SchurDeviceData& s, const BView& b,
         break;
     case BuilderVersion::FusedSpmv:
         detail::solve_fused_spmv<Exec>(s, b, batch);
+        break;
+    case BuilderVersion::FusedSimd:
+        detail::solve_fused_simd<native_w, false, Exec>(s, b, batch);
+        break;
+    case BuilderVersion::FusedSpmvSimd:
+        detail::solve_fused_simd<native_w, true, Exec>(s, b, batch);
         break;
     }
 }

@@ -11,6 +11,10 @@ const char* to_string(BuilderVersion v)
         return "kernel-fusion";
     case BuilderVersion::FusedSpmv:
         return "gemv->spmv";
+    case BuilderVersion::FusedSimd:
+        return "kernel-fusion+simd";
+    case BuilderVersion::FusedSpmvSimd:
+        return "gemv->spmv+simd";
     }
     return "?";
 }

@@ -10,6 +10,10 @@
 //                getrs, serial GEMV (Listing 4);
 //   FusedSpmv -- the fused kernel with the dense GEMVs replaced by COO
 //                SpMV over the sparse corner blocks (Listing 6).
+// plus the host-SIMD variants FusedSimd / FusedSpmvSimd, which run the
+// fused kernels with W adjacent batch entries per iteration in
+// simd<double, W> packs (see parallel/simd.hpp) -- the host analogue of the
+// warp-level SIMT execution the GPU backends get from the same source.
 //
 // The RHS block is (n, batch) with the batch index contiguous
 // (GPU-coalesced; the paper notes this layout is hostile to CPU caches and

@@ -2,6 +2,17 @@
 
 namespace pspl::core {
 
+const char* to_string(EvaluatorVersion v)
+{
+    switch (v) {
+    case EvaluatorVersion::Scalar:
+        return "scalar";
+    case EvaluatorVersion::Simd:
+        return "simd";
+    }
+    return "?";
+}
+
 std::vector<double>
 SplineEvaluator::evaluate_many(const std::vector<double>& points,
                                const View1D<double>& coeffs) const

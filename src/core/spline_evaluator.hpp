@@ -9,6 +9,8 @@
 #include "bsplines/basis.hpp"
 #include "parallel/macros.hpp"
 #include "parallel/parallel.hpp"
+#include "parallel/simd.hpp"
+#include "parallel/simd_view.hpp"
 #include "parallel/view.hpp"
 
 #include <utility>
@@ -16,17 +18,30 @@
 
 namespace pspl::core {
 
+enum class EvaluatorVersion {
+    Scalar = 0,
+    /// SIMD-across-batch: the basis functions at each point are shared by
+    /// every spline in the batch, so one scalar basis evaluation feeds W
+    /// pack-wide coefficient combinations.
+    Simd = 1,
+};
+
+const char* to_string(EvaluatorVersion v);
+
 class SplineEvaluator
 {
 public:
     SplineEvaluator() = default;
 
-    explicit SplineEvaluator(bsplines::BSplineBasis basis)
-        : m_basis(std::move(basis))
+    explicit SplineEvaluator(bsplines::BSplineBasis basis,
+                             EvaluatorVersion version = EvaluatorVersion::Simd)
+        : m_basis(std::move(basis)), m_version(version)
     {
     }
 
     const bsplines::BSplineBasis& basis() const { return m_basis; }
+    EvaluatorVersion version() const { return m_version; }
+    void set_version(EvaluatorVersion v) { m_version = v; }
 
     /// s(x) for one coefficient column (rank-1 view). Kernel-callable.
     /// Periodic bases wrap x; clamped bases clamp it to the domain.
@@ -72,11 +87,17 @@ public:
                                       const View1D<double>& coeffs) const;
 
     /// Batched evaluation: out(p, i) = s_i(points(p)) where column i of
-    /// `coeffs` (n, batch) holds one spline. Parallel over the batch.
+    /// `coeffs` (n, batch) holds one spline. Parallel over the batch;
+    /// dispatches on the configured EvaluatorVersion.
     template <class Exec = DefaultExecutionSpace, class CView, class OView>
     void evaluate_batched(const View1D<double>& points, const CView& coeffs,
                           const OView& out) const
     {
+        if (m_version == EvaluatorVersion::Simd) {
+            evaluate_batched_simd<simd_preferred_width<double>, Exec>(
+                    points, coeffs, out);
+            return;
+        }
         const std::size_t batch = coeffs.extent(1);
         const std::size_t npts = points.extent(0);
         PSPL_EXPECT(out.extent(0) == npts && out.extent(1) == batch,
@@ -100,8 +121,43 @@ public:
                      });
     }
 
+    /// Explicit-width SIMD evaluation: W adjacent splines per pack. The
+    /// basis values vals[] and the support start jmin depend only on the
+    /// point, so they are computed once per point per chunk and broadcast
+    /// into the lane-wise coefficient combination -- same FP operations per
+    /// lane as the scalar path, in the same order.
+    template <int W, class Exec = DefaultExecutionSpace, class CView,
+              class OView>
+    void evaluate_batched_simd(const View1D<double>& points,
+                               const CView& coeffs, const OView& out) const
+    {
+        const std::size_t batch = coeffs.extent(1);
+        const std::size_t npts = points.extent(0);
+        PSPL_EXPECT(out.extent(0) == npts && out.extent(1) == batch,
+                    "evaluate_batched: output extents mismatch");
+        const SplineEvaluator self = *this;
+        for_each_batch_simd<W>("pspl::core::evaluate_batched_simd",
+                               RangePolicy<Exec>(batch),
+                               [=](const BatchChunk<W>& chunk) {
+            for (std::size_t p = 0; p < npts; ++p) {
+                double vals[bsplines::BSplineBasis::max_degree + 1];
+                const long jmin = self.m_basis.eval_basis(points(p), vals);
+                simd<double, W> acc(0.0);
+                for (int r = 0; r <= self.m_basis.degree(); ++r) {
+                    acc += vals[r]
+                           * simd_load_lanes<W>(
+                                   coeffs,
+                                   self.m_basis.basis_index(jmin + r),
+                                   chunk.begin, chunk.lanes);
+                }
+                simd_store_lanes<W>(acc, out, p, chunk.begin, chunk.lanes);
+            }
+        });
+    }
+
 private:
     bsplines::BSplineBasis m_basis;
+    EvaluatorVersion m_version = EvaluatorVersion::Simd;
 };
 
 } // namespace pspl::core

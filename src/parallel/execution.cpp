@@ -10,5 +10,10 @@ int OpenMP::concurrency()
     return omp_get_max_threads();
 }
 
+int OpenMP::thread_rank()
+{
+    return omp_get_thread_num();
+}
+
 } // namespace pspl
 #endif

@@ -14,6 +14,9 @@ namespace pspl {
 struct Serial {
     static const char* name() { return "Serial"; }
     static int concurrency() { return 1; }
+    /// Rank of the calling thread in [0, concurrency()); kernels use it to
+    /// index per-thread scratch (e.g. the SIMD pack staging buffers).
+    static int thread_rank() { return 0; }
     /// No asynchronous work on host backends; fence is a no-op kept for API
     /// fidelity with device backends.
     static void fence() {}
@@ -24,6 +27,7 @@ struct Serial {
 struct OpenMP {
     static const char* name() { return "OpenMP"; }
     static int concurrency();
+    static int thread_rank();
     static void fence() {}
 };
 

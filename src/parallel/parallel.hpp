@@ -198,6 +198,50 @@ void parallel_for(const std::string& label, MDRangePolicy<3, Exec> policy,
 }
 
 // ---------------------------------------------------------------------------
+// for_each_batch_simd: SIMD-across-batch dispatch.
+//
+// The batch range is carved into chunks of W adjacent batch entries; the
+// functor receives one BatchChunk per iteration and is expected to process
+// its W entries as the W lanes of simd<T, W> packs (simd_view.hpp has the
+// load/store glue). The last chunk may be partial (chunk.lanes < W); all
+// full chunks start at a multiple of W so contiguous-layout pack loads
+// never read past the block.
+// ---------------------------------------------------------------------------
+
+template <int W>
+struct BatchChunk {
+    static constexpr int width = W;
+    std::size_t begin = 0; ///< first batch index of this chunk
+    int lanes = W;         ///< live lanes: W, or the tail remainder
+
+    bool full() const { return lanes == W; }
+};
+
+template <int W, class Exec, class F>
+void for_each_batch_simd(const std::string& label, RangePolicy<Exec> policy,
+                         const F& f)
+{
+    static_assert(W >= 1, "pack width must be positive");
+    const std::size_t begin = policy.begin;
+    const std::size_t end = policy.end;
+    const std::size_t total = end > begin ? end - begin : 0;
+    const std::size_t nchunks = (total + W - 1) / W;
+    parallel_for(label, RangePolicy<Exec>(nchunks), [=](std::size_t c) {
+        const std::size_t j0 = begin + c * static_cast<std::size_t>(W);
+        const int lanes = j0 + W <= end ? W : static_cast<int>(end - j0);
+        f(BatchChunk<W>{j0, lanes});
+    });
+}
+
+/// Shorthand: chunk [0, batch) on the default execution space.
+template <int W, class F>
+void for_each_batch_simd(const std::string& label, std::size_t batch,
+                         const F& f)
+{
+    for_each_batch_simd<W>(label, RangePolicy<DefaultExecutionSpace>(batch), f);
+}
+
+// ---------------------------------------------------------------------------
 // parallel_reduce with Sum/Max/Min reducers. The functor signature is
 // f(index, accumulator&).
 // ---------------------------------------------------------------------------

@@ -1,0 +1,329 @@
+// Portable fixed-width SIMD pack type for vectorizing *across the batch
+// dimension* of the batched solvers.
+//
+// The paper's "one small matrix x huge batch" mapping gives every batch
+// entry identical control flow (same shared factorization, only the RHS
+// differs), so W adjacent batch entries can ride in the W lanes of one
+// vector register: a kernel written against a generic ValueType executes
+// unchanged with ValueType = simd<double, W>, turning its scalar recurrences
+// into W independent recurrences advanced by one vector instruction each.
+// This is the host-side image of the warp-level SIMT execution the paper
+// gets for free on GPUs.
+//
+// Two implementations sit behind one interface:
+//   - a GCC/Clang vector-extension pack (native_pack specializations) that
+//     lowers to SSE/AVX/AVX-512 or NEON instructions, and
+//   - a scalar std::array fallback for any other compiler, written as
+//     fixed-trip-count lane loops that auto-vectorizers handle well.
+// Define PSPL_SIMD_FORCE_SCALAR to force the fallback (used by the unit
+// tests to cross-check both implementations).
+//
+// Tail handling (batch % W != 0) uses prefix masks: load_partial zero-fills
+// the dead lanes (all kernel operations are lane-wise, so dead lanes can
+// never contaminate live ones and 0/d stays finite) and store_partial
+// writes only the live lanes back. where()-masked assignment and select()
+// cover the general masked-update case.
+#pragma once
+
+#include "parallel/macros.hpp"
+
+#include <array>
+#include <cstddef>
+#include <cstring>
+#include <type_traits>
+
+#if !defined(PSPL_SIMD_FORCE_SCALAR) && (defined(__GNUC__) || defined(__clang__))
+#define PSPL_SIMD_VECTOR_EXT 1
+#else
+#define PSPL_SIMD_VECTOR_EXT 0
+#endif
+
+namespace pspl {
+
+namespace detail {
+
+/// Native pack storage. Explicit specializations rather than a dependent
+/// vector_size attribute: the attribute does not accept template-dependent
+/// sizes on all supported compilers.
+template <class T, int W>
+struct native_pack {
+    static constexpr bool available = false;
+    using type = std::array<T, W>;
+};
+
+#if PSPL_SIMD_VECTOR_EXT
+// aligned(alignof(T)) drops the pack alignment to the element alignment so
+// packs can be loaded from any element-aligned address (the RHS block gives
+// no stronger guarantee); may_alias exempts pack accesses from strict
+// aliasing against the underlying element arrays.
+#define PSPL_DEFINE_NATIVE_PACK(T, W, name)                                   \
+    typedef T name __attribute__((vector_size(W * sizeof(T)),                 \
+                                  aligned(alignof(T)), may_alias));           \
+    template <>                                                               \
+    struct native_pack<T, W> {                                                \
+        static constexpr bool available = true;                               \
+        using type = name;                                                    \
+    };
+
+PSPL_DEFINE_NATIVE_PACK(double, 2, pack_storage_d2)
+PSPL_DEFINE_NATIVE_PACK(double, 4, pack_storage_d4)
+PSPL_DEFINE_NATIVE_PACK(double, 8, pack_storage_d8)
+PSPL_DEFINE_NATIVE_PACK(float, 4, pack_storage_f4)
+PSPL_DEFINE_NATIVE_PACK(float, 8, pack_storage_f8)
+PSPL_DEFINE_NATIVE_PACK(float, 16, pack_storage_f16)
+#undef PSPL_DEFINE_NATIVE_PACK
+#endif
+
+} // namespace detail
+
+/// Widest vector register the current translation unit is compiled for, in
+/// bits. Header-inline on purpose: a benchmark TU built with -march=native
+/// sees its own ISA here, independent of how the library objects were built.
+inline constexpr int simd_native_bits =
+#if defined(__AVX512F__)
+        512;
+#elif defined(__AVX__)
+        256;
+#elif defined(__SSE2__) || defined(__ARM_NEON) || defined(__VSX__)
+        128;
+#else
+        64;
+#endif
+
+/// Preferred pack width (lane count) for element type T on this TU's ISA.
+template <class T>
+inline constexpr int simd_preferred_width =
+        simd_native_bits / 8 / static_cast<int>(sizeof(T)) >= 1
+                ? simd_native_bits / 8 / static_cast<int>(sizeof(T))
+                : 1;
+
+template <class T, int W>
+struct simd {
+    static_assert(std::is_arithmetic_v<T>, "simd requires an arithmetic type");
+    static_assert(W >= 1 && (W & (W - 1)) == 0, "simd width must be a power of two");
+
+    using value_type = T;
+    static constexpr int width = W;
+    static constexpr bool has_native = detail::native_pack<T, W>::available;
+    using storage_type = typename detail::native_pack<T, W>::type;
+
+    storage_type v;
+
+    simd() = default;
+
+    /// Broadcast; intentionally implicit so scalar factors mix into pack
+    /// expressions the way they do in the ValueType-generic kernels.
+    PSPL_FORCEINLINE_FUNCTION simd(T s)
+    {
+        for (int l = 0; l < W; ++l) {
+            v[l] = s;
+        }
+    }
+
+    PSPL_FORCEINLINE_FUNCTION T operator[](int l) const { return v[l]; }
+    PSPL_FORCEINLINE_FUNCTION void set(int l, T s) { v[l] = s; }
+
+    // -- contiguous load/store (unaligned; memcpy lowers to vector moves) --
+
+    PSPL_FORCEINLINE_FUNCTION static simd load(const T* p)
+    {
+        simd r;
+        std::memcpy(&r.v, p, sizeof(storage_type));
+        return r;
+    }
+
+    PSPL_FORCEINLINE_FUNCTION void store(T* p) const
+    {
+        std::memcpy(p, &v, sizeof(storage_type));
+    }
+
+    // -- strided (gather/scatter) load/store -------------------------------
+
+    PSPL_FORCEINLINE_FUNCTION static simd load(const T* p, std::ptrdiff_t stride)
+    {
+        simd r;
+        for (int l = 0; l < W; ++l) {
+            r.v[l] = p[static_cast<std::ptrdiff_t>(l) * stride];
+        }
+        return r;
+    }
+
+    PSPL_FORCEINLINE_FUNCTION void store(T* p, std::ptrdiff_t stride) const
+    {
+        for (int l = 0; l < W; ++l) {
+            p[static_cast<std::ptrdiff_t>(l) * stride] = v[l];
+        }
+    }
+
+    // -- masked tail load/store: first `lanes` lanes only ------------------
+
+    /// Loads lanes [0, lanes) and zero-fills the rest, so tail packs stay
+    /// finite through any sequence of lane-wise solves.
+    PSPL_FORCEINLINE_FUNCTION static simd load_partial(const T* p,
+                                                       std::ptrdiff_t stride,
+                                                       int lanes)
+    {
+        simd r(T(0));
+        for (int l = 0; l < lanes; ++l) {
+            r.v[l] = p[static_cast<std::ptrdiff_t>(l) * stride];
+        }
+        return r;
+    }
+
+    PSPL_FORCEINLINE_FUNCTION void store_partial(T* p, std::ptrdiff_t stride,
+                                                 int lanes) const
+    {
+        for (int l = 0; l < lanes; ++l) {
+            p[static_cast<std::ptrdiff_t>(l) * stride] = v[l];
+        }
+    }
+
+    // -- arithmetic --------------------------------------------------------
+
+#define PSPL_SIMD_BINOP(op)                                                   \
+    PSPL_FORCEINLINE_FUNCTION friend simd operator op(simd a, const simd& b)  \
+    {                                                                         \
+        if constexpr (has_native) {                                           \
+            a.v = a.v op b.v;                                                 \
+        } else {                                                              \
+            for (int l = 0; l < W; ++l) {                                     \
+                a.v[l] = a.v[l] op b.v[l];                                    \
+            }                                                                 \
+        }                                                                     \
+        return a;                                                             \
+    }                                                                         \
+    PSPL_FORCEINLINE_FUNCTION friend simd operator op(simd a, T s)            \
+    {                                                                         \
+        return a op simd(s);                                                  \
+    }                                                                         \
+    PSPL_FORCEINLINE_FUNCTION friend simd operator op(T s, const simd& b)     \
+    {                                                                         \
+        return simd(s) op b;                                                  \
+    }                                                                         \
+    PSPL_FORCEINLINE_FUNCTION simd& operator op##=(const simd& b)             \
+    {                                                                         \
+        *this = *this op b;                                                   \
+        return *this;                                                         \
+    }                                                                         \
+    PSPL_FORCEINLINE_FUNCTION simd& operator op##=(T s)                       \
+    {                                                                         \
+        *this = *this op simd(s);                                             \
+        return *this;                                                         \
+    }
+
+    PSPL_SIMD_BINOP(+)
+    PSPL_SIMD_BINOP(-)
+    PSPL_SIMD_BINOP(*)
+    PSPL_SIMD_BINOP(/)
+#undef PSPL_SIMD_BINOP
+
+    PSPL_FORCEINLINE_FUNCTION simd operator-() const
+    {
+        return simd(T(0)) - *this;
+    }
+};
+
+// ---------------------------------------------------------------------------
+// Masks and where()-style masked assignment (tail handling vocabulary).
+// ---------------------------------------------------------------------------
+
+template <class T, int W>
+struct simd_mask {
+    std::array<bool, W> m{};
+
+    /// Prefix mask: lanes [0, n) active -- the shape of every batch tail.
+    PSPL_FORCEINLINE_FUNCTION static simd_mask first(int n)
+    {
+        simd_mask k;
+        for (int l = 0; l < W && l < n; ++l) {
+            k.m[l] = true;
+        }
+        return k;
+    }
+
+    PSPL_FORCEINLINE_FUNCTION static simd_mask all() { return first(W); }
+
+    PSPL_FORCEINLINE_FUNCTION bool operator[](int l) const { return m[l]; }
+
+    PSPL_FORCEINLINE_FUNCTION int count() const
+    {
+        int c = 0;
+        for (int l = 0; l < W; ++l) {
+            c += m[l] ? 1 : 0;
+        }
+        return c;
+    }
+};
+
+/// Lane-wise k ? a : b.
+template <class T, int W>
+PSPL_FORCEINLINE_FUNCTION simd<T, W> select(const simd_mask<T, W>& k,
+                                            const simd<T, W>& a,
+                                            const simd<T, W>& b)
+{
+    simd<T, W> r;
+    for (int l = 0; l < W; ++l) {
+        r.set(l, k[l] ? a[l] : b[l]);
+    }
+    return r;
+}
+
+namespace detail {
+
+template <class T, int W>
+struct where_expr {
+    simd_mask<T, W> k;
+    simd<T, W>& x;
+
+    PSPL_FORCEINLINE_FUNCTION void operator=(const simd<T, W>& rhs) const
+    {
+        x = select(k, rhs, x);
+    }
+    PSPL_FORCEINLINE_FUNCTION void operator+=(const simd<T, W>& rhs) const
+    {
+        x = select(k, x + rhs, x);
+    }
+    PSPL_FORCEINLINE_FUNCTION void operator-=(const simd<T, W>& rhs) const
+    {
+        x = select(k, x - rhs, x);
+    }
+    PSPL_FORCEINLINE_FUNCTION void operator*=(const simd<T, W>& rhs) const
+    {
+        x = select(k, x * rhs, x);
+    }
+};
+
+} // namespace detail
+
+/// Kokkos::Experimental::where-style masked view of a pack:
+/// `where(mask, x) = y` assigns y only in the active lanes.
+template <class T, int W>
+PSPL_FORCEINLINE_FUNCTION detail::where_expr<T, W> where(const simd_mask<T, W>& k,
+                                                         simd<T, W>& x)
+{
+    return {k, x};
+}
+
+// ---------------------------------------------------------------------------
+// Traits, so generic code can ask "is this a pack, and how wide?"
+// ---------------------------------------------------------------------------
+
+template <class X>
+struct is_simd : std::false_type {
+};
+template <class T, int W>
+struct is_simd<simd<T, W>> : std::true_type {
+};
+template <class X>
+inline constexpr bool is_simd_v = is_simd<X>::value;
+
+template <class X>
+struct simd_width : std::integral_constant<int, 1> {
+};
+template <class T, int W>
+struct simd_width<simd<T, W>> : std::integral_constant<int, W> {
+};
+template <class X>
+inline constexpr int simd_width_v = simd_width<X>::value;
+
+} // namespace pspl

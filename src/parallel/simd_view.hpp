@@ -1,0 +1,106 @@
+// Load/store glue between rank-2 (n, batch) View blocks and simd packs.
+//
+// A pack covers W *adjacent batch entries* of one row: lanes map to the
+// batch index, never the matrix index (the batch entries are independent,
+// the matrix rows are coupled by the recurrences). The fast path is a
+// single unaligned vector move when the batch index is contiguous
+// (LayoutRight, the paper's GPU-coalesced layout); any other layout
+// (LayoutLeft, sliced LayoutStride) degrades gracefully to a strided
+// gather/scatter with identical semantics. Tails (batch % W != 0) use the
+// zero-filling masked loads from simd.hpp.
+#pragma once
+
+#include "parallel/macros.hpp"
+#include "parallel/simd.hpp"
+
+#include <cstddef>
+
+namespace pspl {
+
+/// Pack of W lanes from row `i`, batch columns [j0, j0 + lanes) of `v`.
+template <int W, class V>
+PSPL_FORCEINLINE_FUNCTION auto simd_load_lanes(const V& v, std::size_t i,
+                                               std::size_t j0, int lanes)
+{
+    using T = std::remove_cv_t<typename V::value_type>;
+    const T* p = &v(i, j0);
+    const auto stride = static_cast<std::ptrdiff_t>(v.stride(1));
+    if (lanes == W) {
+        return stride == 1 ? simd<T, W>::load(p) : simd<T, W>::load(p, stride);
+    }
+    return simd<T, W>::load_partial(p, stride, lanes);
+}
+
+/// Store the first `lanes` lanes of `x` to row `i`, columns [j0, j0 + lanes).
+template <int W, class V>
+PSPL_FORCEINLINE_FUNCTION void
+simd_store_lanes(const simd<std::remove_cv_t<typename V::value_type>, W>& x,
+                 const V& v, std::size_t i, std::size_t j0, int lanes)
+{
+    using T = std::remove_cv_t<typename V::value_type>;
+    T* p = &v(i, j0);
+    const auto stride = static_cast<std::ptrdiff_t>(v.stride(1));
+    if (lanes == W) {
+        if (stride == 1) {
+            x.store(p);
+        } else {
+            x.store(p, stride);
+        }
+        return;
+    }
+    x.store_partial(p, stride, lanes);
+}
+
+/// Stage rows [row0, row0 + nrows) x batch columns [j0, j0 + lanes) of `b`
+/// into a contiguous pack buffer, one pack per row. The batched-serial
+/// kernels then run on the buffer with unit stride, entirely in cache.
+template <int W, class BView, class T>
+PSPL_INLINE_FUNCTION void simd_load_chunk(const BView& b, std::size_t row0,
+                                          std::size_t nrows, std::size_t j0,
+                                          int lanes,
+                                          simd<T, W>* PSPL_RESTRICT buf)
+{
+    const auto stride = static_cast<std::ptrdiff_t>(b.stride(1));
+    if (lanes == W) {
+        if (stride == 1) {
+            for (std::size_t r = 0; r < nrows; ++r) {
+                buf[r] = simd<T, W>::load(&b(row0 + r, j0));
+            }
+        } else {
+            for (std::size_t r = 0; r < nrows; ++r) {
+                buf[r] = simd<T, W>::load(&b(row0 + r, j0), stride);
+            }
+        }
+        return;
+    }
+    for (std::size_t r = 0; r < nrows; ++r) {
+        buf[r] = simd<T, W>::load_partial(&b(row0 + r, j0), stride, lanes);
+    }
+}
+
+/// Inverse of simd_load_chunk: write the live lanes back into the block.
+template <int W, class BView, class T>
+PSPL_INLINE_FUNCTION void simd_store_chunk(const BView& b, std::size_t row0,
+                                           std::size_t nrows, std::size_t j0,
+                                           int lanes,
+                                           const simd<T, W>* PSPL_RESTRICT buf)
+{
+    const auto stride = static_cast<std::ptrdiff_t>(b.stride(1));
+    if (lanes == W) {
+        if (stride == 1) {
+            for (std::size_t r = 0; r < nrows; ++r) {
+                buf[r].store(&b(row0 + r, j0));
+            }
+        } else {
+            for (std::size_t r = 0; r < nrows; ++r) {
+                buf[r].store(&b(row0 + r, j0), stride);
+            }
+        }
+        return;
+    }
+    for (std::size_t r = 0; r < nrows; ++r) {
+        buf[r].store_partial(&b(row0 + r, j0), stride, lanes);
+    }
+}
+
+} // namespace pspl

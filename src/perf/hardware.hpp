@@ -7,10 +7,45 @@
 // computing measured efficiencies on the host backends.
 #pragma once
 
+#include "parallel/simd.hpp"
+
 #include <string>
 #include <vector>
 
 namespace pspl::perf {
+
+/// Name of the widest vector ISA *this translation unit* was compiled for.
+/// Header-inline on purpose: a benchmark TU built with -march=native
+/// reports its own ISA even though the library objects target the baseline
+/// architecture (the hot kernels are header templates, so they are
+/// instantiated -- and vectorized -- in the reporting TU itself).
+inline const char* compiled_isa_name()
+{
+#if defined(__AVX512F__)
+    return "AVX-512";
+#elif defined(__AVX2__)
+    return "AVX2";
+#elif defined(__AVX__)
+    return "AVX";
+#elif defined(__SSE2__)
+    return "SSE2";
+#elif defined(__ARM_NEON)
+    return "NEON";
+#elif defined(__VSX__)
+    return "VSX";
+#else
+    return "scalar";
+#endif
+}
+
+/// One-line ISA summary for bench headers, e.g.
+/// "AVX-512 (512-bit, 8 fp64 lanes)".
+inline std::string compiled_isa_summary()
+{
+    return std::string(compiled_isa_name()) + " ("
+           + std::to_string(simd_native_bits) + "-bit, "
+           + std::to_string(simd_preferred_width<double>) + " fp64 lanes)";
+}
 
 struct HardwareSpec {
     std::string name;

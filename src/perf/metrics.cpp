@@ -48,6 +48,24 @@ double pennycook_portability(const std::vector<double>& efficiencies_percent)
     return static_cast<double>(efficiencies_percent.size()) / denom;
 }
 
+double effective_vector_width(double scalar_seconds, double simd_seconds)
+{
+    if (simd_seconds <= 0.0) {
+        return 0.0;
+    }
+    return scalar_seconds / simd_seconds;
+}
+
+double simd_lane_efficiency_percent(double scalar_seconds,
+                                    double simd_seconds, int width)
+{
+    if (width <= 0) {
+        return 0.0;
+    }
+    return 100.0 * effective_vector_width(scalar_seconds, simd_seconds)
+           / static_cast<double>(width);
+}
+
 KernelModel spline_builder_model(int degree, bool uniform)
 {
     // Hand counts per grid point of one RHS column (corner-block work is

@@ -42,6 +42,17 @@ double architectural_efficiency_percent(double achieved_gflops,
 /// Returns 0 if the application is unsupported (efficiency <= 0) anywhere.
 double pennycook_portability(const std::vector<double>& efficiencies_percent);
 
+/// Effective vector width of a SIMD path: the number of lanes that actually
+/// paid off, measured as the speedup over the identical scalar path
+/// (scalar_seconds / simd_seconds). Equals the pack width W for a perfectly
+/// vectorized memory-insensitive kernel; lower when bandwidth or tail
+/// handling eats into the win.
+double effective_vector_width(double scalar_seconds, double simd_seconds);
+
+/// effective_vector_width as a percentage of the pack width W.
+double simd_lane_efficiency_percent(double scalar_seconds,
+                                    double simd_seconds, int width);
+
 /// Hand-counted per-grid-point cost model of a spline building kernel.
 struct KernelModel {
     double flops_per_point = 0.0;

@@ -113,7 +113,9 @@ INSTANTIATE_TEST_SUITE_P(
         ::testing::Combine(::testing::Values(3, 4, 5), ::testing::Bool(),
                            ::testing::Values(BuilderVersion::Baseline,
                                              BuilderVersion::Fused,
-                                             BuilderVersion::FusedSpmv)),
+                                             BuilderVersion::FusedSpmv,
+                                             BuilderVersion::FusedSimd,
+                                             BuilderVersion::FusedSpmvSimd)),
         [](const auto& info) {
             const int d = std::get<0>(info.param);
             const bool u = std::get<1>(info.param);
@@ -129,6 +131,12 @@ INSTANTIATE_TEST_SUITE_P(
                 break;
             case BuilderVersion::FusedSpmv:
                 name += "spmv";
+                break;
+            case BuilderVersion::FusedSimd:
+                name += "fused_simd";
+                break;
+            case BuilderVersion::FusedSpmvSimd:
+                name += "spmv_simd";
                 break;
             }
             return name;
@@ -291,6 +299,8 @@ TEST(SplineBuilder, VersionNames)
     EXPECT_STREQ(to_string(BuilderVersion::Baseline), "baseline");
     EXPECT_STREQ(to_string(BuilderVersion::Fused), "kernel-fusion");
     EXPECT_STREQ(to_string(BuilderVersion::FusedSpmv), "gemv->spmv");
+    EXPECT_STREQ(to_string(BuilderVersion::FusedSimd), "kernel-fusion+simd");
+    EXPECT_STREQ(to_string(BuilderVersion::FusedSpmvSimd), "gemv->spmv+simd");
 }
 
 } // namespace
