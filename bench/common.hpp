@@ -7,6 +7,7 @@
 
 #include "bsplines/basis.hpp"
 #include "bsplines/knots.hpp"
+#include "debug/check.hpp"
 #include "parallel/profiling.hpp"
 #include "parallel/view.hpp"
 
@@ -22,6 +23,30 @@
 #include <numbers>
 
 namespace pspl::bench {
+
+/// Guard against polluting benchmark numbers with instrumented builds: a
+/// bench TU compiled with PSPL_CHECK=ON refuses to start (the checked hot
+/// paths cost orders of magnitude more than the measured kernels), unless
+/// PSPL_ALLOW_CHECKED_BENCH=1 explicitly overrides for smoke runs.  The
+/// flag is also recorded in every emitted --json record so committed
+/// BENCH_*.json artifacts are self-describing.
+inline void require_unchecked()
+{
+    if constexpr (pspl::debug::check_enabled) {
+        const char* allow = std::getenv("PSPL_ALLOW_CHECKED_BENCH");
+        if (allow == nullptr || allow[0] != '1') {
+            std::fprintf(stderr,
+                         "pspl: bench refused: compiled with PSPL_CHECK=ON; "
+                         "instrumented timings are not comparable. Rebuild "
+                         "with PSPL_CHECK=OFF or set "
+                         "PSPL_ALLOW_CHECKED_BENCH=1 for a smoke run.\n");
+            std::exit(EXIT_FAILURE);
+        }
+    }
+}
+
+// Every bench TU includes this header; run the guard before main().
+inline const bool bench_check_guard = (require_unchecked(), true);
 
 inline bool full_scale()
 {
@@ -165,6 +190,10 @@ public:
             return;
         }
         std::string rec = "{\"bench\": " + str(bench_name);
+        // Provenance: whether this binary carried the instrumentation layer
+        // (it should never be "true" for committed BENCH_*.json artifacts).
+        rec += std::string(", \"pspl_check\": ")
+               + (pspl::debug::check_enabled ? "true" : "false");
         for (const auto& [key, value] : fields) {
             rec += ", " + str(key) + ": " + value;
         }

@@ -7,6 +7,7 @@
 
 #include "batched/batched.hpp"
 #include "core/schur_solver.hpp"
+#include "debug/registry.hpp"
 #include "parallel/parallel.hpp"
 #include "parallel/simd.hpp"
 #include "parallel/simd_view.hpp"
@@ -124,6 +125,7 @@ struct PackSpan {
 
     PSPL_FORCEINLINE_FUNCTION simd<T, W>& operator()(std::size_t i) const
     {
+        PSPL_DEBUG_ASSERT(i < len, "PackSpan: index out of bounds");
         return ptr[i];
     }
     PSPL_FORCEINLINE_FUNCTION std::size_t extent(std::size_t) const
@@ -147,14 +149,23 @@ void solve_fused_simd(const SchurDeviceData& s, const BView& b,
                       std::size_t batch)
 {
     using Pack = simd<double, W>;
-    // Per-thread staging workspace: one pack per matrix row. Allocated per
-    // solve, amortized over batch/concurrency chunks per thread.
+    // Per-thread staging workspace: one pack per matrix row per thread,
+    // allocated up front -- before the parallel region -- at its full size
+    // (full and tail chunks share the same rows), so every chunk reuses one
+    // stable allocation.  Instrumentation and TSan then see a single
+    // allocation spanning the region; the scratch guard tells the
+    // write-conflict detector that per-thread reuse of these rows across
+    // chunks is staging, not a cross-batch race.
     View<Pack, 2> ws("pspl::simd_workspace",
                      static_cast<std::size_t>(Exec::concurrency()), s.n);
+    debug::ScratchGuard scratch(ws.data(), ws.size() * sizeof(Pack));
     const std::string label = UseSpmv ? "pspl::batched::SerialQsolve-Spmv-Simd"
                                       : "pspl::batched::SerialQsolve-Gemv-Simd";
     for_each_batch_simd<W>(label, RangePolicy<Exec>(batch),
                            [=](const BatchChunk<W>& chunk) {
+        PSPL_DEBUG_ASSERT(
+                chunk.begin + static_cast<std::size_t>(chunk.lanes) <= batch,
+                "solve_fused_simd: chunk outside batch range");
         Pack* PSPL_RESTRICT buf =
                 &ws(static_cast<std::size_t>(Exec::thread_rank()), 0);
         simd_load_chunk<W>(b, 0, s.n, chunk.begin, chunk.lanes, buf);

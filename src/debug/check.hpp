@@ -1,0 +1,38 @@
+// Correctness-instrumentation core: the PSPL_CHECK compile-time switch and
+// the structured failure channel every checker reports through.
+//
+// The instrumentation layer (bounds provenance, allocation registry, write
+// conflict detection, NaN poisoning) is compiled in only when the build sets
+// -DPSPL_CHECK (CMake option PSPL_CHECK=ON).  Every hook in the hot paths is
+// guarded by `if constexpr (debug::check_enabled)`, so an unchecked build
+// carries zero runtime and zero code-size cost -- the same discipline as
+// Kokkos' ENABLE_DEBUG_BOUNDS_CHECK.
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+namespace pspl::debug {
+
+#if defined(PSPL_CHECK)
+inline constexpr bool check_enabled = true;
+#else
+inline constexpr bool check_enabled = false;
+#endif
+
+/// Printf-style fatal diagnostic: prints one "pspl: check failed:" line to
+/// stderr and aborts.  Checkers route every violation through here so death
+/// tests (and humans) can match on a single stable prefix.
+[[noreturn]] inline void fail(const char* fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    std::fputs("pspl: check failed: ", stderr);
+    std::vfprintf(stderr, fmt, args);
+    std::fputc('\n', stderr);
+    va_end(args);
+    std::abort();
+}
+
+} // namespace pspl::debug

@@ -1,0 +1,150 @@
+#include "debug/conflict.hpp"
+
+#include "debug/registry.hpp"
+
+#include <atomic>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace pspl::debug {
+
+namespace {
+
+constexpr std::size_t max_snapshot_bytes = 16;
+
+// Shadow entry for one touched element address.
+struct Touch {
+    std::size_t first_iter = 0;
+    std::size_t second_iter = 0;
+    unsigned bytes = 0;
+    bool shared = false;
+    unsigned char snapshot[max_snapshot_bytes] = {};
+    std::string label; // only filled once shared (few entries pay for it)
+};
+
+// Shadow maps can reach one entry per element a kernel touches; past this
+// cap the detector stops recording for the region and reports that it
+// saturated rather than exhausting memory ("no silent caps").
+constexpr std::size_t max_entries = std::size_t{1} << 22;
+
+struct Detector {
+    std::mutex mutex;
+    std::unordered_map<const void*, Touch> touched;
+    std::string label;
+    bool saturated = false;
+};
+
+Detector& detector()
+{
+    static Detector d;
+    return d;
+}
+
+std::atomic<int> g_depth{0};
+std::atomic<bool> g_active{false};
+
+thread_local std::size_t t_iteration = 0;
+
+} // namespace
+
+bool region_begin(const char* label)
+{
+    if (g_depth.fetch_add(1, std::memory_order_acq_rel) != 0) {
+        return false; // nested dispatch: outer region keeps ownership
+    }
+    auto& d = detector();
+    std::lock_guard lock(d.mutex);
+    d.touched.clear();
+    d.label = label != nullptr ? label : "";
+    d.saturated = false;
+    g_active.store(true, std::memory_order_release);
+    return true;
+}
+
+void region_end(bool owner)
+{
+    if (!owner) {
+        g_depth.fetch_sub(1, std::memory_order_acq_rel);
+        return;
+    }
+    auto& d = detector();
+    {
+        std::lock_guard lock(d.mutex);
+        g_active.store(false, std::memory_order_release);
+        if (d.saturated) {
+            std::fprintf(stderr,
+                         "pspl: warning: write-conflict detector saturated "
+                         "in region '%s' (> %zu touched elements); coverage "
+                         "for this region is partial\n",
+                         d.label.c_str(), max_entries);
+        }
+        for (const auto& [addr, t] : d.touched) {
+            if (!t.shared) {
+                continue;
+            }
+            if (std::memcmp(t.snapshot, addr, t.bytes) != 0) {
+                fail("write conflict in region '%s': view '%s' element at "
+                     "%p is written by two iterations (first touched by "
+                     "iteration %zu, again by iteration %zu, and its value "
+                     "changed before the region ended)",
+                     d.label.c_str(), t.label.c_str(), addr, t.first_iter,
+                     t.second_iter);
+            }
+        }
+        d.touched.clear();
+    }
+    g_depth.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+void set_iteration(std::size_t iter)
+{
+    t_iteration = iter;
+}
+
+bool region_active()
+{
+    return g_active.load(std::memory_order_acquire);
+}
+
+void record_access(const void* p, std::size_t bytes, const char* label)
+{
+    if (!g_active.load(std::memory_order_acquire)) {
+        return;
+    }
+    if (in_scratch(p)) {
+        return;
+    }
+    auto& d = detector();
+    std::lock_guard lock(d.mutex);
+    if (!g_active.load(std::memory_order_acquire)) {
+        return; // region closed while we waited on the lock
+    }
+    if (d.saturated) {
+        return;
+    }
+    if (d.touched.size() >= max_entries) {
+        d.saturated = true;
+        return;
+    }
+    auto [it, inserted] = d.touched.try_emplace(p);
+    Touch& t = it->second;
+    if (inserted) {
+        t.first_iter = t_iteration;
+        t.bytes = static_cast<unsigned>(
+                bytes < max_snapshot_bytes ? bytes : max_snapshot_bytes);
+        return;
+    }
+    if (t.shared || t.first_iter == t_iteration) {
+        return;
+    }
+    // Second distinct iteration touching this element: snapshot now (before
+    // this iteration's store lands) and compare at region end.
+    t.shared = true;
+    t.second_iter = t_iteration;
+    t.label = label != nullptr ? label : "";
+    std::memcpy(t.snapshot, p, t.bytes);
+}
+
+} // namespace pspl::debug

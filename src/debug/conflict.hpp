@@ -1,0 +1,71 @@
+// Write-conflict detector for parallel regions.
+//
+// parallel_for / parallel_reduce / for_each_batch_simd open a *region*; the
+// dispatcher tags each functor invocation with its iteration index, and
+// every View element access inside the region records its address.  When
+// two distinct iteration indices touch the same element the detector
+// snapshots the element's bytes; at region end any snapshotted element
+// whose bytes changed was written by at least one of the touching
+// iterations -- the cross-batch write conflict that fusing kernels over the
+// batch index can introduce -- and the region aborts with both iteration
+// indices and the view label.
+//
+// Genuinely shared *read-only* data (the factorized matrix every batch
+// entry consumes) is naturally tolerated: its bytes never change, so the
+// snapshot comparison stays silent.  Per-thread staging scratch is exempted
+// via registry::mark_scratch, since reuse of a staging buffer by successive
+// chunks on one thread is not a race.  Limits (documented in
+// docs/DEBUGGING.md): a conflict where the second writer stores the same
+// bytes, or a write-then-read pair whose value is stable afterwards, is not
+// flagged -- the CI TSan job cross-validates this detector exactly because
+// it is a lightweight single-pass shadow, not a full happens-before engine.
+#pragma once
+
+#include "debug/check.hpp"
+
+#include <cstddef>
+
+namespace pspl::debug {
+
+/// Open/close a conflict-detection region.  Regions nest: only the
+/// outermost dispatcher owns detection; inner dispatches (a parallel_for
+/// issued from inside a kernel) keep attributing accesses to the outer
+/// iteration.
+bool region_begin(const char* label);
+void region_end(bool owner);
+
+/// Iteration tag for the current thread (owner dispatcher only).
+void set_iteration(std::size_t iter);
+
+/// Record one element access at `p` of `bytes` bytes from view `label`.
+/// Called by View::operator() (via instrument.hpp) when a region is open.
+void record_access(const void* p, std::size_t bytes, const char* label);
+
+bool region_active();
+
+/// RAII wrapper used by the dispatch layer.
+class RegionGuard
+{
+public:
+    explicit RegionGuard(const char* label)
+    {
+        if constexpr (check_enabled) {
+            m_owner = region_begin(label);
+        }
+    }
+    ~RegionGuard()
+    {
+        if constexpr (check_enabled) {
+            region_end(m_owner);
+        }
+    }
+    RegionGuard(const RegionGuard&) = delete;
+    RegionGuard& operator=(const RegionGuard&) = delete;
+
+    bool owner() const { return m_owner; }
+
+private:
+    bool m_owner = false;
+};
+
+} // namespace pspl::debug

@@ -1,0 +1,24 @@
+// Umbrella header threading the instrumentation into the parallel layer.
+//
+// view.hpp / parallel.hpp / deep_copy.hpp include this and call the hooks
+// below under `if constexpr (debug::check_enabled)`; in unchecked builds
+// the branches are discarded at compile time, so the data-structure layer
+// pays nothing.
+#pragma once
+
+#include "debug/check.hpp"
+#include "debug/conflict.hpp"
+#include "debug/poison.hpp"
+#include "debug/registry.hpp"
+
+namespace pspl::debug {
+
+/// Per-element access hook invoked from View::operator(): use-after-free
+/// lookup, then write-conflict shadowing when a region is open.
+inline void on_access(const void* p, std::size_t bytes, const char* label)
+{
+    check_live(p, label);
+    record_access(p, bytes, label);
+}
+
+} // namespace pspl::debug

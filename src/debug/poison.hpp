@@ -1,0 +1,92 @@
+// NaN poisoning of fresh View allocations.
+//
+// When poisoning is active, every freshly allocated float/double View is
+// filled with a recognizable quiet-NaN payload instead of relying on its
+// zero-initialization.  An uninitialized read then surfaces as NaN in the
+// spline chain (instead of a plausible-looking zero), and choke points that
+// scan their inputs (deep_copy) abort with the source label when they see
+// the payload.
+//
+// Poisoning is opt-in at runtime even in checked builds -- zero-initialized
+// storage is part of the View contract and tests legitimately rely on it --
+// via PSPL_CHECK_POISON=1 in the environment or debug::set_poison(true).
+#pragma once
+
+#include "debug/check.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+namespace pspl::debug {
+
+namespace detail {
+inline bool& poison_flag()
+{
+    static bool flag = []() {
+        const char* env = std::getenv("PSPL_CHECK_POISON");
+        return env != nullptr && env[0] == '1';
+    }();
+    return flag;
+}
+} // namespace detail
+
+inline bool poison_enabled() { return check_enabled && detail::poison_flag(); }
+inline void set_poison(bool on) { detail::poison_flag() = on; }
+
+/// Quiet NaNs with an ASCII "PS"-tagged payload, distinguishable from NaNs
+/// produced by arithmetic (those have payload 0 / sign-dependent patterns).
+inline constexpr std::uint64_t poison_bits_f64 = 0x7FF8'5053'5053'5053ull;
+inline constexpr std::uint32_t poison_bits_f32 = 0x7FC5'0535u;
+
+template <class T>
+inline constexpr bool poisonable_v =
+        std::is_same_v<T, double> || std::is_same_v<T, float>;
+
+template <class T>
+T poison_value()
+{
+    static_assert(poisonable_v<T>);
+    T v;
+    if constexpr (std::is_same_v<T, double>) {
+        std::memcpy(&v, &poison_bits_f64, sizeof v);
+    } else {
+        std::memcpy(&v, &poison_bits_f32, sizeof v);
+    }
+    return v;
+}
+
+/// Bit-exact test for the poison payload (NaN compares defeat ==).
+template <class T>
+bool is_poison(const T& x)
+{
+    if constexpr (std::is_same_v<T, double>) {
+        std::uint64_t bits;
+        std::memcpy(&bits, &x, sizeof bits);
+        return bits == poison_bits_f64;
+    } else if constexpr (std::is_same_v<T, float>) {
+        std::uint32_t bits;
+        std::memcpy(&bits, &x, sizeof bits);
+        return bits == poison_bits_f32;
+    } else {
+        return false;
+    }
+}
+
+/// Overwrite `n` fresh elements with the poison payload; no-op for types
+/// that carry no payload encoding or when poisoning is off.
+template <class T>
+void poison_fill([[maybe_unused]] T* p, [[maybe_unused]] std::size_t n)
+{
+    if constexpr (poisonable_v<T>) {
+        if (!poison_enabled()) {
+            return;
+        }
+        const T v = poison_value<T>();
+        for (std::size_t i = 0; i < n; ++i) {
+            p[i] = v;
+        }
+    }
+}
+
+} // namespace pspl::debug

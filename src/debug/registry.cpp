@@ -1,0 +1,175 @@
+#include "debug/registry.hpp"
+
+#include <atomic>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+
+namespace pspl::debug {
+
+namespace {
+
+struct Range {
+    std::uintptr_t base = 0;
+    std::size_t bytes = 0;
+    std::string label;
+
+    bool contains(std::uintptr_t p) const
+    {
+        return p >= base && p < base + bytes;
+    }
+};
+
+// Tombstones are bounded: dead ranges only matter while a stale alias might
+// still be around, and an unbounded list would slow every access forever.
+constexpr std::size_t max_tombstones = 512;
+
+struct Registry {
+    std::shared_mutex mutex;
+    std::map<std::uintptr_t, Range> live;   // keyed by base address
+    std::deque<Range> tombstones;           // most recent first
+};
+
+Registry& registry()
+{
+    static Registry r;
+    return r;
+}
+
+// Fast-path gate: check_live only takes the lock while something has
+// actually been freed since the last overlap-erase.
+std::atomic<std::size_t> g_tombstone_count{0};
+
+struct ScratchRanges {
+    std::shared_mutex mutex;
+    std::map<std::uintptr_t, std::size_t> ranges; // base -> bytes
+};
+
+ScratchRanges& scratch()
+{
+    static ScratchRanges s;
+    return s;
+}
+
+std::atomic<std::size_t> g_scratch_count{0};
+
+std::uintptr_t addr(const void* p)
+{
+    return reinterpret_cast<std::uintptr_t>(p);
+}
+
+/// First element of `m` whose range could contain `p` (ranges keyed by
+/// base, non-overlapping): the greatest base <= p.
+template <class Map>
+typename Map::const_iterator find_covering(const Map& m, std::uintptr_t p)
+{
+    auto it = m.upper_bound(p);
+    if (it == m.begin()) {
+        return m.end();
+    }
+    return --it;
+}
+
+} // namespace
+
+void register_allocation(const void* base, std::size_t bytes,
+                         const char* label)
+{
+    auto& r = registry();
+    std::unique_lock lock(r.mutex);
+    // Allocator reuse: a new allocation overlapping a tombstone proves the
+    // tombstoned range is gone for good -- drop it or it would misfire.
+    const std::uintptr_t b = addr(base);
+    for (auto it = r.tombstones.begin(); it != r.tombstones.end();) {
+        if (it->base < b + bytes && b < it->base + it->bytes) {
+            it = r.tombstones.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    g_tombstone_count.store(r.tombstones.size(), std::memory_order_relaxed);
+    r.live[b] = Range{b, bytes, label != nullptr ? label : ""};
+}
+
+void release_allocation(const void* base)
+{
+    auto& r = registry();
+    std::unique_lock lock(r.mutex);
+    auto it = r.live.find(addr(base));
+    if (it == r.live.end()) {
+        return;
+    }
+    r.tombstones.push_front(std::move(it->second));
+    r.live.erase(it);
+    if (r.tombstones.size() > max_tombstones) {
+        r.tombstones.pop_back();
+    }
+    g_tombstone_count.store(r.tombstones.size(), std::memory_order_relaxed);
+}
+
+void check_live(const void* p, const char* accessor_label)
+{
+    if (g_tombstone_count.load(std::memory_order_relaxed) == 0) {
+        return;
+    }
+    auto& r = registry();
+    std::shared_lock lock(r.mutex);
+    const std::uintptr_t a = addr(p);
+    // Live wins: a reused address belongs to its current owner.
+    auto live_it = find_covering(r.live, a);
+    if (live_it != r.live.end() && live_it->second.contains(a)) {
+        return;
+    }
+    for (const Range& t : r.tombstones) {
+        if (t.contains(a)) {
+            fail("use-after-free: access through view '%s' hits freed "
+                 "allocation '%s' [base %p, %zu bytes]",
+                 accessor_label != nullptr ? accessor_label : "?",
+                 t.label.c_str(), reinterpret_cast<const void*>(t.base),
+                 t.bytes);
+        }
+    }
+}
+
+void mark_scratch(const void* base, std::size_t bytes)
+{
+    auto& s = scratch();
+    std::unique_lock lock(s.mutex);
+    s.ranges[addr(base)] = bytes;
+    g_scratch_count.store(s.ranges.size(), std::memory_order_relaxed);
+}
+
+void unmark_scratch(const void* base)
+{
+    auto& s = scratch();
+    std::unique_lock lock(s.mutex);
+    s.ranges.erase(addr(base));
+    g_scratch_count.store(s.ranges.size(), std::memory_order_relaxed);
+}
+
+bool in_scratch(const void* p)
+{
+    if (g_scratch_count.load(std::memory_order_relaxed) == 0) {
+        return false;
+    }
+    auto& s = scratch();
+    std::shared_lock lock(s.mutex);
+    auto it = find_covering(s.ranges, addr(p));
+    return it != s.ranges.end() && addr(p) < it->first + it->second;
+}
+
+std::size_t live_allocation_count()
+{
+    auto& r = registry();
+    std::shared_lock lock(r.mutex);
+    return r.live.size();
+}
+
+std::size_t tombstone_count()
+{
+    return g_tombstone_count.load(std::memory_order_relaxed);
+}
+
+} // namespace pspl::debug

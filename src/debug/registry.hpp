@@ -1,0 +1,69 @@
+// Allocation registry: View lifetime tracking for use-after-free detection.
+//
+// Every owning View registers its allocation [base, base + bytes) with a
+// label; the shared_ptr deleter releases it.  Released ranges are kept as
+// tombstones (bounded ring), so an access through a dangling alias -- an
+// unmanaged View wrapping data() of an owner that has since died, or a raw
+// pointer cached across a reallocation -- is flagged with the label of the
+// freed allocation it points into.  Registering a new allocation erases any
+// tombstone it overlaps, so allocator address reuse cannot produce false
+// positives for live Views.
+//
+// The registry also tracks *scratch* ranges: per-thread staging buffers
+// (e.g. the SIMD pack workspace) that are legitimately rewritten by many
+// iterations of one parallel region and must be exempt from write-conflict
+// detection.
+//
+// All functions are thread-safe; reads (the per-access check_live path) take
+// a shared lock and short-circuit on an atomic tombstone counter, so the
+// checked-build overhead stays bounded when nothing has been freed yet.
+#pragma once
+
+#include "debug/check.hpp"
+
+#include <cstddef>
+
+namespace pspl::debug {
+
+void register_allocation(const void* base, std::size_t bytes,
+                         const char* label);
+void release_allocation(const void* base);
+
+/// Abort if `p` points into a freed (tombstoned) allocation.  Unknown
+/// addresses (stack buffers, foreign heap memory wrapped by unmanaged
+/// Views) pass silently -- the registry only rules on memory it has seen.
+void check_live(const void* p, const char* accessor_label);
+
+/// Exempt [base, base + bytes) from write-conflict detection.
+void mark_scratch(const void* base, std::size_t bytes);
+void unmark_scratch(const void* base);
+bool in_scratch(const void* p);
+
+/// RAII scratch marker for per-thread staging workspaces.
+class ScratchGuard
+{
+public:
+    ScratchGuard(const void* base, std::size_t bytes) : m_base(base)
+    {
+        if constexpr (check_enabled) {
+            mark_scratch(base, bytes);
+        }
+    }
+    ~ScratchGuard()
+    {
+        if constexpr (check_enabled) {
+            unmark_scratch(m_base);
+        }
+    }
+    ScratchGuard(const ScratchGuard&) = delete;
+    ScratchGuard& operator=(const ScratchGuard&) = delete;
+
+private:
+    [[maybe_unused]] const void* m_base;
+};
+
+/// Counters for introspection and tests.
+std::size_t live_allocation_count();
+std::size_t tombstone_count();
+
+} // namespace pspl::debug

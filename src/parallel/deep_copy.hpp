@@ -17,8 +17,76 @@ void check_same_extents(const View<TDst, Rank, LDst>& dst,
                         const View<TSrc, Rank, LSrc>& src)
 {
     for (std::size_t r = 0; r < Rank; ++r) {
-        PSPL_EXPECT(dst.extent(r) == src.extent(r),
-                    "deep_copy: extent mismatch");
+        if (dst.extent(r) != src.extent(r)) {
+            if constexpr (debug::check_enabled) {
+                debug::fail("deep_copy: extent mismatch in dimension %zu: "
+                            "dst '%s' has extent %zu, src '%s' has extent "
+                            "%zu",
+                            r, dst.label().c_str(), dst.extent(r),
+                            src.label().c_str(), src.extent(r));
+            }
+            abort_with("deep_copy: extent mismatch");
+        }
+    }
+}
+
+/// Smallest byte interval covering every addressable element of `v`
+/// (strides are non-negative, so data() is the low end).  Empty views map
+/// to an empty interval.
+template <class T, std::size_t Rank, class L>
+std::pair<const unsigned char*, const unsigned char*>
+byte_span(const View<T, Rank, L>& v)
+{
+    const auto* base = reinterpret_cast<const unsigned char*>(v.data());
+    std::size_t last = 0;
+    for (std::size_t r = 0; r < Rank; ++r) {
+        if (v.extent(r) == 0) {
+            return {base, base};
+        }
+        last += (v.extent(r) - 1) * v.stride(r);
+    }
+    return {base, base + (last + 1) * sizeof(T)};
+}
+
+/// Checked builds reject aliasing copies: with any overlap between source
+/// and destination spans the elementwise loops read elements the copy has
+/// already clobbered (or will clobber), which is order-dependent garbage.
+template <class TDst, class TSrc, std::size_t Rank, class LDst, class LSrc>
+void check_no_overlap([[maybe_unused]] const View<TDst, Rank, LDst>& dst,
+                      [[maybe_unused]] const View<TSrc, Rank, LSrc>& src)
+{
+    if constexpr (debug::check_enabled) {
+        if (dst.data() == nullptr || src.data() == nullptr) {
+            return;
+        }
+        const auto [d_lo, d_hi] = byte_span(dst);
+        const auto [s_lo, s_hi] = byte_span(src);
+        if (d_lo < s_hi && s_lo < d_hi) {
+            debug::fail("deep_copy: destination '%s' [%p, %p) overlaps "
+                        "source '%s' [%p, %p); aliasing copies are "
+                        "order-dependent",
+                        dst.label().c_str(),
+                        static_cast<const void*>(d_lo),
+                        static_cast<const void*>(d_hi), src.label().c_str(),
+                        static_cast<const void*>(s_lo),
+                        static_cast<const void*>(s_hi));
+        }
+    }
+}
+
+/// With poisoning active, a poison payload flowing through deep_copy means
+/// the source element was never written since allocation.
+template <class T>
+PSPL_FORCEINLINE_FUNCTION void
+check_initialized_read([[maybe_unused]] const T& value,
+                       [[maybe_unused]] const char* src_label)
+{
+    if constexpr (debug::check_enabled) {
+        if (debug::poison_enabled() && debug::is_poison(value)) {
+            debug::fail("deep_copy: reading uninitialized (NaN-poisoned) "
+                        "element of '%s'",
+                        src_label);
+        }
     }
 }
 
@@ -28,8 +96,11 @@ template <class T, class LDst, class LSrc>
 void deep_copy(const View<T, 1, LDst>& dst, const View<T, 1, LSrc>& src)
 {
     detail::check_same_extents(dst, src);
+    detail::check_no_overlap(dst, src);
     for (std::size_t i = 0; i < dst.extent(0); ++i) {
-        dst(i) = src(i);
+        const T& v = src(i);
+        detail::check_initialized_read(v, src.label().c_str());
+        dst(i) = v;
     }
 }
 
@@ -37,9 +108,12 @@ template <class T, class LDst, class LSrc>
 void deep_copy(const View<T, 2, LDst>& dst, const View<T, 2, LSrc>& src)
 {
     detail::check_same_extents(dst, src);
+    detail::check_no_overlap(dst, src);
     for (std::size_t i = 0; i < dst.extent(0); ++i) {
         for (std::size_t j = 0; j < dst.extent(1); ++j) {
-            dst(i, j) = src(i, j);
+            const T& v = src(i, j);
+            detail::check_initialized_read(v, src.label().c_str());
+            dst(i, j) = v;
         }
     }
 }
@@ -48,10 +122,13 @@ template <class T, class LDst, class LSrc>
 void deep_copy(const View<T, 3, LDst>& dst, const View<T, 3, LSrc>& src)
 {
     detail::check_same_extents(dst, src);
+    detail::check_no_overlap(dst, src);
     for (std::size_t i = 0; i < dst.extent(0); ++i) {
         for (std::size_t j = 0; j < dst.extent(1); ++j) {
             for (std::size_t k = 0; k < dst.extent(2); ++k) {
-                dst(i, j, k) = src(i, j, k);
+                const T& v = src(i, j, k);
+                detail::check_initialized_read(v, src.label().c_str());
+                dst(i, j, k) = v;
             }
         }
     }

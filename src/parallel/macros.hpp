@@ -41,3 +41,12 @@ inline constexpr bool bounds_check_enabled = false;
             ::pspl::abort_with(msg);    \
         }                               \
     } while (0)
+
+// Internal-consistency assertion for hot kernels: active in checked
+// (PSPL_CHECK) and unoptimized (no NDEBUG) builds, compiled out of release
+// builds so the kernels keep their measured cost.
+#if defined(PSPL_CHECK) || !defined(NDEBUG)
+#define PSPL_DEBUG_ASSERT(cond, msg) PSPL_EXPECT(cond, msg)
+#else
+#define PSPL_DEBUG_ASSERT(cond, msg) ((void)0)
+#endif

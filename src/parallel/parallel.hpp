@@ -6,6 +6,7 @@
 // the paper collects per-kernel times with Kokkos-tools.
 #pragma once
 
+#include "debug/instrument.hpp"
 #include "parallel/execution.hpp"
 #include "parallel/macros.hpp"
 #include "parallel/profiling.hpp"
@@ -133,6 +134,31 @@ void dispatch_reduce(OpenMP, std::size_t b, std::size_t e, const F& f, T& result
 }
 #endif
 
+/// Reduce dispatch with the same region/iteration instrumentation as
+/// parallel_for (reduce functors may write Views besides the accumulator).
+template <class Exec, class F, class T, class Combine>
+void dispatch_reduce_checked(const std::string& label, std::size_t b,
+                             std::size_t e, const F& f, T& result, T identity,
+                             Combine combine)
+{
+    if constexpr (debug::check_enabled) {
+        debug::RegionGuard region(label.c_str());
+        if (region.owner()) {
+            dispatch_reduce(
+                    Exec{}, b, e,
+                    [&f](std::size_t i, T& acc) {
+                        debug::set_iteration(i);
+                        f(i, acc);
+                    },
+                    result, identity, combine);
+        } else {
+            dispatch_reduce(Exec{}, b, e, f, result, identity, combine);
+        }
+        return;
+    }
+    dispatch_reduce(Exec{}, b, e, f, result, identity, combine);
+}
+
 class KernelTimer
 {
 public:
@@ -170,6 +196,22 @@ template <class Exec, class F>
 void parallel_for(const std::string& label, RangePolicy<Exec> policy, const F& f)
 {
     detail::KernelTimer t(label);
+    if constexpr (debug::check_enabled) {
+        // Open a write-conflict region and tag every functor invocation
+        // with its iteration index; only the outermost dispatch owns the
+        // region (nested dispatches keep the outer attribution).
+        debug::RegionGuard region(label.c_str());
+        if (region.owner()) {
+            detail::dispatch_range(Exec{}, policy.begin, policy.end,
+                                   [&f](std::size_t i) {
+                                       debug::set_iteration(i);
+                                       f(i);
+                                   });
+        } else {
+            detail::dispatch_range(Exec{}, policy.begin, policy.end, f);
+        }
+        return;
+    }
     detail::dispatch_range(Exec{}, policy.begin, policy.end, f);
 }
 
@@ -185,6 +227,20 @@ void parallel_for(const std::string& label, MDRangePolicy<2, Exec> policy,
                   const F& f)
 {
     detail::KernelTimer t(label);
+    if constexpr (debug::check_enabled) {
+        debug::RegionGuard region(label.c_str());
+        if (region.owner()) {
+            const std::size_t n1 = policy.upper[1];
+            detail::dispatch_md2(Exec{}, policy.upper[0], policy.upper[1],
+                                 [&f, n1](std::size_t i, std::size_t j) {
+                                     debug::set_iteration(i * n1 + j);
+                                     f(i, j);
+                                 });
+        } else {
+            detail::dispatch_md2(Exec{}, policy.upper[0], policy.upper[1], f);
+        }
+        return;
+    }
     detail::dispatch_md2(Exec{}, policy.upper[0], policy.upper[1], f);
 }
 
@@ -193,6 +249,25 @@ void parallel_for(const std::string& label, MDRangePolicy<3, Exec> policy,
                   const F& f)
 {
     detail::KernelTimer t(label);
+    if constexpr (debug::check_enabled) {
+        debug::RegionGuard region(label.c_str());
+        if (region.owner()) {
+            const std::size_t n1 = policy.upper[1];
+            const std::size_t n2 = policy.upper[2];
+            detail::dispatch_md3(Exec{}, policy.upper[0], policy.upper[1],
+                                 policy.upper[2],
+                                 [&f, n1, n2](std::size_t i, std::size_t j,
+                                              std::size_t k) {
+                                     debug::set_iteration((i * n1 + j) * n2
+                                                          + k);
+                                     f(i, j, k);
+                                 });
+        } else {
+            detail::dispatch_md3(Exec{}, policy.upper[0], policy.upper[1],
+                                 policy.upper[2], f);
+        }
+        return;
+    }
     detail::dispatch_md3(Exec{}, policy.upper[0], policy.upper[1],
                          policy.upper[2], f);
 }
@@ -229,6 +304,8 @@ void for_each_batch_simd(const std::string& label, RangePolicy<Exec> policy,
     parallel_for(label, RangePolicy<Exec>(nchunks), [=](std::size_t c) {
         const std::size_t j0 = begin + c * static_cast<std::size_t>(W);
         const int lanes = j0 + W <= end ? W : static_cast<int>(end - j0);
+        PSPL_DEBUG_ASSERT(j0 < end && lanes >= 1 && lanes <= W,
+                          "for_each_batch_simd: chunk outside batch range");
         f(BatchChunk<W>{j0, lanes});
     });
 }
@@ -270,8 +347,9 @@ void parallel_reduce(const std::string& label, RangePolicy<Exec> policy,
 {
     detail::KernelTimer t(label);
     reducer.value = T{};
-    detail::dispatch_reduce(Exec{}, policy.begin, policy.end, f, reducer.value,
-                            T{}, [](T a, T b) { return a + b; });
+    detail::dispatch_reduce_checked<Exec>(label, policy.begin, policy.end, f,
+                                          reducer.value, T{},
+                                          [](T a, T b) { return a + b; });
 }
 
 template <class Exec, class F, class T>
@@ -281,8 +359,9 @@ void parallel_reduce(const std::string& label, RangePolicy<Exec> policy,
     detail::KernelTimer t(label);
     const T identity = std::numeric_limits<T>::lowest();
     reducer.value = identity;
-    detail::dispatch_reduce(Exec{}, policy.begin, policy.end, f, reducer.value,
-                            identity, [](T a, T b) { return a > b ? a : b; });
+    detail::dispatch_reduce_checked<Exec>(
+            label, policy.begin, policy.end, f, reducer.value, identity,
+            [](T a, T b) { return a > b ? a : b; });
 }
 
 template <class Exec, class F, class T>
@@ -292,8 +371,9 @@ void parallel_reduce(const std::string& label, RangePolicy<Exec> policy,
     detail::KernelTimer t(label);
     const T identity = std::numeric_limits<T>::max();
     reducer.value = identity;
-    detail::dispatch_reduce(Exec{}, policy.begin, policy.end, f, reducer.value,
-                            identity, [](T a, T b) { return a < b ? a : b; });
+    detail::dispatch_reduce_checked<Exec>(
+            label, policy.begin, policy.end, f, reducer.value, identity,
+            [](T a, T b) { return a < b ? a : b; });
 }
 
 /// Shorthand: sum-reduce [0, n) on the default execution space.

@@ -23,6 +23,10 @@ PSPL_FORCEINLINE_FUNCTION auto simd_load_lanes(const V& v, std::size_t i,
                                                std::size_t j0, int lanes)
 {
     using T = std::remove_cv_t<typename V::value_type>;
+    PSPL_DEBUG_ASSERT(lanes >= 1 && lanes <= W
+                              && j0 + static_cast<std::size_t>(lanes)
+                                         <= v.extent(1),
+                      "simd_load_lanes: lane window outside batch extent");
     const T* p = &v(i, j0);
     const auto stride = static_cast<std::ptrdiff_t>(v.stride(1));
     if (lanes == W) {
@@ -38,6 +42,10 @@ simd_store_lanes(const simd<std::remove_cv_t<typename V::value_type>, W>& x,
                  const V& v, std::size_t i, std::size_t j0, int lanes)
 {
     using T = std::remove_cv_t<typename V::value_type>;
+    PSPL_DEBUG_ASSERT(lanes >= 1 && lanes <= W
+                              && j0 + static_cast<std::size_t>(lanes)
+                                         <= v.extent(1),
+                      "simd_store_lanes: lane window outside batch extent");
     T* p = &v(i, j0);
     const auto stride = static_cast<std::ptrdiff_t>(v.stride(1));
     if (lanes == W) {
@@ -60,6 +68,10 @@ PSPL_INLINE_FUNCTION void simd_load_chunk(const BView& b, std::size_t row0,
                                           int lanes,
                                           simd<T, W>* PSPL_RESTRICT buf)
 {
+    PSPL_DEBUG_ASSERT(row0 + nrows <= b.extent(0) && lanes >= 1 && lanes <= W
+                              && j0 + static_cast<std::size_t>(lanes)
+                                         <= b.extent(1),
+                      "simd_load_chunk: chunk outside block extents");
     const auto stride = static_cast<std::ptrdiff_t>(b.stride(1));
     if (lanes == W) {
         if (stride == 1) {
@@ -85,6 +97,10 @@ PSPL_INLINE_FUNCTION void simd_store_chunk(const BView& b, std::size_t row0,
                                            int lanes,
                                            const simd<T, W>* PSPL_RESTRICT buf)
 {
+    PSPL_DEBUG_ASSERT(row0 + nrows <= b.extent(0) && lanes >= 1 && lanes <= W
+                              && j0 + static_cast<std::size_t>(lanes)
+                                         <= b.extent(1),
+                      "simd_store_chunk: chunk outside block extents");
     const auto stride = static_cast<std::ptrdiff_t>(b.stride(1));
     if (lanes == W) {
         if (stride == 1) {

@@ -62,15 +62,31 @@ auto subview(const View<T, Rank, Layout>& v, Slicers... slicers)
         } else if constexpr (detail::is_pair<S>::value) {
             const auto begin = static_cast<std::size_t>(s.first);
             const auto end = static_cast<std::size_t>(s.second);
-            PSPL_EXPECT(begin <= end && end <= v.extent(r),
-                        "subview range out of bounds");
+            if (!(begin <= end && end <= v.extent(r))) {
+                if constexpr (debug::check_enabled) {
+                    debug::fail("subview of '%s': range [%zu, %zu) invalid "
+                                "for dimension %zu of rank-%zu view "
+                                "(extent %zu)",
+                                v.label().c_str(), begin, end, r, Rank,
+                                v.extent(r));
+                }
+                abort_with("subview range out of bounds");
+            }
             offset += begin * v.stride(r);
             ext[out] = end - begin;
             str[out] = v.stride(r);
             ++out;
         } else {
             const auto i = static_cast<std::size_t>(s);
-            PSPL_EXPECT(i < v.extent(r), "subview index out of bounds");
+            if (i >= v.extent(r)) {
+                if constexpr (debug::check_enabled) {
+                    debug::fail("subview of '%s': index %zu out of bounds "
+                                "for dimension %zu of rank-%zu view "
+                                "(extent %zu)",
+                                v.label().c_str(), i, r, Rank, v.extent(r));
+                }
+                abort_with("subview index out of bounds");
+            }
             offset += i * v.stride(r);
         }
         ++r;

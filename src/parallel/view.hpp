@@ -7,6 +7,7 @@
 // usable inside parallel kernels.
 #pragma once
 
+#include "debug/instrument.hpp"
 #include "parallel/layout.hpp"
 #include "parallel/macros.hpp"
 
@@ -50,7 +51,17 @@ public:
         , m_stride(Layout::strides(m_extent))
     {
         const std::size_t n = size();
-        m_alloc = std::shared_ptr<T[]>(new T[n]());
+        if constexpr (debug::check_enabled) {
+            T* p = new T[n]();
+            debug::register_allocation(p, n * sizeof(T), m_label.c_str());
+            debug::poison_fill(p, n);
+            m_alloc = std::shared_ptr<T[]>(p, [](T* q) {
+                debug::release_allocation(q);
+                delete[] q;
+            });
+        } else {
+            m_alloc = std::shared_ptr<T[]>(new T[n]());
+        }
         m_data = m_alloc.get();
     }
 
@@ -80,7 +91,9 @@ public:
     {
         static_assert(Rank == 1);
         bounds_check(i0, 0);
-        return m_data[i0 * m_stride[0]];
+        T& ref = m_data[i0 * m_stride[0]];
+        instrument_access(ref);
+        return ref;
     }
 
     PSPL_FORCEINLINE_FUNCTION T& operator()(std::size_t i0, std::size_t i1) const
@@ -88,7 +101,9 @@ public:
         static_assert(Rank == 2);
         bounds_check(i0, 0);
         bounds_check(i1, 1);
-        return m_data[i0 * m_stride[0] + i1 * m_stride[1]];
+        T& ref = m_data[i0 * m_stride[0] + i1 * m_stride[1]];
+        instrument_access(ref);
+        return ref;
     }
 
     PSPL_FORCEINLINE_FUNCTION T&
@@ -98,7 +113,9 @@ public:
         bounds_check(i0, 0);
         bounds_check(i1, 1);
         bounds_check(i2, 2);
-        return m_data[i0 * m_stride[0] + i1 * m_stride[1] + i2 * m_stride[2]];
+        T& ref = m_data[i0 * m_stride[0] + i1 * m_stride[1] + i2 * m_stride[2]];
+        instrument_access(ref);
+        return ref;
     }
 
     PSPL_FORCEINLINE_FUNCTION T&
@@ -109,8 +126,10 @@ public:
         bounds_check(i1, 1);
         bounds_check(i2, 2);
         bounds_check(i3, 3);
-        return m_data[i0 * m_stride[0] + i1 * m_stride[1] + i2 * m_stride[2]
-                      + i3 * m_stride[3]];
+        T& ref = m_data[i0 * m_stride[0] + i1 * m_stride[1] + i2 * m_stride[2]
+                        + i3 * m_stride[3]];
+        instrument_access(ref);
+        return ref;
     }
 
     PSPL_FORCEINLINE_FUNCTION std::size_t extent(std::size_t r) const
@@ -167,10 +186,41 @@ private:
     PSPL_FORCEINLINE_FUNCTION void bounds_check([[maybe_unused]] std::size_t i,
                                                 [[maybe_unused]] std::size_t r) const
     {
-        if constexpr (bounds_check_enabled) {
+        if constexpr (debug::check_enabled) {
+            if (i >= m_extent[r]) {
+                fail_out_of_bounds(i, r);
+            }
+        } else if constexpr (bounds_check_enabled) {
             if (i >= m_extent[r]) {
                 abort_with("View index out of bounds");
             }
+        }
+    }
+
+    /// Cold path: out-of-bounds diagnostic with full extent provenance
+    /// (label, offending rank/index, and every extent of the view).
+    [[noreturn]] __attribute__((noinline, cold)) void
+    fail_out_of_bounds(std::size_t i, std::size_t r) const
+    {
+        char extents[64];
+        int pos = 0;
+        for (std::size_t d = 0; d < Rank; ++d) {
+            pos += std::snprintf(extents + pos,
+                                 sizeof(extents) - static_cast<size_t>(pos),
+                                 d == 0 ? "%zu" : " x %zu", m_extent[d]);
+        }
+        debug::fail("View '%s' rank-%zu index %zu = %zu is out of bounds "
+                    "(extent %zu, view extents [%s])",
+                    m_label.empty() ? "<unmanaged>" : m_label.c_str(),
+                    Rank, r, i, m_extent[r], extents);
+    }
+
+    PSPL_FORCEINLINE_FUNCTION void instrument_access([[maybe_unused]] T& ref) const
+    {
+        if constexpr (debug::check_enabled) {
+            debug::on_access(&ref, sizeof(T),
+                             m_label.empty() ? "<unmanaged>"
+                                             : m_label.c_str());
         }
     }
 

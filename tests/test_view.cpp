@@ -251,4 +251,126 @@ TEST(Subview, StridedViewIsNotContiguous)
     EXPECT_TRUE(row.span_is_contiguous());
 }
 
+// ---------------------------------------------------------------------------
+// Aliasing rules: subviews are views of the parent storage, never copies.
+// ---------------------------------------------------------------------------
+
+TEST(Subview, OverlappingRangesAliasParentStorage)
+{
+    View1D<double> base("base", 10);
+    auto lo = subview(base, std::pair<std::size_t, std::size_t>(0, 6));
+    auto hi = subview(base, std::pair<std::size_t, std::size_t>(4, 10));
+    // Elements 4 and 5 are shared: a write through one range is visible
+    // through the other and through the parent.
+    lo(4) = 7.5;
+    EXPECT_EQ(hi(0), 7.5);
+    EXPECT_EQ(base(4), 7.5);
+    hi(1) = -2.0;
+    EXPECT_EQ(lo(5), -2.0);
+    EXPECT_EQ(lo.data() + 4, hi.data());
+}
+
+TEST(Subview, DisjointRangesDoNotAlias)
+{
+    View1D<double> base("base", 10);
+    auto lo = subview(base, std::pair<std::size_t, std::size_t>(0, 5));
+    auto hi = subview(base, std::pair<std::size_t, std::size_t>(5, 10));
+    lo(4) = 1.0;
+    hi(0) = 2.0;
+    EXPECT_EQ(base(4), 1.0);
+    EXPECT_EQ(base(5), 2.0);
+    // Half-open ranges: [0, 5) and [5, 10) share no element.
+    EXPECT_EQ(lo.data() + 5, hi.data());
+}
+
+TEST(Subview, TransposedViewAliasesSource)
+{
+    View2D<double> m("m", 3, 4);
+    auto t = pspl::transposed_view(m);
+    t(2, 1) = 9.0;
+    EXPECT_EQ(m(1, 2), 9.0);
+    EXPECT_EQ(t.data(), m.data());
+}
+
+// ---------------------------------------------------------------------------
+// deep_copy between strided and partial-extent views.
+// ---------------------------------------------------------------------------
+
+TEST(DeepCopy, StridedColumnToStridedColumn)
+{
+    View2D<double> a("a", 5, 4);
+    View2D<double> b("b", 5, 6);
+    for (std::size_t i = 0; i < 5; ++i) {
+        a(i, 2) = static_cast<double>(i) + 0.5;
+    }
+    auto src = subview(a, ALL, std::size_t{2});
+    auto dst = subview(b, ALL, std::size_t{3});
+    pspl::deep_copy(dst, src);
+    for (std::size_t i = 0; i < 5; ++i) {
+        EXPECT_EQ(b(i, 3), static_cast<double>(i) + 0.5);
+        // Neighbouring columns are untouched by the strided copy.
+        EXPECT_EQ(b(i, 2), 0.0);
+        EXPECT_EQ(b(i, 4), 0.0);
+    }
+}
+
+TEST(DeepCopy, PartialExtentBlockRoundTrip)
+{
+    View2D<double> m("m", 6, 8);
+    for (std::size_t i = 0; i < 6; ++i) {
+        for (std::size_t j = 0; j < 8; ++j) {
+            m(i, j) = static_cast<double>(10 * i + j);
+        }
+    }
+    auto block = subview(m, std::pair<std::size_t, std::size_t>(1, 4),
+                         std::pair<std::size_t, std::size_t>(2, 7));
+    View2D<double> stash("stash", 3, 5);
+    pspl::deep_copy(stash, block);
+    EXPECT_EQ(stash(0, 0), 12.0);
+    EXPECT_EQ(stash(2, 4), 36.0);
+    // Mutate the stash and copy it back into the (strided) block.
+    pspl::deep_copy(stash, -1.0);
+    pspl::deep_copy(block, stash);
+    EXPECT_EQ(m(1, 2), -1.0);
+    EXPECT_EQ(m(3, 6), -1.0);
+    // Elements outside the block keep their original values.
+    EXPECT_EQ(m(0, 0), 0.0);
+    EXPECT_EQ(m(4, 7), 47.0);
+    EXPECT_EQ(m(1, 1), 11.0);
+}
+
+TEST(DeepCopy, Rank3StridedSliceToCompact)
+{
+    View3D<double> t("t", 3, 4, 5);
+    for (std::size_t i = 0; i < 3; ++i) {
+        for (std::size_t j = 0; j < 4; ++j) {
+            for (std::size_t k = 0; k < 5; ++k) {
+                t(i, j, k) = static_cast<double>(100 * i + 10 * j + k);
+            }
+        }
+    }
+    auto slab = subview(t, std::pair<std::size_t, std::size_t>(1, 3), ALL,
+                        std::pair<std::size_t, std::size_t>(0, 2));
+    View3D<double> compact("compact", 2, 4, 2);
+    pspl::deep_copy(compact, slab);
+    EXPECT_EQ(compact(0, 0, 0), 100.0);
+    EXPECT_EQ(compact(1, 3, 1), 231.0);
+}
+
+TEST(DeepCopy, IdenticalExtentSubviewsOfDistinctParents)
+{
+    // The overlap rule only rejects copies within one allocation; two
+    // same-shape subviews of different parents copy fine.
+    View2D<double> a("a", 4, 4);
+    View2D<double> b("b", 4, 4);
+    pspl::deep_copy(a, 3.25);
+    auto sa = subview(a, std::pair<std::size_t, std::size_t>(1, 3), ALL);
+    auto sb = subview(b, std::pair<std::size_t, std::size_t>(1, 3), ALL);
+    pspl::deep_copy(sb, sa);
+    EXPECT_EQ(b(1, 0), 3.25);
+    EXPECT_EQ(b(2, 3), 3.25);
+    EXPECT_EQ(b(0, 0), 0.0);
+    EXPECT_EQ(b(3, 3), 0.0);
+}
+
 } // namespace

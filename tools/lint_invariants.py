@@ -1,0 +1,217 @@
+#!/usr/bin/env python3
+"""Repo-invariant lint for the portaspline source tree.
+
+Enforces the structural rules the runtime instrumentation layer (src/debug/)
+assumes and the batched-kernel design depends on:
+
+  1. Every header under src/ starts with `#pragma once`.
+  2. Raw allocation (`new`, `malloc`, `calloc`, `realloc`, `free`) appears
+     only in src/parallel/view.hpp -- the single choke point the allocation
+     registry instruments.  Everything else must allocate through View.
+  3. Batched serial kernels (src/batched/serial_*.hpp) are header-only and
+     allocation-free: no `new`/`malloc`, no std::vector/std::string/std::map
+     members -- they run inside parallel regions on every backend.
+  4. Pointer parameters of `invoke(...)` in serial_*.hpp carry PSPL_RESTRICT
+     (the no-alias contract the SIMD codegen relies on).
+  5. Kernel lambdas passed to parallel_for / parallel_reduce /
+     for_each_batch_simd in src/ capture by value (`[=]`) -- reference
+     captures dangle on offloading backends.  src/parallel/ itself is
+     exempt: the dispatcher's internal trampolines and reduce combiners
+     are host-side implementation, not kernels.
+  6. No std::cout / printf in src/ library code (stderr via debug::fail or
+     profiling hooks only); keeps library output parseable.
+
+Exit code 0 when clean, 1 with one `file:line: message` per violation.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+
+ALLOC_CHOKE_POINT = SRC / "parallel" / "view.hpp"
+
+# `new` as an expression (not "a new allocation" in a comment, not
+# placement-new tokens inside words).
+RAW_NEW = re.compile(r"(?<![\w.])new\s+[A-Za-z_:][\w:<>,\s]*[\[(]")
+RAW_CALLOC = re.compile(r"(?<![\w.])(?:malloc|calloc|realloc|free)\s*\(")
+STD_CONTAINER = re.compile(r"std::(?:vector|string|map|set|deque|list)\b")
+KERNEL_DISPATCH = re.compile(
+    r"(?:parallel_for|parallel_reduce|for_each_batch_simd(?:<[^>]*>)?)\s*\(")
+LAMBDA_CAPTURE = re.compile(r"\[(?P<cap>[^\]]*)\]\s*\(")
+IO_CALL = re.compile(r"std::cout|(?<![\w:.])printf\s*\(")
+
+
+def strip_comments(text: str) -> str:
+    """Blank out // and /* */ comments and string literals, preserving line
+    structure so reported line numbers stay valid."""
+    out: list[str] = []
+    i, n = 0, len(text)
+    state = "code"  # code | line | block | str | chr
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "str"
+                out.append('"')
+                i += 1
+                continue
+            if c == "'":
+                state = "chr"
+                out.append("'")
+                i += 1
+                continue
+            out.append(c)
+        elif state == "line":
+            if c == "\n":
+                state = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+        elif state == "block":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append("\n" if c == "\n" else " ")
+        elif state == "str":
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "code"
+                out.append('"')
+            else:
+                out.append(" ")
+        elif state == "chr":
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == "'":
+                state = "code"
+                out.append("'")
+            else:
+                out.append(" ")
+        i += 1
+    return "".join(out)
+
+
+def line_of(text: str, pos: int) -> int:
+    return text.count("\n", 0, pos) + 1
+
+
+def check_pragma_once(path: Path, raw: str, errors: list[str]) -> None:
+    for line in raw.splitlines():
+        stripped = line.strip()
+        if not stripped or stripped.startswith("//") or stripped.startswith("*") \
+                or stripped.startswith("/*"):
+            continue
+        if stripped != "#pragma once":
+            errors.append(f"{path}:1: header does not start with "
+                          "'#pragma once'")
+        return
+    errors.append(f"{path}:1: empty header (no '#pragma once')")
+
+
+def check_raw_allocation(path: Path, code: str, errors: list[str]) -> None:
+    for pat, what in ((RAW_NEW, "raw new"), (RAW_CALLOC, "malloc-family call")):
+        for m in pat.finditer(code):
+            errors.append(
+                f"{path}:{line_of(code, m.start())}: {what} outside "
+                f"{ALLOC_CHOKE_POINT.relative_to(REPO)} -- allocate through "
+                "View so the debug registry sees it")
+
+
+def check_serial_kernel(path: Path, code: str, errors: list[str]) -> None:
+    for m in STD_CONTAINER.finditer(code):
+        errors.append(
+            f"{path}:{line_of(code, m.start())}: allocating std:: container "
+            "in a batched serial kernel header (must stay allocation-free)")
+    # Every pointer parameter in an invoke(...) signature needs
+    # PSPL_RESTRICT: find parameter lists and inspect `*` declarators.
+    for m in re.finditer(r"\binvoke\s*\(", code):
+        depth, j = 1, m.end()
+        while j < len(code) and depth:
+            depth += code[j] == "("
+            depth -= code[j] == ")"
+            j += 1
+        params = code[m.end():j - 1]
+        for param in params.split(","):
+            if "*" in param and "PSPL_RESTRICT" not in param \
+                    and "(*" not in param:
+                errors.append(
+                    f"{path}:{line_of(code, m.start())}: invoke() pointer "
+                    f"parameter '{param.strip()}' lacks PSPL_RESTRICT")
+
+
+def check_kernel_captures(path: Path, code: str, errors: list[str]) -> None:
+    for m in KERNEL_DISPATCH.finditer(code):
+        # Look for the first lambda inside this call's argument window.
+        window = code[m.end():m.end() + 400]
+        lam = LAMBDA_CAPTURE.search(window)
+        if lam is None:
+            continue
+        cap = lam.group("cap").strip()
+        if cap != "=":
+            errors.append(
+                f"{path}:{line_of(code, m.end() + lam.start())}: kernel "
+                f"lambda captures '[{cap}]' -- kernels must capture by "
+                "value ('[=]') to stay portable to offloading backends")
+
+
+def check_io(path: Path, code: str, errors: list[str]) -> None:
+    for m in IO_CALL.finditer(code):
+        errors.append(
+            f"{path}:{line_of(code, m.start())}: stdout I/O in library code "
+            "(use debug::fail / profiling hooks)")
+
+
+def main() -> int:
+    errors: list[str] = []
+    for path in sorted(SRC.rglob("*")):
+        if path.suffix not in (".hpp", ".cpp"):
+            continue
+        raw = path.read_text(encoding="utf-8")
+        code = strip_comments(raw)
+        rel = path.relative_to(REPO)
+        if path.suffix == ".hpp":
+            check_pragma_once(rel, raw, errors)
+        if path != ALLOC_CHOKE_POINT:
+            check_raw_allocation(rel, code, errors)
+        if path.parent.name == "batched" and path.name.startswith("serial_"):
+            check_serial_kernel(rel, code, errors)
+        if path.parent.name != "parallel":
+            check_kernel_captures(rel, code, errors)
+        if "profiling" not in path.name and "report" not in path.name \
+                and "hardware" not in path.name:
+            check_io(rel, code, errors)
+    if errors:
+        print(f"lint_invariants: {len(errors)} violation(s)", file=sys.stderr)
+        for e in errors:
+            print(e, file=sys.stderr)
+        return 1
+    n_files = sum(1 for p in SRC.rglob("*") if p.suffix in (".hpp", ".cpp"))
+    print(f"lint_invariants: OK ({n_files} files clean)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
