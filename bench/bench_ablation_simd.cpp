@@ -193,11 +193,15 @@ SweepResult sweep_case(int degree, bool uniform, std::size_t batch,
 int main(int argc, char** argv)
 {
     auto json = pspl::bench::JsonReport::from_args(argc, argv);
+    auto trace = pspl::bench::ChromeTrace::from_args(argc, argv);
     ::benchmark::Initialize(&argc, argv);
     std::printf("compiled ISA: %s\n", perf::compiled_isa_summary().c_str());
     register_benchmarks();
     ::benchmark::RunSpecifiedBenchmarks();
 
+    // Profile the summary sweep so --json embeds the span report and
+    // --trace captures a loadable timeline of the pack-width ladder.
+    profiling::set_enabled(true);
     const std::size_t batch = batch_size();
     std::printf("\nSIMD pack-width ablation -- fused build at (n, batch) = "
                 "(%zu, %zu)\n\n",
@@ -224,6 +228,8 @@ int main(int argc, char** argv)
     std::printf("effective vector width at W=4: %.2f lanes of 4\n",
                 perf::effective_vector_width(acceptance.scalar_seconds,
                                              acceptance.w4_seconds));
+    profiling::set_enabled(false);
     json.write();
+    trace.write();
     return 0;
 }

@@ -61,6 +61,7 @@ void bm_builder_version(benchmark::State& state, BuilderVersion version)
 int main(int argc, char** argv)
 {
     auto json = pspl::bench::JsonReport::from_args(argc, argv);
+    auto trace = pspl::bench::ChromeTrace::from_args(argc, argv);
     ::benchmark::Initialize(&argc, argv);
     std::printf("compiled ISA: %s\n", perf::compiled_isa_summary().c_str());
 
@@ -120,10 +121,19 @@ int main(int argc, char** argv)
         SplineBuilder builder(basis, version);
         bench::fill_rhs(basis, b);
         builder.build_inplace(b); // warm-up
-        const double t = bench::median_seconds(5, [&] {
-            bench::fill_rhs(basis, b);
-            builder.build_inplace(b);
-        });
+        // Profile only the timed section; every kernel span recorded below
+        // nests under a per-version root so the snapshot/trace separates the
+        // optimization ladder rungs.
+        profiling::set_enabled(true);
+        double t = 0.0;
+        {
+            profiling::ScopedSpan version_span(to_string(version));
+            t = bench::median_seconds(5, [&] {
+                bench::fill_rhs(basis, b);
+                builder.build_inplace(b);
+            });
+        }
+        profiling::set_enabled(false);
         // Subtract nothing: fill time is part of the measured lambda, so
         // measure fill alone and remove it.
         const double fill = bench::median_seconds(
@@ -151,6 +161,29 @@ int main(int argc, char** argv)
     std::printf("%s\nPaper speedups: fusion 1.30x/2.25x/1.42x, spmv "
                 "1.78x/3.82x/5.01x cumulative (Icelake/A100/MI250X).\n",
                 table.str().c_str());
+
+    // Per-kernel span breakdown: every profiled region recorded under a
+    // version root above becomes one flat record, so CI can diff the kernel
+    // decomposition (and its modelled bytes/flops) across commits.
+    for (const auto& [path, stats] : profiling::snapshot_tree()) {
+        const auto slash = path.find('/');
+        if (slash == std::string::npos) {
+            continue; // version roots are already covered by the table rows
+        }
+        json.add("table3_spans",
+                 {{"version", bench::JsonReport::str(path.substr(0, slash))},
+                  {"span", bench::JsonReport::str(path.substr(slash + 1))},
+                  {"n", bench::JsonReport::num(kN)},
+                  {"batch", bench::JsonReport::num(batch)},
+                  {"count", bench::JsonReport::num(
+                                    static_cast<std::size_t>(stats.count))},
+                  {"seconds", bench::JsonReport::num(stats.total_seconds)},
+                  {"bytes", bench::JsonReport::num(stats.bytes)},
+                  {"flops", bench::JsonReport::num(stats.flops)},
+                  {"achieved_bw_gbs",
+                   bench::JsonReport::num(stats.achieved_bw_gbs())}});
+    }
     json.write();
+    trace.write();
     return 0;
 }

@@ -10,6 +10,7 @@
 #include "debug/check.hpp"
 #include "parallel/profiling.hpp"
 #include "parallel/view.hpp"
+#include "perf/report.hpp"
 
 #include <algorithm>
 #include <cmath>
@@ -201,7 +202,10 @@ public:
         m_records.push_back(std::move(rec));
     }
 
-    /// Writes the accumulated array; no-op when disabled.
+    /// Writes the accumulated array; no-op when disabled. The final record
+    /// embeds the structured perf report (host spec, memory high-water mark,
+    /// every profiling span with derived bandwidth) so one --json file is a
+    /// complete, self-describing run artifact.
     void write() const
     {
         if (!enabled()) {
@@ -215,18 +219,75 @@ public:
         }
         std::fputs("[\n", f);
         for (std::size_t i = 0; i < m_records.size(); ++i) {
-            std::fprintf(f, "  %s%s\n", m_records[i].c_str(),
-                         i + 1 < m_records.size() ? "," : "");
+            std::fprintf(f, "  %s,\n", m_records[i].c_str());
         }
-        std::fputs("]\n", f);
+        std::fprintf(f,
+                     "  {\"bench\": \"perf_report\", \"report\": %s}\n]\n",
+                     pspl::perf::report_json().c_str());
         std::fclose(f);
         std::printf("JSON results written to %s (%zu records)\n",
-                    m_path.c_str(), m_records.size());
+                    m_path.c_str(), m_records.size() + 1);
     }
 
 private:
     std::string m_path;
     std::vector<std::string> m_records;
+};
+
+/// Chrome-trace sink behind the `--trace <path>` flag: when requested, the
+/// bench harness enables profiling for its timed section and dumps every
+/// recorded span as a chrome://tracing / Perfetto-loadable JSON file on
+/// write(). Like --json, the flag is consumed before benchmark::Initialize.
+class ChromeTrace
+{
+public:
+    ChromeTrace() = default;
+    explicit ChromeTrace(std::string path) : m_path(std::move(path)) {}
+
+    /// Consumes `--trace <path>` or `--trace=<path>` from argv.
+    static ChromeTrace from_args(int& argc, char** argv)
+    {
+        for (int i = 1; i < argc; ++i) {
+            std::string path;
+            int consumed = 0;
+            if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+                path = argv[i + 1];
+                consumed = 2;
+            } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+                path = argv[i] + 8;
+                consumed = 1;
+            }
+            if (consumed > 0) {
+                for (int j = i; j + consumed < argc; ++j) {
+                    argv[j] = argv[j + consumed];
+                }
+                argc -= consumed;
+                return ChromeTrace(std::move(path));
+            }
+        }
+        return ChromeTrace();
+    }
+
+    bool enabled() const { return !m_path.empty(); }
+
+    /// Dumps the trace; no-op when disabled.
+    void write() const
+    {
+        if (!enabled()) {
+            return;
+        }
+        if (profiling::write_chrome_trace(m_path)) {
+            std::printf("Chrome trace written to %s (load via "
+                        "chrome://tracing or ui.perfetto.dev)\n",
+                        m_path.c_str());
+        } else {
+            std::fprintf(stderr, "ChromeTrace: cannot write %s\n",
+                         m_path.c_str());
+        }
+    }
+
+private:
+    std::string m_path;
 };
 
 /// Median wall time of `reps` calls to f().

@@ -7,13 +7,13 @@
 #include "parallel/parallel.hpp"
 #include "parallel/view.hpp"
 
-#include <string>
+#include <string_view>
 
 namespace pspl::advection {
 
 /// out(j, i) = in(i, j).
 template <class Exec = DefaultExecutionSpace, class InView, class OutView>
-void transpose(const std::string& label, const InView& in, const OutView& out)
+void transpose(std::string_view label, const InView& in, const OutView& out)
 {
     const std::size_t n0 = in.extent(0);
     const std::size_t n1 = in.extent(1);
@@ -26,7 +26,7 @@ void transpose(const std::string& label, const InView& in, const OutView& out)
 /// Rank-3 permutation of the two leading dimensions, keeping the batch
 /// index contiguous: out(j, i, k) = in(i, j, k).
 template <class Exec = DefaultExecutionSpace, class InView, class OutView>
-void transpose_01(const std::string& label, const InView& in,
+void transpose_01(std::string_view label, const InView& in,
                   const OutView& out)
 {
     const std::size_t n0 = in.extent(0);

@@ -7,13 +7,13 @@
 #include "parallel/parallel.hpp"
 #include "parallel/view.hpp"
 
-#include <string>
+#include <string_view>
 
 namespace pspl::blas {
 
 template <class Exec = DefaultExecutionSpace, class AView, class BView,
           class CView>
-void gemm(const std::string& label, double alpha, const AView& a,
+void gemm(std::string_view label, double alpha, const AView& a,
           const BView& b, double beta, const CView& c)
 {
     const std::size_t m = a.extent(0);

@@ -69,6 +69,15 @@ struct SerialGbtrs {
                 ipiv.data(), static_cast<int>(ipiv.stride(0)), b.data(),
                 static_cast<int>(b.stride(0)));
     }
+
+    /// Cost per RHS column of the band LU solve: pivoted forward sweep over
+    /// kl multipliers, backward sweep over the kl+ku fill-in band.
+    static constexpr KernelCost cost(std::size_t n, int kl, int ku)
+    {
+        const auto nd = static_cast<double>(n);
+        const double band = static_cast<double>(2 * kl + ku);
+        return {(2.0 * band + 1.0) * nd, 16.0 * nd};
+    }
 };
 
 } // namespace pspl::batched

@@ -62,6 +62,15 @@ struct SerialGemv {
                     y.data(), static_cast<int>(y.stride(0)));
         }
     }
+
+    /// Cost of one m x n GEMV: 2mn for the dot products plus 2m for the
+    /// alpha/beta scaling; x read once, y read and written (A shared).
+    static constexpr KernelCost cost(std::size_t m, std::size_t n)
+    {
+        const auto md = static_cast<double>(m);
+        const auto nd = static_cast<double>(n);
+        return {2.0 * md * nd + 2.0 * md, 8.0 * nd + 16.0 * md};
+    }
 };
 
 } // namespace pspl::batched

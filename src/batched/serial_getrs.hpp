@@ -64,6 +64,14 @@ struct SerialGetrs {
                 ipiv.data(), static_cast<int>(ipiv.stride(0)), b.data(),
                 static_cast<int>(b.stride(0)));
     }
+
+    /// Cost per RHS column of the n x n LU solve: n^2 fma-pairs in each of
+    /// the two substitution sweeps; RHS streamed in and out once.
+    static constexpr KernelCost cost(std::size_t n)
+    {
+        const auto nd = static_cast<double>(n);
+        return {2.0 * nd * nd, 16.0 * nd};
+    }
 };
 
 } // namespace pspl::batched

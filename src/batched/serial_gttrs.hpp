@@ -69,6 +69,15 @@ struct SerialGttrs {
                 static_cast<int>(ipiv.stride(0)), b.data(),
                 static_cast<int>(b.stride(0)));
     }
+
+    /// Cost per RHS column of the pivoted tridiagonal LU solve: ~3 flops
+    /// per forward step, ~5 per backward step (du2 fill-in); RHS streamed
+    /// in and out once.
+    static constexpr KernelCost cost(std::size_t n)
+    {
+        const auto nd = static_cast<double>(n);
+        return {8.0 * nd, 16.0 * nd};
+    }
 };
 
 } // namespace pspl::batched

@@ -56,6 +56,14 @@ struct SerialPbtrs {
                 static_cast<int>(ab.stride(0)), static_cast<int>(ab.stride(1)),
                 b.data(), static_cast<int>(b.stride(0)));
     }
+
+    /// Cost per RHS column of the band Cholesky solve with bandwidth kd:
+    /// two band triangular sweeps of (2*kd + 1) flops per row.
+    static constexpr KernelCost cost(std::size_t n, std::size_t kd)
+    {
+        const auto nd = static_cast<double>(n);
+        return {(4.0 * static_cast<double>(kd) + 2.0) * nd, 16.0 * nd};
+    }
 };
 
 } // namespace pspl::batched

@@ -49,6 +49,14 @@ struct SerialPttrs {
                 static_cast<int>(e.stride(0)), b.data(),
                 static_cast<int>(b.stride(0)));
     }
+
+    /// Cost per RHS column: forward sweep 2(n-1), one divide, backward
+    /// sweep 3(n-1); RHS streamed in and out once (factors shared).
+    static constexpr KernelCost cost(std::size_t n)
+    {
+        const auto nd = static_cast<double>(n);
+        return {5.0 * nd - 4.0, 16.0 * nd};
+    }
 };
 
 } // namespace pspl::batched

@@ -4,6 +4,7 @@
 // count by orders of magnitude.
 #pragma once
 
+#include "batched/types.hpp"
 #include "parallel/macros.hpp"
 #include "sparse/coo.hpp"
 
@@ -54,6 +55,16 @@ struct SerialSpmvCoo {
                 static_cast<int>(vals.stride(0)), alpha, x.data(),
                 static_cast<int>(x.stride(0)), y.data(),
                 static_cast<int>(y.stride(0)));
+    }
+
+    /// Cost of one COO SpMV with `nnz` stored entries into an m-row output:
+    /// scale+multiply+accumulate per entry, gathered x reads, y updated in
+    /// place (index and value arrays are shared across the batch).
+    static constexpr KernelCost cost(std::size_t nnz, std::size_t m)
+    {
+        const auto nz = static_cast<double>(nnz);
+        const auto md = static_cast<double>(m);
+        return {3.0 * nz, 8.0 * nz + 16.0 * md};
     }
 };
 

@@ -80,6 +80,13 @@ struct SerialTbsv {
                     static_cast<int>(b.stride(0)));
         }
     }
+
+    /// Cost per RHS column of one band triangular solve with bandwidth kd.
+    static constexpr KernelCost cost(std::size_t n, std::size_t kd)
+    {
+        const auto nd = static_cast<double>(n);
+        return {(2.0 * static_cast<double>(kd) + 1.0) * nd, 16.0 * nd};
+    }
 };
 
 } // namespace pspl::batched

@@ -75,6 +75,13 @@ struct SerialTrsv {
                     static_cast<int>(b.stride(0)));
         }
     }
+
+    /// Cost per RHS column of one dense triangular solve.
+    static constexpr KernelCost cost(std::size_t n)
+    {
+        const auto nd = static_cast<double>(n);
+        return {nd * nd, 16.0 * nd};
+    }
 };
 
 } // namespace pspl::batched

@@ -4,6 +4,32 @@
 
 namespace pspl::batched {
 
+/// Hand-counted cost model of one serial-kernel invocation on one RHS
+/// column (the paper hand-counts the same way in §V-B). `bytes` follows the
+/// perfect-cache convention: only RHS traffic is charged (factor/matrix
+/// data is shared by every batch entry and assumed cache-resident), so the
+/// derived bandwidth is comparable with the paper's 8-bytes-per-point
+/// figures. The SIMD paths multiply by live lanes at the call site.
+struct KernelCost {
+    double flops = 0.0;
+    double bytes = 0.0;
+
+    constexpr KernelCost& operator+=(const KernelCost& o)
+    {
+        flops += o.flops;
+        bytes += o.bytes;
+        return *this;
+    }
+    friend constexpr KernelCost operator*(KernelCost c, double s)
+    {
+        return {c.flops * s, c.bytes * s};
+    }
+    friend constexpr KernelCost operator+(KernelCost a, const KernelCost& b)
+    {
+        return a += b;
+    }
+};
+
 struct Trans {
     struct NoTranspose {
     };

@@ -33,18 +33,100 @@ const char* to_string(BuilderVersion v);
 
 namespace detail {
 
+/// Modeled per-column cost of the Q-solve, dispatching on the factor kind
+/// (the same hand counts each serial kernel exposes as cost()).
+inline batched::KernelCost q_solve_cost(const SchurDeviceData& s)
+{
+    switch (s.kind) {
+    case SolverKind::PTTRS:
+        return batched::SerialPttrs<>::cost(s.n0);
+    case SolverKind::GTTRS:
+        return batched::SerialGttrs<>::cost(s.n0);
+    case SolverKind::PBTRS:
+        return batched::SerialPbtrs<>::cost(s.n0, s.pb_ab.extent(0) - 1);
+    case SolverKind::GBTRS:
+        return batched::SerialGbtrs<>::cost(s.n0, s.kl, s.ku);
+    case SolverKind::GETRS:
+        return batched::SerialGetrs<>::cost(s.n0);
+    }
+    return {};
+}
+
+/// Span label of the Q-solve child, matching the LAPACK routine name the
+/// paper's per-kernel profiles use.
+inline const char* q_solve_label(SolverKind kind)
+{
+    switch (kind) {
+    case SolverKind::PTTRS:
+        return "pttrs";
+    case SolverKind::GTTRS:
+        return "gttrs";
+    case SolverKind::PBTRS:
+        return "pbtrs";
+    case SolverKind::GBTRS:
+        return "gbtrs";
+    case SolverKind::GETRS:
+        return "getrs";
+    }
+    return "qsolve";
+}
+
+/// Attribute the modeled bytes/flops of one batched solve to the open span
+/// tree: the whole-launch total lands on `kernel_label` (merging with the
+/// timed span the dispatch layer just closed, so the snapshot derives its
+/// achieved bandwidth), and each algorithm stage lands on its own child
+/// label (pttrs/gemv/spmv_coo/getrs decomposition of a fused kernel).
+inline void attribute_solve_cost(const SchurDeviceData& s,
+                                 std::string_view kernel_label,
+                                 std::size_t batch, bool use_spmv)
+{
+    if (!profiling::enabled() || batch == 0) {
+        return;
+    }
+    const auto nb = static_cast<double>(batch);
+    const batched::KernelCost q = q_solve_cost(s) * nb;
+    batched::KernelCost total = q;
+    profiling::add_counters(q_solve_label(s.kind), q.bytes, q.flops);
+    if (s.k > 0) {
+        batched::KernelCost corner;
+        if (use_spmv) {
+            corner = (batched::SerialSpmvCoo::cost(s.lambda_coo.nnz(), s.k)
+                      + batched::SerialSpmvCoo::cost(s.beta_coo.nnz(), s.n0))
+                     * nb;
+            profiling::add_counters("spmv_coo", corner.bytes, corner.flops);
+        } else {
+            corner = (batched::SerialGemv<>::cost(s.k, s.n0)
+                      + batched::SerialGemv<>::cost(s.n0, s.k))
+                     * nb;
+            profiling::add_counters("gemv", corner.bytes, corner.flops);
+        }
+        const batched::KernelCost schur =
+                batched::SerialGetrs<>::cost(s.k) * nb;
+        profiling::add_counters("getrs_schur", schur.bytes, schur.flops);
+        total += corner;
+        total += schur;
+    }
+    profiling::add_counters(kernel_label, total.bytes, total.flops);
+}
+
 template <class Exec, class BView>
 void solve_baseline(const SchurDeviceData& s, const BView& b,
                     std::size_t batch)
 {
     const auto b0 = subview(b, std::pair<std::size_t, std::size_t>(0, s.n0),
                             ALL);
+    const auto nb = static_cast<double>(batch);
     // Kernel 1: batched serial Q-solve (pttrs/gttrs/pbtrs/gbtrs/getrs).
     parallel_for("pspl::batched::SerialQsolve", RangePolicy<Exec>(batch),
                  [=](std::size_t i) {
                      auto sub_b0 = subview(b0, ALL, i);
                      solve_q_serial(s, sub_b0);
                  });
+    if (profiling::enabled()) {
+        const batched::KernelCost q = q_solve_cost(s) * nb;
+        profiling::add_counters("pspl::batched::SerialQsolve", q.bytes,
+                                q.flops);
+    }
     if (s.k == 0) {
         return;
     }
@@ -63,6 +145,17 @@ void solve_baseline(const SchurDeviceData& s, const BView& b,
     // Kernel 4: global GEMM  x0 = x0' - beta * x1.
     blas::gemm<Exec>("pspl::blas::gemm_beta", -1.0, s.beta_dense, b1, 1.0,
                      b0);
+    if (profiling::enabled()) {
+        // In the unfused ladder rung every stage is its own timed kernel, so
+        // the modeled costs land directly on those kernel labels.
+        const batched::KernelCost gl = batched::SerialGemv<>::cost(s.k, s.n0) * nb;
+        profiling::add_counters("pspl::blas::gemm_lambda", gl.bytes, gl.flops);
+        const batched::KernelCost sc = batched::SerialGetrs<>::cost(s.k) * nb;
+        profiling::add_counters("pspl::batched::SerialGetrs", sc.bytes,
+                                sc.flops);
+        const batched::KernelCost gb = batched::SerialGemv<>::cost(s.n0, s.k) * nb;
+        profiling::add_counters("pspl::blas::gemm_beta", gb.bytes, gb.flops);
+    }
 }
 
 template <class Exec, class BView>
@@ -86,6 +179,8 @@ void solve_fused(const SchurDeviceData& s, const BView& b, std::size_t batch)
                                                        sub_b1, 1.0, sub_b0);
                      }
                  });
+    attribute_solve_cost(s, "pspl::batched::SerialQsolve-Gemv", batch,
+                         /*use_spmv=*/false);
 }
 
 template <class Exec, class BView>
@@ -110,6 +205,8 @@ void solve_fused_spmv(const SchurDeviceData& s, const BView& b,
                                                         sub_b1, sub_b0);
                      }
                  });
+    attribute_solve_cost(s, "pspl::batched::SerialQsolve-Spmv", batch,
+                         /*use_spmv=*/true);
 }
 
 /// Contiguous span of packs with the rank-1 view interface the batched
@@ -188,6 +285,7 @@ void solve_fused_simd(const SchurDeviceData& s, const BView& b,
         }
         simd_store_chunk<W>(b, 0, s.n, chunk.begin, chunk.lanes, buf);
     });
+    attribute_solve_cost(s, label, batch, UseSpmv);
 }
 
 } // namespace detail

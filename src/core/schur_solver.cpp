@@ -7,6 +7,7 @@
 #include "hostlapack/pbtrf.hpp"
 #include "hostlapack/pttrf.hpp"
 #include "parallel/deep_copy.hpp"
+#include "parallel/profiling.hpp"
 #include "parallel/subview.hpp"
 
 #include <algorithm>
@@ -21,6 +22,10 @@ SchurSolver::SchurSolver(const View2D<double>& a) : SchurSolver(a, Options())
 SchurSolver::SchurSolver(const View2D<double>& a, Options opts)
     : m_structure(analyze_structure(a, opts.structure_tol))
 {
+    // Host-side setup is a one-time cost, but it still shows up in traces:
+    // each phase of Algorithm 1's setup opens its own span so the snapshot
+    // separates factorization from the per-RHS solve kernels.
+    profiling::ScopedSpan setup_span("pspl::schur::setup");
     const std::size_t n = m_structure.n;
     const std::size_t k = m_structure.corner_width;
     const std::size_t n0 = n - k;
@@ -59,80 +64,84 @@ SchurSolver::SchurSolver(const View2D<double>& a, Options opts)
 
     // --- Factorize Q with the recommended solver, falling back on failure --
     SolverKind kind = m_structure.recommended;
-    const std::size_t kl = m_structure.kl;
-    const std::size_t ku = m_structure.ku;
+    {
+        profiling::ScopedSpan factor_span("pspl::schur::factor_q");
+        const std::size_t kl = m_structure.kl;
+        const std::size_t ku = m_structure.ku;
 
-    if (kind == SolverKind::PTTRS) {
-        View1D<double> d("schur_pt_d", n0);
-        View1D<double> e("schur_pt_e", n0 > 1 ? n0 - 1 : 1);
-        for (std::size_t i = 0; i < n0; ++i) {
-            d(i) = q(i, i);
+        if (kind == SolverKind::PTTRS) {
+            View1D<double> d("schur_pt_d", n0);
+            View1D<double> e("schur_pt_e", n0 > 1 ? n0 - 1 : 1);
+            for (std::size_t i = 0; i < n0; ++i) {
+                d(i) = q(i, i);
+            }
+            for (std::size_t i = 0; i + 1 < n0; ++i) {
+                e(i) = q(i + 1, i);
+            }
+            if (hostlapack::pttrf(d, e) == 0) {
+                m_data.pt_d = d;
+                m_data.pt_e = e;
+            } else {
+                kind = SolverKind::GTTRS; // not positive definite after all
+            }
         }
-        for (std::size_t i = 0; i + 1 < n0; ++i) {
-            e(i) = q(i + 1, i);
+        if (kind == SolverKind::GTTRS) {
+            View1D<double> dl("schur_gt_dl", n0 > 1 ? n0 - 1 : 1);
+            View1D<double> d("schur_gt_d", n0);
+            View1D<double> du("schur_gt_du", n0 > 1 ? n0 - 1 : 1);
+            View1D<double> du2("schur_gt_du2", n0 > 2 ? n0 - 2 : 1);
+            View1D<int> ipiv("schur_gt_ipiv", n0);
+            for (std::size_t i = 0; i < n0; ++i) {
+                d(i) = q(i, i);
+            }
+            for (std::size_t i = 0; i + 1 < n0; ++i) {
+                dl(i) = q(i + 1, i);
+                du(i) = q(i, i + 1);
+            }
+            if (hostlapack::gttrf(dl, d, du, du2, ipiv) == 0) {
+                m_data.gt_dl = dl;
+                m_data.gt_d = d;
+                m_data.gt_du = du;
+                m_data.gt_du2 = du2;
+                m_data.gt_ipiv = ipiv;
+            } else {
+                kind = SolverKind::GBTRS;
+            }
         }
-        if (hostlapack::pttrf(d, e) == 0) {
-            m_data.pt_d = d;
-            m_data.pt_e = e;
-        } else {
-            kind = SolverKind::GTTRS; // not positive definite after all
+        if (kind == SolverKind::PBTRS) {
+            const std::size_t kd = std::max(kl, ku);
+            auto sb = hostlapack::pack_sym_band(q, kd);
+            if (hostlapack::pbtrf(sb) == 0) {
+                m_data.pb_ab = sb.ab;
+            } else {
+                kind = SolverKind::GBTRS;
+            }
         }
+        if (kind == SolverKind::GBTRS) {
+            auto bm = hostlapack::pack_band(q, kl, ku);
+            View1D<int> ipiv("schur_gb_ipiv", n0);
+            if (hostlapack::gbtrf(bm, ipiv) == 0) {
+                m_data.gb_ab = bm.ab;
+                m_data.gb_ipiv = ipiv;
+                m_data.kl = static_cast<int>(kl);
+                m_data.ku = static_cast<int>(ku);
+            } else {
+                kind = SolverKind::GETRS;
+            }
+        }
+        if (kind == SolverKind::GETRS) {
+            View2D<double> lu = clone(q);
+            View1D<int> ipiv("schur_ge_ipiv", n0);
+            const int info = hostlapack::getrf(lu, ipiv);
+            PSPL_EXPECT(info == 0, "SchurSolver: Q is singular");
+            m_data.ge_lu = lu;
+            m_data.ge_ipiv = ipiv;
+        }
+        m_data.kind = kind;
     }
-    if (kind == SolverKind::GTTRS) {
-        View1D<double> dl("schur_gt_dl", n0 > 1 ? n0 - 1 : 1);
-        View1D<double> d("schur_gt_d", n0);
-        View1D<double> du("schur_gt_du", n0 > 1 ? n0 - 1 : 1);
-        View1D<double> du2("schur_gt_du2", n0 > 2 ? n0 - 2 : 1);
-        View1D<int> ipiv("schur_gt_ipiv", n0);
-        for (std::size_t i = 0; i < n0; ++i) {
-            d(i) = q(i, i);
-        }
-        for (std::size_t i = 0; i + 1 < n0; ++i) {
-            dl(i) = q(i + 1, i);
-            du(i) = q(i, i + 1);
-        }
-        if (hostlapack::gttrf(dl, d, du, du2, ipiv) == 0) {
-            m_data.gt_dl = dl;
-            m_data.gt_d = d;
-            m_data.gt_du = du;
-            m_data.gt_du2 = du2;
-            m_data.gt_ipiv = ipiv;
-        } else {
-            kind = SolverKind::GBTRS;
-        }
-    }
-    if (kind == SolverKind::PBTRS) {
-        const std::size_t kd = std::max(kl, ku);
-        auto sb = hostlapack::pack_sym_band(q, kd);
-        if (hostlapack::pbtrf(sb) == 0) {
-            m_data.pb_ab = sb.ab;
-        } else {
-            kind = SolverKind::GBTRS;
-        }
-    }
-    if (kind == SolverKind::GBTRS) {
-        auto bm = hostlapack::pack_band(q, kl, ku);
-        View1D<int> ipiv("schur_gb_ipiv", n0);
-        if (hostlapack::gbtrf(bm, ipiv) == 0) {
-            m_data.gb_ab = bm.ab;
-            m_data.gb_ipiv = ipiv;
-            m_data.kl = static_cast<int>(kl);
-            m_data.ku = static_cast<int>(ku);
-        } else {
-            kind = SolverKind::GETRS;
-        }
-    }
-    if (kind == SolverKind::GETRS) {
-        View2D<double> lu = clone(q);
-        View1D<int> ipiv("schur_ge_ipiv", n0);
-        const int info = hostlapack::getrf(lu, ipiv);
-        PSPL_EXPECT(info == 0, "SchurSolver: Q is singular");
-        m_data.ge_lu = lu;
-        m_data.ge_ipiv = ipiv;
-    }
-    m_data.kind = kind;
 
     // --- beta = Q^{-1} gamma (k host solves with the fresh factor) ---------
+    profiling::ScopedSpan schur_span("pspl::schur::schur_complement");
     View2D<double> beta("schur_beta", n0, std::max<std::size_t>(k, 1));
     for (std::size_t j = 0; j < k; ++j) {
         auto col_g = subview(gamma, ALL, j);

@@ -15,6 +15,7 @@
 #include <cstddef>
 #include <limits>
 #include <string>
+#include <string_view>
 
 namespace pspl {
 
@@ -137,12 +138,13 @@ void dispatch_reduce(OpenMP, std::size_t b, std::size_t e, const F& f, T& result
 /// Reduce dispatch with the same region/iteration instrumentation as
 /// parallel_for (reduce functors may write Views besides the accumulator).
 template <class Exec, class F, class T, class Combine>
-void dispatch_reduce_checked(const std::string& label, std::size_t b,
+void dispatch_reduce_checked(std::string_view label, std::size_t b,
                              std::size_t e, const F& f, T& result, T identity,
                              Combine combine)
 {
     if constexpr (debug::check_enabled) {
-        debug::RegionGuard region(label.c_str());
+        const std::string label_str(label);
+        debug::RegionGuard region(label_str.c_str());
         if (region.owner()) {
             dispatch_reduce(
                     Exec{}, b, e,
@@ -159,32 +161,10 @@ void dispatch_reduce_checked(const std::string& label, std::size_t b,
     dispatch_reduce(Exec{}, b, e, f, result, identity, combine);
 }
 
-class KernelTimer
-{
-public:
-    explicit KernelTimer(const std::string& label)
-        : m_label(label), m_active(profiling::enabled())
-    {
-        if (m_active) {
-            m_start = std::chrono::steady_clock::now();
-        }
-    }
-    ~KernelTimer()
-    {
-        if (m_active) {
-            profiling::record(
-                    m_label,
-                    std::chrono::duration<double>(
-                            std::chrono::steady_clock::now() - m_start)
-                            .count());
-        }
-    }
-
-private:
-    const std::string& m_label;
-    bool m_active;
-    std::chrono::steady_clock::time_point m_start;
-};
+/// Every labeled dispatch opens a span: the kernel nests under whatever
+/// ScopedSpan/ScopedRegion the calling thread currently has open, which is
+/// how "pspl_splines_solve" decomposes into its child kernels.
+using KernelTimer = profiling::ScopedSpan;
 
 } // namespace detail
 
@@ -193,14 +173,15 @@ private:
 // ---------------------------------------------------------------------------
 
 template <class Exec, class F>
-void parallel_for(const std::string& label, RangePolicy<Exec> policy, const F& f)
+void parallel_for(std::string_view label, RangePolicy<Exec> policy, const F& f)
 {
     detail::KernelTimer t(label);
     if constexpr (debug::check_enabled) {
         // Open a write-conflict region and tag every functor invocation
         // with its iteration index; only the outermost dispatch owns the
         // region (nested dispatches keep the outer attribution).
-        debug::RegionGuard region(label.c_str());
+        const std::string label_str(label);
+        debug::RegionGuard region(label_str.c_str());
         if (region.owner()) {
             detail::dispatch_range(Exec{}, policy.begin, policy.end,
                                    [&f](std::size_t i) {
@@ -217,18 +198,19 @@ void parallel_for(const std::string& label, RangePolicy<Exec> policy, const F& f
 
 /// Shorthand: iterate [0, n) on the default execution space.
 template <class F>
-void parallel_for(const std::string& label, std::size_t n, const F& f)
+void parallel_for(std::string_view label, std::size_t n, const F& f)
 {
     parallel_for(label, RangePolicy<DefaultExecutionSpace>(n), f);
 }
 
 template <class Exec, class F>
-void parallel_for(const std::string& label, MDRangePolicy<2, Exec> policy,
+void parallel_for(std::string_view label, MDRangePolicy<2, Exec> policy,
                   const F& f)
 {
     detail::KernelTimer t(label);
     if constexpr (debug::check_enabled) {
-        debug::RegionGuard region(label.c_str());
+        const std::string label_str(label);
+        debug::RegionGuard region(label_str.c_str());
         if (region.owner()) {
             const std::size_t n1 = policy.upper[1];
             detail::dispatch_md2(Exec{}, policy.upper[0], policy.upper[1],
@@ -245,12 +227,13 @@ void parallel_for(const std::string& label, MDRangePolicy<2, Exec> policy,
 }
 
 template <class Exec, class F>
-void parallel_for(const std::string& label, MDRangePolicy<3, Exec> policy,
+void parallel_for(std::string_view label, MDRangePolicy<3, Exec> policy,
                   const F& f)
 {
     detail::KernelTimer t(label);
     if constexpr (debug::check_enabled) {
-        debug::RegionGuard region(label.c_str());
+        const std::string label_str(label);
+        debug::RegionGuard region(label_str.c_str());
         if (region.owner()) {
             const std::size_t n1 = policy.upper[1];
             const std::size_t n2 = policy.upper[2];
@@ -293,7 +276,7 @@ struct BatchChunk {
 };
 
 template <int W, class Exec, class F>
-void for_each_batch_simd(const std::string& label, RangePolicy<Exec> policy,
+void for_each_batch_simd(std::string_view label, RangePolicy<Exec> policy,
                          const F& f)
 {
     static_assert(W >= 1, "pack width must be positive");
@@ -312,7 +295,7 @@ void for_each_batch_simd(const std::string& label, RangePolicy<Exec> policy,
 
 /// Shorthand: chunk [0, batch) on the default execution space.
 template <int W, class F>
-void for_each_batch_simd(const std::string& label, std::size_t batch,
+void for_each_batch_simd(std::string_view label, std::size_t batch,
                          const F& f)
 {
     for_each_batch_simd<W>(label, RangePolicy<DefaultExecutionSpace>(batch), f);
@@ -342,7 +325,7 @@ struct Min {
 };
 
 template <class Exec, class F, class T>
-void parallel_reduce(const std::string& label, RangePolicy<Exec> policy,
+void parallel_reduce(std::string_view label, RangePolicy<Exec> policy,
                      const F& f, Sum<T> reducer)
 {
     detail::KernelTimer t(label);
@@ -353,7 +336,7 @@ void parallel_reduce(const std::string& label, RangePolicy<Exec> policy,
 }
 
 template <class Exec, class F, class T>
-void parallel_reduce(const std::string& label, RangePolicy<Exec> policy,
+void parallel_reduce(std::string_view label, RangePolicy<Exec> policy,
                      const F& f, Max<T> reducer)
 {
     detail::KernelTimer t(label);
@@ -365,7 +348,7 @@ void parallel_reduce(const std::string& label, RangePolicy<Exec> policy,
 }
 
 template <class Exec, class F, class T>
-void parallel_reduce(const std::string& label, RangePolicy<Exec> policy,
+void parallel_reduce(std::string_view label, RangePolicy<Exec> policy,
                      const F& f, Min<T> reducer)
 {
     detail::KernelTimer t(label);
@@ -378,7 +361,7 @@ void parallel_reduce(const std::string& label, RangePolicy<Exec> policy,
 
 /// Shorthand: sum-reduce [0, n) on the default execution space.
 template <class F, class T>
-void parallel_reduce(const std::string& label, std::size_t n, const F& f,
+void parallel_reduce(std::string_view label, std::size_t n, const F& f,
                      Sum<T> reducer)
 {
     parallel_reduce(label, RangePolicy<DefaultExecutionSpace>(n), f, reducer);

@@ -1,18 +1,295 @@
 #include "parallel/profiling.hpp"
 
+#include <array>
 #include <atomic>
+#include <cstdio>
+#include <deque>
+#include <memory>
 #include <mutex>
+#include <shared_mutex>
+#include <unordered_map>
 
 namespace pspl::profiling {
 
 namespace {
 
 std::atomic<bool> g_enabled{false};
-std::mutex g_mutex;
-std::map<std::string, RecordStats>& registry()
+std::atomic<std::uint32_t> g_epoch{0};
+
+std::atomic<std::uint64_t> g_mem_live{0};
+std::atomic<std::uint64_t> g_mem_peak{0};
+std::atomic<std::uint64_t> g_mem_allocs{0};
+
+double now_seconds()
 {
-    static std::map<std::string, RecordStats> r;
+    // Seconds since first use: one shared steady_clock origin keeps every
+    // thread's timestamps on the same trace timeline.
+    static const auto origin = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(std::chrono::steady_clock::now()
+                                         - origin)
+            .count();
+}
+
+// ---------------------------------------------------------------------------
+// Label + path interning. Labels arrive as string_views whose storage may
+// die with the caller, so both tables copy the string once on first sight
+// (behind a shared_mutex: shared-lock lookups on the hot path, exclusive
+// only on a genuinely new label). A span path is an interned
+// (parent_path, leaf_label) pair, id 0 being the root.
+// ---------------------------------------------------------------------------
+
+struct Interner {
+    mutable std::shared_mutex mutex;
+    std::deque<std::string> names; // stable storage, index == id
+    std::unordered_map<std::string_view, std::uint32_t> lookup;
+
+    std::uint32_t intern(std::string_view name)
+    {
+        {
+            const std::shared_lock lock(mutex);
+            const auto it = lookup.find(name);
+            if (it != lookup.end()) {
+                return it->second;
+            }
+        }
+        const std::unique_lock lock(mutex);
+        const auto it = lookup.find(name);
+        if (it != lookup.end()) {
+            return it->second;
+        }
+        const auto id = static_cast<std::uint32_t>(names.size());
+        names.emplace_back(name);
+        lookup.emplace(std::string_view(names.back()), id);
+        return id;
+    }
+
+    std::string name_of(std::uint32_t id) const
+    {
+        const std::shared_lock lock(mutex);
+        return names[id];
+    }
+};
+
+Interner& labels()
+{
+    static Interner i;
+    return i;
+}
+
+struct PathNode {
+    std::uint32_t parent = 0; // path id, 0 == root
+    std::uint32_t label = 0;  // label id of the leaf component
+};
+
+struct PathRegistry {
+    mutable std::shared_mutex mutex;
+    std::deque<PathNode> nodes; // index == path id - 1
+    std::unordered_map<std::uint64_t, std::uint32_t> lookup;
+
+    std::uint32_t intern(std::uint32_t parent, std::uint32_t label)
+    {
+        const std::uint64_t key =
+                (static_cast<std::uint64_t>(parent) << 32) | label;
+        {
+            const std::shared_lock lock(mutex);
+            const auto it = lookup.find(key);
+            if (it != lookup.end()) {
+                return it->second;
+            }
+        }
+        const std::unique_lock lock(mutex);
+        const auto it = lookup.find(key);
+        if (it != lookup.end()) {
+            return it->second;
+        }
+        nodes.push_back(PathNode{parent, label});
+        const auto id = static_cast<std::uint32_t>(nodes.size());
+        lookup.emplace(key, id);
+        return id;
+    }
+
+    PathNode node_of(std::uint32_t id) const
+    {
+        const std::shared_lock lock(mutex);
+        return nodes[id - 1];
+    }
+};
+
+PathRegistry& paths()
+{
+    static PathRegistry p;
+    return p;
+}
+
+std::uint32_t leaf_label_of(std::uint32_t path)
+{
+    return paths().node_of(path).label;
+}
+
+std::string path_string(std::uint32_t path)
+{
+    if (path == 0) {
+        return {};
+    }
+    const PathNode node = paths().node_of(path);
+    const std::string leaf = labels().name_of(node.label);
+    if (node.parent == 0) {
+        return leaf;
+    }
+    return path_string(node.parent) + "/" + leaf;
+}
+
+// ---------------------------------------------------------------------------
+// Per-thread event buffers: single-producer chunk lists. The owning thread
+// appends an event and publishes it with a release store of the chunk
+// counter; snapshot readers acquire the counter and read only published
+// events, so merging never blocks or races the writers.
+// ---------------------------------------------------------------------------
+
+enum class EventKind : std::uint32_t { Span = 0, Counter = 1 };
+
+struct Event {
+    double t0 = 0.0;
+    double dur = 0.0;
+    double bytes = 0.0;
+    double flops = 0.0;
+    std::uint32_t path = 0;
+    std::uint32_t epoch = 0;
+    EventKind kind = EventKind::Span;
+};
+
+struct Chunk {
+    static constexpr std::size_t capacity = 1024;
+    std::array<Event, capacity> events;
+    std::atomic<std::size_t> count{0};
+    std::atomic<Chunk*> next{nullptr};
+    std::unique_ptr<Chunk> next_owner; // written by the producer only
+};
+
+struct ThreadBuffer {
+    std::unique_ptr<Chunk> head = std::make_unique<Chunk>();
+    Chunk* tail = head.get(); // producer-private cursor
+    int tid = 0;
+
+    void push(const Event& e)
+    {
+        Chunk* c = tail;
+        const std::size_t n = c->count.load(std::memory_order_relaxed);
+        if (n == Chunk::capacity) {
+            auto fresh = std::make_unique<Chunk>();
+            Chunk* raw = fresh.get();
+            c->next_owner = std::move(fresh);
+            c->next.store(raw, std::memory_order_release);
+            tail = raw;
+            c = raw;
+            c->events[0] = e;
+            c->count.store(1, std::memory_order_release);
+            return;
+        }
+        c->events[n] = e;
+        c->count.store(n + 1, std::memory_order_release);
+    }
+
+    template <class F>
+    void for_each(const F& f) const
+    {
+        for (const Chunk* c = head.get(); c != nullptr;
+             c = c->next.load(std::memory_order_acquire)) {
+            const std::size_t n = c->count.load(std::memory_order_acquire);
+            for (std::size_t i = 0; i < n; ++i) {
+                f(c->events[i]);
+            }
+        }
+    }
+};
+
+struct BufferRegistry {
+    std::mutex mutex;
+    std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+};
+
+BufferRegistry& buffer_registry()
+{
+    static BufferRegistry r;
     return r;
+}
+
+ThreadBuffer& thread_buffer()
+{
+    thread_local std::shared_ptr<ThreadBuffer> local = [] {
+        auto buf = std::make_shared<ThreadBuffer>();
+        auto& reg = buffer_registry();
+        const std::lock_guard lock(reg.mutex);
+        buf->tid = static_cast<int>(reg.buffers.size());
+        reg.buffers.push_back(buf);
+        return buf;
+    }();
+    return *local;
+}
+
+/// Per-thread stack of open span path ids (parent attribution).
+std::vector<std::uint32_t>& span_stack()
+{
+    thread_local std::vector<std::uint32_t> stack;
+    return stack;
+}
+
+std::uint32_t current_path()
+{
+    const auto& stack = span_stack();
+    return stack.empty() ? 0 : stack.back();
+}
+
+void emit(std::uint32_t path, double t0, double dur, double bytes,
+          double flops, EventKind kind)
+{
+    Event e;
+    e.t0 = t0;
+    e.dur = dur;
+    e.bytes = bytes;
+    e.flops = flops;
+    e.path = path;
+    e.epoch = g_epoch.load(std::memory_order_relaxed);
+    e.kind = kind;
+    thread_buffer().push(e);
+}
+
+template <class KeyOf>
+std::map<std::string, RecordStats> aggregate(const KeyOf& key_of)
+{
+    std::map<std::string, RecordStats> out;
+    const std::uint32_t epoch = g_epoch.load(std::memory_order_acquire);
+    std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+    {
+        auto& reg = buffer_registry();
+        const std::lock_guard lock(reg.mutex);
+        buffers = reg.buffers;
+    }
+    for (const auto& buf : buffers) {
+        buf->for_each([&](const Event& e) {
+            if (e.epoch != epoch) {
+                return;
+            }
+            auto& s = out[key_of(e.path)];
+            if (e.kind == EventKind::Span) {
+                ++s.count;
+                s.total_seconds += e.dur;
+            }
+            s.bytes += e.bytes;
+            s.flops += e.flops;
+        });
+    }
+    return out;
+}
+
+void json_escape_into(std::string& out, const std::string& s)
+{
+    for (const char c : s) {
+        if (c == '"' || c == '\\') {
+            out += '\\';
+        }
+        out += c;
+    }
 }
 
 } // namespace
@@ -29,36 +306,53 @@ bool enabled()
 
 void clear()
 {
-    const std::lock_guard lock(g_mutex);
-    registry().clear();
+    // Events carry the epoch they were recorded under; bumping it hides
+    // everything already published without touching the (possibly still
+    // live) producer buffers.
+    g_epoch.fetch_add(1, std::memory_order_acq_rel);
 }
 
-void record(const std::string& label, double seconds)
+void record(std::string_view label, double seconds)
 {
-    const std::lock_guard lock(g_mutex);
-    auto& s = registry()[label];
-    ++s.count;
-    s.total_seconds += seconds;
+    // Explicit records are unconditional: set_enabled() gates the *implicit*
+    // instrumentation (ScopedSpan / kernel timers), not user-driven entries.
+    const std::uint32_t path =
+            paths().intern(current_path(), labels().intern(label));
+    emit(path, now_seconds() - seconds, seconds, 0.0, 0.0, EventKind::Span);
+}
+
+void add_counters(std::string_view label, double bytes, double flops)
+{
+    if (!enabled()) {
+        return;
+    }
+    const std::uint32_t path =
+            paths().intern(current_path(), labels().intern(label));
+    emit(path, now_seconds(), 0.0, bytes, flops, EventKind::Counter);
 }
 
 std::map<std::string, RecordStats> snapshot()
 {
-    const std::lock_guard lock(g_mutex);
-    return registry();
+    return aggregate(
+            [](std::uint32_t path) { return labels().name_of(leaf_label_of(path)); });
 }
 
-RecordStats stats_for(const std::string& label)
+std::map<std::string, RecordStats> snapshot_tree()
 {
-    const std::lock_guard lock(g_mutex);
-    const auto it = registry().find(label);
-    return it == registry().end() ? RecordStats{} : it->second;
+    return aggregate([](std::uint32_t path) { return path_string(path); });
 }
 
-double total_seconds_matching(const std::string& needle)
+RecordStats stats_for(std::string_view label)
 {
-    const std::lock_guard lock(g_mutex);
+    const auto snap = snapshot();
+    const auto it = snap.find(std::string(label));
+    return it == snap.end() ? RecordStats{} : it->second;
+}
+
+double total_seconds_matching(std::string_view needle)
+{
     double total = 0.0;
-    for (const auto& [label, stats] : registry()) {
+    for (const auto& [label, stats] : snapshot()) {
         if (label.find(needle) != std::string::npos) {
             total += stats.total_seconds;
         }
@@ -66,21 +360,130 @@ double total_seconds_matching(const std::string& needle)
     return total;
 }
 
-ScopedRegion::ScopedRegion(std::string name)
-    : m_name(std::move(name)), m_active(enabled())
+std::size_t event_count()
 {
-    if (m_active) {
-        m_start = std::chrono::steady_clock::now();
+    std::size_t n = 0;
+    const std::uint32_t epoch = g_epoch.load(std::memory_order_acquire);
+    std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+    {
+        auto& reg = buffer_registry();
+        const std::lock_guard lock(reg.mutex);
+        buffers = reg.buffers;
+    }
+    for (const auto& buf : buffers) {
+        buf->for_each([&](const Event& e) { n += (e.epoch == epoch); });
+    }
+    return n;
+}
+
+bool write_chrome_trace(const std::string& path)
+{
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "profiling: cannot open trace file %s\n",
+                     path.c_str());
+        return false;
+    }
+    const std::uint32_t epoch = g_epoch.load(std::memory_order_acquire);
+    std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+    {
+        auto& reg = buffer_registry();
+        const std::lock_guard lock(reg.mutex);
+        buffers = reg.buffers;
+    }
+    std::fputs("{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n", f);
+    bool first = true;
+    for (const auto& buf : buffers) {
+        buf->for_each([&](const Event& e) {
+            if (e.epoch != epoch) {
+                return;
+            }
+            std::string name;
+            json_escape_into(name, labels().name_of(leaf_label_of(e.path)));
+            std::string full;
+            json_escape_into(full, path_string(e.path));
+            // Timestamps/durations in microseconds, the chrome trace unit.
+            char head[160];
+            if (e.kind == EventKind::Span) {
+                std::snprintf(head, sizeof(head),
+                              "{\"ph\": \"X\", \"pid\": 1, \"tid\": %d, "
+                              "\"ts\": %.3f, \"dur\": %.3f, ",
+                              buf->tid, e.t0 * 1e6, e.dur * 1e6);
+            } else {
+                std::snprintf(head, sizeof(head),
+                              "{\"ph\": \"i\", \"s\": \"t\", \"pid\": 1, "
+                              "\"tid\": %d, \"ts\": %.3f, ",
+                              buf->tid, e.t0 * 1e6);
+            }
+            char args[200];
+            std::snprintf(args, sizeof(args),
+                          "\"args\": {\"bytes\": %.17g, \"flops\": %.17g, "
+                          "\"path\": \"%s\"}}",
+                          e.bytes, e.flops, full.c_str());
+            std::fprintf(f, "%s  %s\"name\": \"%s\", \"cat\": \"pspl\", %s",
+                         first ? "" : ",\n", head, name.c_str(), args);
+            first = false;
+        });
+    }
+    std::fputs("\n]}\n", f);
+    std::fclose(f);
+    return true;
+}
+
+void note_alloc(std::size_t bytes)
+{
+    g_mem_allocs.fetch_add(1, std::memory_order_relaxed);
+    const std::uint64_t live =
+            g_mem_live.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+    std::uint64_t peak = g_mem_peak.load(std::memory_order_relaxed);
+    while (live > peak
+           && !g_mem_peak.compare_exchange_weak(peak, live,
+                                                std::memory_order_relaxed)) {
     }
 }
 
-ScopedRegion::~ScopedRegion()
+void note_free(std::size_t bytes)
+{
+    g_mem_live.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+MemoryStats memory_stats()
+{
+    MemoryStats s;
+    s.live_bytes = g_mem_live.load(std::memory_order_relaxed);
+    s.peak_bytes = g_mem_peak.load(std::memory_order_relaxed);
+    s.allocations = g_mem_allocs.load(std::memory_order_relaxed);
+    return s;
+}
+
+void reset_memory_peak()
+{
+    g_mem_peak.store(g_mem_live.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+}
+
+ScopedSpan::ScopedSpan(std::string_view name) : m_active(enabled())
 {
     if (m_active) {
-        const double sec = std::chrono::duration<double>(
-                                   std::chrono::steady_clock::now() - m_start)
-                                   .count();
-        record(m_name, sec);
+        m_path = paths().intern(current_path(), labels().intern(name));
+        span_stack().push_back(m_path);
+        m_t0 = now_seconds();
+    }
+}
+
+ScopedSpan::~ScopedSpan()
+{
+    if (m_active) {
+        const double dur = now_seconds() - m_t0;
+        span_stack().pop_back();
+        emit(m_path, m_t0, dur, 0.0, 0.0, EventKind::Span);
+    }
+}
+
+void ScopedSpan::add_counters(double bytes, double flops)
+{
+    if (m_active) {
+        emit(m_path, now_seconds(), 0.0, bytes, flops, EventKind::Counter);
     }
 }
 

@@ -1,6 +1,23 @@
-// Kokkos-tools-style profiling: every labeled kernel and region accumulates
-// (call count, total seconds) into a global registry that benchmarks read
-// back, mirroring the paper's `kp_reader *.dat` workflow (Appendix D).
+// Structured tracing and metrics: the observability layer behind the
+// paper's per-kernel profiling workflow (Kokkos-tools kp_reader, Appendix D),
+// grown into nested spans with derived per-kernel metrics.
+//
+//   - Spans nest: a ScopedSpan (or a labeled parallel_for dispatched inside
+//     one) records its full parent path, so "pspl_splines_solve" decomposes
+//     into its pttrs / gemv / spmv_coo children in the snapshot tree.
+//   - Events land in lock-free per-thread buffers (single-producer chunk
+//     lists, release/acquire counters) merged only on snapshot, so tracing
+//     adds negligible overhead around parallel_for launches.
+//   - Labels are interned string_view keys; the hot path never copies or
+//     hashes a std::string per call, and the disabled path is one relaxed
+//     atomic load with zero allocation.
+//   - Kernels attribute modeled bytes/flops to spans (add_counters); the
+//     snapshot derives achieved bandwidth against the peak model in
+//     src/perf/hardware.*.
+//   - write_chrome_trace() exports the raw event stream as a
+//     chrome://tracing / Perfetto JSON file.
+//   - The View allocator reports every allocation (note_alloc/note_free),
+//     giving a process-wide memory high-water mark.
 //
 // Profiling is off by default; benchmarks switch it on around the section
 // they measure so unit tests pay no timing overhead.
@@ -10,50 +27,115 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace pspl::profiling {
 
+/// Aggregated statistics for one label (or one span path).
 struct RecordStats {
-    std::uint64_t count = 0;
-    double total_seconds = 0.0;
+    std::uint64_t count = 0;      ///< closed spans / record() calls
+    double total_seconds = 0.0;   ///< summed wall time of those spans
+    double bytes = 0.0;           ///< modeled bytes moved (add_counters)
+    double flops = 0.0;           ///< modeled flops (add_counters)
     double avg_seconds() const { return count ? total_seconds / double(count) : 0.0; }
+    /// Achieved bandwidth in GB/s under the modeled byte count.
+    double achieved_bw_gbs() const
+    {
+        return total_seconds > 0.0 ? bytes * 1e-9 / total_seconds : 0.0;
+    }
+    /// Achieved GFlops under the modeled flop count.
+    double achieved_gflops() const
+    {
+        return total_seconds > 0.0 ? flops * 1e-9 / total_seconds : 0.0;
+    }
 };
 
 /// Globally enable/disable timing of labeled kernels and regions.
 void set_enabled(bool on);
 bool enabled();
 
-/// Reset all accumulated statistics.
+/// Reset all accumulated statistics (events recorded before the call are
+/// dropped from snapshots and traces).
 void clear();
 
-/// Record `seconds` against `label` (used by the parallel dispatch layer).
-void record(const std::string& label, double seconds);
+/// Record `seconds` against `label` as a leaf span under the calling
+/// thread's currently open span (used by the parallel dispatch layer and
+/// by user code that times a section manually).
+void record(std::string_view label, double seconds);
 
-/// Snapshot of the registry, ordered by label.
+/// Attribute modeled costs to `label` as a zero-duration child of the
+/// calling thread's currently open span. The dispatch drivers use this to
+/// decompose a fused kernel into its per-algorithm bytes/flops.
+void add_counters(std::string_view label, double bytes, double flops);
+
+/// Snapshot aggregated by *leaf* label (a kernel dispatched under several
+/// parents aggregates into one entry) -- the pre-span behaviour every
+/// existing bench and example relies on.
 std::map<std::string, RecordStats> snapshot();
 
-/// Stats for one label (zeroes if never recorded).
-RecordStats stats_for(const std::string& label);
+/// Snapshot aggregated by full span path ("parent/child/leaf").
+std::map<std::string, RecordStats> snapshot_tree();
 
-/// Sum of total_seconds over every label containing `needle`.
-double total_seconds_matching(const std::string& needle);
+/// Stats for one leaf label (zeroes if never recorded).
+RecordStats stats_for(std::string_view label);
 
-/// RAII region timer: `ScopedRegion r("ddc_splines_solve");` accumulates the
-/// enclosed wall time under the given name, like Kokkos profiling regions.
-class ScopedRegion
+/// Sum of total_seconds over every leaf label containing `needle`.
+double total_seconds_matching(std::string_view needle);
+
+/// Number of events recorded since the last clear() (test/diagnostic aid).
+std::size_t event_count();
+
+/// Export every recorded event as a Chrome trace ("chrome://tracing" /
+/// Perfetto JSON): spans become complete ("X") events on their recording
+/// thread's track, counter attributions become instant events carrying
+/// bytes/flops args. Returns false if the file cannot be written.
+bool write_chrome_trace(const std::string& path);
+
+// ---------------------------------------------------------------------------
+// Memory accounting: the View allocator (parallel/view.hpp) is the single
+// allocation choke point of the library; it reports every allocation and
+// release here. Always on -- two relaxed atomic ops per *allocation* are
+// noise next to the allocation itself.
+// ---------------------------------------------------------------------------
+
+struct MemoryStats {
+    std::uint64_t live_bytes = 0;  ///< currently allocated through View
+    std::uint64_t peak_bytes = 0;  ///< high-water mark since process start / reset
+    std::uint64_t allocations = 0; ///< cumulative allocation count
+};
+
+void note_alloc(std::size_t bytes);
+void note_free(std::size_t bytes);
+MemoryStats memory_stats();
+/// Reset the high-water mark to the current live size.
+void reset_memory_peak();
+
+// ---------------------------------------------------------------------------
+// RAII spans
+// ---------------------------------------------------------------------------
+
+/// Nested span: opens a child of the calling thread's innermost open span,
+/// closes (and records) it on destruction. `ScopedRegion` is the historical
+/// name; the dispatch layer opens one of these around every labeled kernel.
+class ScopedSpan
 {
 public:
-    explicit ScopedRegion(std::string name);
-    ~ScopedRegion();
-    ScopedRegion(const ScopedRegion&) = delete;
-    ScopedRegion& operator=(const ScopedRegion&) = delete;
+    explicit ScopedSpan(std::string_view name);
+    ~ScopedSpan();
+    ScopedSpan(const ScopedSpan&) = delete;
+    ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+    /// Attribute modeled costs to this span itself.
+    void add_counters(double bytes, double flops);
 
 private:
-    std::string m_name;
+    double m_t0 = 0.0;
+    std::uint32_t m_path = 0;
     bool m_active = false;
-    std::chrono::steady_clock::time_point m_start;
 };
+
+using ScopedRegion = ScopedSpan;
 
 /// Simple monotonic timer used by benches that measure one section directly.
 class Timer

@@ -14,7 +14,7 @@
 #include "parallel/parallel.hpp"
 
 #include <cstddef>
-#include <string>
+#include <string_view>
 
 namespace pspl {
 
@@ -59,7 +59,7 @@ struct TeamPolicy {
 
 /// Launch one functor call per (league entry, team member).
 template <class Exec, class F>
-void parallel_for(const std::string& label, TeamPolicy<Exec> policy,
+void parallel_for(std::string_view label, TeamPolicy<Exec> policy,
                   const F& f)
 {
     const int ts = policy.team_size;

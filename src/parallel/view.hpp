@@ -10,6 +10,7 @@
 #include "debug/instrument.hpp"
 #include "parallel/layout.hpp"
 #include "parallel/macros.hpp"
+#include "parallel/profiling.hpp"
 
 #include <array>
 #include <cstddef>
@@ -51,16 +52,24 @@ public:
         , m_stride(Layout::strides(m_extent))
     {
         const std::size_t n = size();
+        // Every allocation is reported to the profiling layer: View is the
+        // library's only allocation choke point, so this is the process-wide
+        // memory high-water mark.
+        profiling::note_alloc(n * sizeof(T));
         if constexpr (debug::check_enabled) {
             T* p = new T[n]();
             debug::register_allocation(p, n * sizeof(T), m_label.c_str());
             debug::poison_fill(p, n);
-            m_alloc = std::shared_ptr<T[]>(p, [](T* q) {
+            m_alloc = std::shared_ptr<T[]>(p, [n](T* q) {
                 debug::release_allocation(q);
+                profiling::note_free(n * sizeof(T));
                 delete[] q;
             });
         } else {
-            m_alloc = std::shared_ptr<T[]>(new T[n]());
+            m_alloc = std::shared_ptr<T[]>(new T[n](), [n](T* q) {
+                profiling::note_free(n * sizeof(T));
+                delete[] q;
+            });
         }
         m_data = m_alloc.get();
     }

@@ -1,12 +1,78 @@
 #include "perf/report.hpp"
 
 #include "parallel/macros.hpp"
+#include "parallel/profiling.hpp"
+#include "perf/hardware.hpp"
 
 #include <algorithm>
 #include <cstdio>
 #include <sstream>
 
 namespace pspl::perf {
+
+namespace {
+
+std::string json_num(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+std::string json_str(const std::string& s)
+{
+    std::string out = "\"";
+    for (const char c : s) {
+        if (c == '"' || c == '\\') {
+            out += '\\';
+        }
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace
+
+std::string report_json()
+{
+    const HardwareSpec host = host_spec();
+    const auto mem = profiling::memory_stats();
+    const auto spans = profiling::snapshot_tree();
+
+    std::string out = "{";
+    out += "\"schema\": \"pspl-perf-report-v1\"";
+    out += ", \"isa\": " + json_str(compiled_isa_name());
+    out += ", \"host\": {\"name\": " + json_str(host.name)
+           + ", \"peak_gflops\": " + json_num(host.peak_gflops)
+           + ", \"peak_bw_gbs\": " + json_num(host.peak_bw_gbs) + "}";
+    out += ", \"memory\": {\"live_bytes\": "
+           + std::to_string(mem.live_bytes)
+           + ", \"peak_bytes\": " + std::to_string(mem.peak_bytes)
+           + ", \"allocations\": " + std::to_string(mem.allocations) + "}";
+    out += ", \"spans\": [";
+    bool first = true;
+    for (const auto& [path, stats] : spans) { // std::map: sorted by path
+        if (!first) {
+            out += ", ";
+        }
+        first = false;
+        const double bw = stats.achieved_bw_gbs();
+        out += "{\"path\": " + json_str(path);
+        out += ", \"count\": " + std::to_string(stats.count);
+        out += ", \"seconds\": " + json_num(stats.total_seconds);
+        out += ", \"bytes\": " + json_num(stats.bytes);
+        out += ", \"flops\": " + json_num(stats.flops);
+        out += ", \"achieved_bw_gbs\": " + json_num(bw);
+        out += ", \"achieved_gflops\": " + json_num(stats.achieved_gflops());
+        out += ", \"bw_percent_of_peak\": "
+               + json_num(host.peak_bw_gbs > 0.0 ? 100.0 * bw / host.peak_bw_gbs
+                                                 : 0.0);
+        out += "}";
+    }
+    out += "]}";
+    return out;
+}
 
 std::string fmt(double value, int precision)
 {

@@ -15,6 +15,13 @@ std::string fmt(double value, int precision = 2);
 /// Seconds rendered with an adaptive unit (ns/us/ms/s), paper-style.
 std::string fmt_time(double seconds);
 
+/// Machine-readable performance report ("pspl-perf-report-v1"): host spec,
+/// View-allocator memory stats and every profiling span recorded so far
+/// (path-keyed, with derived achieved bandwidth / flop rate against the
+/// host peak model). Returns one stable JSON object; the bench harnesses
+/// embed it verbatim into their --json output so CI can diff runs.
+std::string report_json();
+
 class Table
 {
 public:

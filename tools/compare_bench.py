@@ -1,0 +1,258 @@
+#!/usr/bin/env python3
+"""Diff two bench --json artifacts (BENCH_*.json) for CI gating.
+
+Design for the bench-smoke job: CI runs the benches at *reduced* sizes while
+the committed baselines are full-scale, so records are matched by identity
+fields that exclude the problem size. Concretely, every record is keyed by
+its bench name plus all non-metric fields except SIZE_FIELDS (n, batch) and
+INFO_FIELDS (isa, pspl_check). Severity is split in two:
+
+  * structural / schema drift -> HARD FAIL (exit 1): a record identity that
+    exists on one side only, a metric field added or removed, a field
+    changing JSON type, or nested-object schemas diverging. This is what the
+    gate protects: the shape of the artifact, which downstream tooling and
+    the committed baselines rely on.
+  * metric drift -> WARN by default: numeric perf values (seconds, bandwidth,
+    speedup, ulp, ...) outside --tolerance are reported but do not fail the
+    run, and are only compared at all when both sides ran the same problem
+    size. --fail-on-timing upgrades these to errors for same-machine diffs.
+
+Usage:
+  tools/compare_bench.py BASELINE.json CURRENT.json [--tolerance 0.25]
+                         [--fail-on-timing] [--verbose]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+# Problem-size fields: excluded from record identity so reduced-size smoke
+# runs still match full-scale baselines; metric values are only compared
+# when these agree on both sides.
+SIZE_FIELDS = {"n", "batch"}
+
+# Informational provenance: reported on mismatch, never an error.
+INFO_FIELDS = {"isa", "pspl_check"}
+
+# A numeric field whose name contains one of these substrings is a measured
+# metric (compared within tolerance); any other field is identity.
+METRIC_NAME_PARTS = (
+    "seconds",
+    "bytes",
+    "flops",
+    "count",
+    "gbs",
+    "gflops",
+    "speedup",
+    "percent",
+    "ulp",
+    "bandwidth",
+    "time",
+)
+
+
+def is_metric_field(key, value):
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        return False
+    lower = key.lower()
+    return any(part in lower for part in METRIC_NAME_PARTS)
+
+
+def schema_signature(value):
+    """Recursive shape of a JSON value: key sets for objects, element shape
+    for arrays, type name for scalars. Nested objects (e.g. the embedded
+    perf_report) are compared by this signature only, never by value."""
+    if isinstance(value, dict):
+        return {k: schema_signature(v) for k, v in sorted(value.items())}
+    if isinstance(value, list):
+        element_sigs = [schema_signature(v) for v in value]
+        unique = []
+        for sig in element_sigs:
+            if sig not in unique:
+                unique.append(sig)
+        return ["array", unique]
+    if isinstance(value, bool):
+        return "bool"
+    if isinstance(value, (int, float)):
+        return "number"
+    if value is None:
+        return "null"
+    return "string"
+
+
+def record_identity(record):
+    """Hashable identity: every field that is not a metric, a size, or
+    informational. Nested values contribute their schema signature so two
+    perf_report records collapse onto one identity."""
+    parts = []
+    for key, value in sorted(record.items()):
+        if key in SIZE_FIELDS or key in INFO_FIELDS:
+            continue
+        if is_metric_field(key, value):
+            continue
+        if isinstance(value, (dict, list)):
+            parts.append((key, json.dumps(schema_signature(value))))
+        else:
+            parts.append((key, value))
+    return tuple(parts)
+
+
+def identity_label(identity):
+    return ", ".join(
+        f"{k}={v if not isinstance(v, str) or len(v) < 48 else v[:45] + '...'}"
+        for k, v in identity
+        if k != "report"
+    ) or "<nested report>"
+
+
+def load_records(path):
+    try:
+        data = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        sys.exit(f"compare_bench: cannot read {path}: {exc}")
+    if not isinstance(data, list) or not all(
+        isinstance(r, dict) for r in data
+    ):
+        sys.exit(f"compare_bench: {path} is not a JSON array of objects")
+    return data
+
+
+def relative_delta(old, new):
+    if old == new:
+        return 0.0
+    denom = max(abs(old), abs(new), 1e-300)
+    return abs(new - old) / denom
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed relative drift for metric fields (default 0.25)",
+    )
+    parser.add_argument(
+        "--fail-on-timing",
+        action="store_true",
+        help="treat out-of-tolerance metrics as errors, not warnings",
+    )
+    parser.add_argument("--verbose", action="store_true")
+    args = parser.parse_args()
+
+    baseline = load_records(args.baseline)
+    current = load_records(args.current)
+
+    base_by_id = {}
+    for rec in baseline:
+        base_by_id.setdefault(record_identity(rec), []).append(rec)
+    cur_by_id = {}
+    for rec in current:
+        cur_by_id.setdefault(record_identity(rec), []).append(rec)
+
+    errors = []
+    warnings = []
+    infos = []
+    compared_metrics = 0
+    matched_records = 0
+
+    for identity in base_by_id:
+        if identity not in cur_by_id:
+            errors.append(
+                f"record missing from current: {identity_label(identity)}"
+            )
+    for identity in cur_by_id:
+        if identity not in base_by_id:
+            errors.append(
+                f"record not in baseline (new/renamed): "
+                f"{identity_label(identity)}"
+            )
+
+    for identity, base_recs in base_by_id.items():
+        cur_recs = cur_by_id.get(identity)
+        if cur_recs is None:
+            continue
+        if len(base_recs) != len(cur_recs):
+            errors.append(
+                f"record multiplicity changed "
+                f"({len(base_recs)} -> {len(cur_recs)}): "
+                f"{identity_label(identity)}"
+            )
+        for base_rec, cur_rec in zip(base_recs, cur_recs):
+            matched_records += 1
+            label = identity_label(identity)
+
+            base_metrics = {
+                k for k, v in base_rec.items() if is_metric_field(k, v)
+            }
+            cur_metrics = {
+                k for k, v in cur_rec.items() if is_metric_field(k, v)
+            }
+            for key in sorted(base_metrics - cur_metrics):
+                errors.append(f"metric field removed: {key} [{label}]")
+            for key in sorted(cur_metrics - base_metrics):
+                errors.append(f"metric field added: {key} [{label}]")
+
+            for key in INFO_FIELDS & base_rec.keys() & cur_rec.keys():
+                if base_rec[key] != cur_rec[key]:
+                    infos.append(
+                        f"{key}: {base_rec[key]} -> {cur_rec[key]} [{label}]"
+                    )
+
+            sizes_match = all(
+                base_rec.get(f) == cur_rec.get(f) for f in SIZE_FIELDS
+            )
+            if not sizes_match:
+                infos.append(
+                    "sizes differ, metric values not compared: "
+                    + ", ".join(
+                        f"{f}={base_rec.get(f)}->{cur_rec.get(f)}"
+                        for f in sorted(SIZE_FIELDS)
+                        if base_rec.get(f) != cur_rec.get(f)
+                    )
+                    + f" [{label}]"
+                )
+                continue
+
+            for key in sorted(base_metrics & cur_metrics):
+                delta = relative_delta(base_rec[key], cur_rec[key])
+                compared_metrics += 1
+                if delta > args.tolerance:
+                    warnings.append(
+                        f"{key}: {base_rec[key]:.6g} -> "
+                        f"{cur_rec[key]:.6g} ({delta * 100.0:.1f}% drift, "
+                        f"tolerance {args.tolerance * 100.0:.0f}%) [{label}]"
+                    )
+                elif args.verbose:
+                    infos.append(
+                        f"{key}: {base_rec[key]:.6g} -> "
+                        f"{cur_rec[key]:.6g} ({delta * 100.0:.1f}%) [{label}]"
+                    )
+
+    if args.fail_on_timing:
+        errors.extend(warnings)
+        warnings = []
+
+    for line in infos:
+        print(f"info: {line}")
+    for line in warnings:
+        print(f"WARNING: {line}")
+    for line in errors:
+        print(f"ERROR: {line}")
+
+    print(
+        f"compare_bench: {matched_records} records matched, "
+        f"{compared_metrics} metric values compared, "
+        f"{len(warnings)} warnings, {len(errors)} errors "
+        f"({args.baseline} vs {args.current})"
+    )
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,6 +20,10 @@ assumes and the batched-kernel design depends on:
      are host-side implementation, not kernels.
   6. No std::cout / printf in src/ library code (stderr via debug::fail or
      profiling hooks only); keeps library output parseable.
+  7. Every parallel_for / parallel_reduce / for_each_batch_simd call site
+     passes a non-empty label: labels key the profiling spans and the
+     PSPL_CHECK region guards, and an empty label collapses distinct
+     kernels into one unattributable bucket.
 
 Exit code 0 when clean, 1 with one `file:line: message` per violation.
 """
@@ -177,6 +181,24 @@ def check_kernel_captures(path: Path, code: str, errors: list[str]) -> None:
                 "value ('[=]') to stay portable to offloading backends")
 
 
+def check_kernel_labels(path: Path, code: str, errors: list[str]) -> None:
+    for m in KERNEL_DISPATCH.finditer(code):
+        j = m.end()
+        while j < len(code) and code[j].isspace():
+            j += 1
+        if j >= len(code) or code[j] != '"':
+            # Label forwarded through a variable/expression; nothing to
+            # verify statically.
+            continue
+        # strip_comments blanks string *contents* but keeps the quotes, so
+        # an empty label literal survives as two adjacent quotes.
+        if j + 1 < len(code) and code[j + 1] == '"':
+            errors.append(
+                f"{path}:{line_of(code, m.start())}: kernel dispatch with an "
+                "empty label -- labels key profiling spans and PSPL_CHECK "
+                "region guards, pass a descriptive one")
+
+
 def check_io(path: Path, code: str, errors: list[str]) -> None:
     for m in IO_CALL.finditer(code):
         errors.append(
@@ -200,6 +222,7 @@ def main() -> int:
             check_serial_kernel(rel, code, errors)
         if path.parent.name != "parallel":
             check_kernel_captures(rel, code, errors)
+        check_kernel_labels(rel, code, errors)
         if "profiling" not in path.name and "report" not in path.name \
                 and "hardware" not in path.name:
             check_io(rel, code, errors)
