@@ -8,8 +8,11 @@
 #include "bsplines/basis.hpp"
 #include "bsplines/knots.hpp"
 #include "debug/check.hpp"
+#include "parallel/execution.hpp"
 #include "parallel/profiling.hpp"
+#include "parallel/tiling.hpp"
 #include "parallel/view.hpp"
+#include "perf/hardware.hpp"
 #include "perf/report.hpp"
 
 #include <algorithm>
@@ -192,9 +195,19 @@ public:
         }
         std::string rec = "{\"bench\": " + str(bench_name);
         // Provenance: whether this binary carried the instrumentation layer
-        // (it should never be "true" for committed BENCH_*.json artifacts).
+        // (it should never be "true" for committed BENCH_*.json artifacts),
+        // plus the runtime execution configuration -- thread count, pin
+        // state, tile policy and NUMA topology -- so every record is
+        // self-describing about how it was run (schema v2 fields).
         rec += std::string(", \"pspl_check\": ")
                + (pspl::debug::check_enabled ? "true" : "false");
+        rec += ", \"threads\": "
+               + std::to_string(DefaultExecutionSpace::concurrency());
+        rec += std::string(", \"pinned\": ")
+               + (threads_pinned() ? "true" : "false");
+        rec += ", \"tile\": " + str(TilePolicy::from_env().describe());
+        rec += ", \"numa_nodes\": "
+               + std::to_string(perf::numa_node_count());
         for (const auto& [key, value] : fields) {
             rec += ", " + str(key) + ": " + value;
         }

@@ -31,8 +31,12 @@ BatchedAdvection1D::BatchedAdvection1D(bsplines::BSplineBasis basis_x,
     for (std::size_t i = 0; i < nx_; ++i) {
         m_points(i) = pts[i];
     }
-    m_ft = View2D<double>("advection_ft", nx_, nv_);
-    m_eta = View2D<double>("advection_eta", nv_, nx_);
+    // Persistent scratch for every step(): first-touched from a parallel
+    // region so on NUMA systems the pages of each batch slice land on the
+    // node of the thread that processes it (the transposes and the batched
+    // solve all use static schedules over the same index spaces).
+    m_ft = View2D<double>(FirstTouch, "advection_ft", nx_, nv_);
+    m_eta = View2D<double>(FirstTouch, "advection_eta", nv_, nx_);
 }
 
 View1D<double> uniform_velocities(std::size_t nv, double vmin, double vmax)

@@ -8,12 +8,15 @@
 #include "batched/batched.hpp"
 #include "core/schur_solver.hpp"
 #include "debug/registry.hpp"
+#include "parallel/arena.hpp"
 #include "parallel/parallel.hpp"
 #include "parallel/simd.hpp"
 #include "parallel/simd_view.hpp"
 #include "parallel/subview.hpp"
+#include "parallel/tiling.hpp"
 #include "parallel/view.hpp"
 
+#include <cstdio>
 #include <utility>
 
 namespace pspl::core {
@@ -71,6 +74,28 @@ inline const char* q_solve_label(SolverKind kind)
     return "qsolve";
 }
 
+/// Modeled whole-launch cost of one fused batched solve (Q-solve plus the
+/// Schur correction when the corner is non-empty).
+inline batched::KernelCost total_solve_cost(const SchurDeviceData& s,
+                                            std::size_t batch, bool use_spmv)
+{
+    const auto nb = static_cast<double>(batch);
+    batched::KernelCost total = q_solve_cost(s) * nb;
+    if (s.k > 0) {
+        if (use_spmv) {
+            total += (batched::SerialSpmvCoo::cost(s.lambda_coo.nnz(), s.k)
+                      + batched::SerialSpmvCoo::cost(s.beta_coo.nnz(), s.n0))
+                     * nb;
+        } else {
+            total += (batched::SerialGemv<>::cost(s.k, s.n0)
+                      + batched::SerialGemv<>::cost(s.n0, s.k))
+                     * nb;
+        }
+        total += batched::SerialGetrs<>::cost(s.k) * nb;
+    }
+    return total;
+}
+
 /// Attribute the modeled bytes/flops of one batched solve to the open span
 /// tree: the whole-launch total lands on `kernel_label` (merging with the
 /// timed span the dispatch layer just closed, so the snapshot derives its
@@ -85,7 +110,6 @@ inline void attribute_solve_cost(const SchurDeviceData& s,
     }
     const auto nb = static_cast<double>(batch);
     const batched::KernelCost q = q_solve_cost(s) * nb;
-    batched::KernelCost total = q;
     profiling::add_counters(q_solve_label(s.kind), q.bytes, q.flops);
     if (s.k > 0) {
         batched::KernelCost corner;
@@ -103,10 +127,27 @@ inline void attribute_solve_cost(const SchurDeviceData& s,
         const batched::KernelCost schur =
                 batched::SerialGetrs<>::cost(s.k) * nb;
         profiling::add_counters("getrs_schur", schur.bytes, schur.flops);
-        total += corner;
-        total += schur;
     }
+    const batched::KernelCost total = total_solve_cost(s, batch, use_spmv);
     profiling::add_counters(kernel_label, total.bytes, total.flops);
+}
+
+/// Per-tile-size span attribution for the tiled drivers: records the timed
+/// launch once more under a "tile_w=<cols>" leaf carrying the same modeled
+/// cost, so report_json derives achieved bandwidth *per tile size* next to
+/// the per-kernel decomposition. Transient label: the interner copies it.
+inline void attribute_tile_span(const SchurDeviceData& s, std::size_t batch,
+                                bool use_spmv, std::size_t tile_cols,
+                                double seconds)
+{
+    if (!profiling::enabled() || batch == 0) {
+        return;
+    }
+    char label[32];
+    std::snprintf(label, sizeof(label), "tile_w=%zu", tile_cols);
+    profiling::record(label, seconds);
+    const batched::KernelCost total = total_solve_cost(s, batch, use_spmv);
+    profiling::add_counters(label, total.bytes, total.flops);
 }
 
 template <class Exec, class BView>
@@ -209,21 +250,25 @@ void solve_fused_spmv(const SchurDeviceData& s, const BView& b,
                          /*use_spmv=*/true);
 }
 
-/// Contiguous span of packs with the rank-1 view interface the batched
-/// kernels expect. The SIMD solve stages W batch columns into one of these
-/// (unit pack stride, resident in cache) and runs every kernel pass on it
-/// with ValueType = simd<double, W>.
+/// Strided span of packs with the rank-1 view interface the batched
+/// kernels expect. The SIMD solve stages batch columns into a pack buffer
+/// and runs every kernel pass on it with ValueType = simd<double, W>; the
+/// untiled path stages one chunk contiguously (step 1), the tiled path
+/// stages a whole row-major tile and walks one pack column of it (step =
+/// packs per tile). The serial kernels consume only data()/stride(0)/
+/// extent(), so both shapes go through the identical kernel code.
 template <class T, int W>
 struct PackSpan {
     using value_type = simd<T, W>;
 
     simd<T, W>* PSPL_RESTRICT ptr = nullptr;
     std::size_t len = 0;
+    std::size_t step = 1; ///< pack stride between consecutive rows
 
     PSPL_FORCEINLINE_FUNCTION simd<T, W>& operator()(std::size_t i) const
     {
         PSPL_DEBUG_ASSERT(i < len, "PackSpan: index out of bounds");
-        return ptr[i];
+        return ptr[i * step];
     }
     PSPL_FORCEINLINE_FUNCTION std::size_t extent(std::size_t) const
     {
@@ -232,9 +277,33 @@ struct PackSpan {
     PSPL_FORCEINLINE_FUNCTION simd<T, W>* data() const { return ptr; }
     PSPL_FORCEINLINE_FUNCTION std::size_t stride(std::size_t) const
     {
-        return 1;
+        return step;
     }
 };
+
+/// Algorithm-1 chain on one staged pack column (Q-solve, then the Schur
+/// correction). Shared verbatim by the untiled and tiled SIMD drivers --
+/// per-column arithmetic is what makes the two bitwise identical.
+template <int W, bool UseSpmv>
+PSPL_FORCEINLINE_FUNCTION void
+solve_pack_column(const SchurDeviceData& s, const PackSpan<double, W>& b0,
+                  const PackSpan<double, W>& b1)
+{
+    solve_q_serial(s, b0);
+    if (s.k > 0) {
+        if constexpr (UseSpmv) {
+            batched::SerialSpmvCoo::invoke(-1.0, s.lambda_coo, b0, b1);
+        } else {
+            batched::SerialGemv<>::invoke(-1.0, s.lambda_dense, b0, 1.0, b1);
+        }
+        batched::SerialGetrs<>::invoke(s.delta_lu, s.delta_ipiv, b1);
+        if constexpr (UseSpmv) {
+            batched::SerialSpmvCoo::invoke(-1.0, s.beta_coo, b1, b0);
+        } else {
+            batched::SerialGemv<>::invoke(-1.0, s.beta_dense, b1, 1.0, b0);
+        }
+    }
+}
 
 /// SIMD-across-batch version of solve_fused / solve_fused_spmv: each
 /// iteration stages W adjacent RHS columns into a per-thread pack buffer,
@@ -246,16 +315,18 @@ void solve_fused_simd(const SchurDeviceData& s, const BView& b,
                       std::size_t batch)
 {
     using Pack = simd<double, W>;
-    // Per-thread staging workspace: one pack per matrix row per thread,
-    // allocated up front -- before the parallel region -- at its full size
-    // (full and tail chunks share the same rows), so every chunk reuses one
-    // stable allocation.  Instrumentation and TSan then see a single
-    // allocation spanning the region; the scratch guard tells the
-    // write-conflict detector that per-thread reuse of these rows across
-    // chunks is staging, not a cross-batch race.
-    View<Pack, 2> ws("pspl::simd_workspace",
-                     static_cast<std::size_t>(Exec::concurrency()), s.n);
-    debug::ScratchGuard scratch(ws.data(), ws.size() * sizeof(Pack));
+    // Per-thread staging: one pack per matrix row per thread, carved out of
+    // the persistent workspace arena (no heap allocation per solve call;
+    // full and tail chunks share the same rows, so every chunk reuses one
+    // stable slot). The scratch guard tells the write-conflict detector
+    // that per-thread reuse of these rows across chunks is staging, not a
+    // cross-batch race.
+    WorkspaceArena& arena = host_workspace_arena();
+    arena.reserve(static_cast<std::size_t>(Exec::concurrency()),
+                  s.n * sizeof(Pack));
+    debug::ScratchGuard scratch(arena.data(), arena.size_bytes());
+    std::byte* const abase = arena.data();
+    const std::size_t astride = arena.slot_stride_bytes();
     const std::string label = UseSpmv ? "pspl::batched::SerialQsolve-Spmv-Simd"
                                       : "pspl::batched::SerialQsolve-Gemv-Simd";
     for_each_batch_simd<W>(label, RangePolicy<Exec>(batch),
@@ -263,40 +334,160 @@ void solve_fused_simd(const SchurDeviceData& s, const BView& b,
         PSPL_DEBUG_ASSERT(
                 chunk.begin + static_cast<std::size_t>(chunk.lanes) <= batch,
                 "solve_fused_simd: chunk outside batch range");
-        Pack* PSPL_RESTRICT buf =
-                &ws(static_cast<std::size_t>(Exec::thread_rank()), 0);
+        Pack* PSPL_RESTRICT buf = reinterpret_cast<Pack*>(
+                abase
+                + astride * static_cast<std::size_t>(Exec::thread_rank()));
         simd_load_chunk<W>(b, 0, s.n, chunk.begin, chunk.lanes, buf);
         const PackSpan<double, W> b0{buf, s.n0};
         const PackSpan<double, W> b1{buf + s.n0, s.k};
-        solve_q_serial(s, b0);
-        if (s.k > 0) {
-            if constexpr (UseSpmv) {
-                batched::SerialSpmvCoo::invoke(-1.0, s.lambda_coo, b0, b1);
-            } else {
-                batched::SerialGemv<>::invoke(-1.0, s.lambda_dense, b0, 1.0,
-                                              b1);
-            }
-            batched::SerialGetrs<>::invoke(s.delta_lu, s.delta_ipiv, b1);
-            if constexpr (UseSpmv) {
-                batched::SerialSpmvCoo::invoke(-1.0, s.beta_coo, b1, b0);
-            } else {
-                batched::SerialGemv<>::invoke(-1.0, s.beta_dense, b1, 1.0, b0);
-            }
-        }
+        solve_pack_column<W, UseSpmv>(s, b0, b1);
         simd_store_chunk<W>(b, 0, s.n, chunk.begin, chunk.lanes, buf);
     });
     attribute_solve_cost(s, label, batch, UseSpmv);
+}
+
+/// Tile-resident SIMD solve: stage a whole (n, tile) block of RHS columns
+/// into a per-thread arena slot (row-major in packs, so the loads sweep
+/// long contiguous runs of `b` instead of one isolated pack per row), run
+/// the full assemble -> factor-apply -> Schur-correction chain on every
+/// pack column of the tile while it is L2-resident, then scatter the tile
+/// back. Tiles are multiples of W columns, so chunk boundaries -- and
+/// therefore results, bitwise -- match the untiled path.
+template <int W, bool UseSpmv, class Exec, class BView>
+void solve_fused_simd_tiled(const SchurDeviceData& s, const BView& b,
+                            std::size_t batch, std::size_t tile)
+{
+    using Pack = simd<double, W>;
+    const auto wide = static_cast<std::size_t>(W);
+    PSPL_DEBUG_ASSERT(tile >= wide && tile % wide == 0,
+                      "solve_fused_simd_tiled: tile must be a positive "
+                      "multiple of the pack width");
+    // Never stage more than the (pack-rounded) batch itself.
+    const std::size_t batch_cols = (batch + wide - 1) / wide * wide;
+    const std::size_t eff_tile = tile < batch_cols ? tile : batch_cols;
+    const std::size_t tile_packs = eff_tile / wide;
+    WorkspaceArena& arena = host_workspace_arena();
+    arena.reserve(static_cast<std::size_t>(Exec::concurrency()),
+                  s.n * tile_packs * sizeof(Pack));
+    debug::ScratchGuard scratch(arena.data(), arena.size_bytes());
+    std::byte* const abase = arena.data();
+    const std::size_t astride = arena.slot_stride_bytes();
+    const std::string label = UseSpmv ? "pspl::batched::SerialQsolve-Spmv-Simd"
+                                      : "pspl::batched::SerialQsolve-Gemv-Simd";
+    profiling::Timer timer;
+    for_each_batch_tile(label, RangePolicy<Exec>(batch), eff_tile,
+                        [=](const BatchTile& t) {
+        Pack* PSPL_RESTRICT buf = reinterpret_cast<Pack*>(
+                abase
+                + astride * static_cast<std::size_t>(Exec::thread_rank()));
+        const std::size_t cols = t.cols();
+        const std::size_t packs = (cols + wide - 1) / wide;
+        // Gather phase: row-major staging -- each matrix row contributes
+        // one contiguous (cols * 8 B) run of the RHS block, which is what
+        // engages the hardware stream prefetcher.
+        for (std::size_t r = 0; r < s.n; ++r) {
+            Pack* PSPL_RESTRICT row = buf + r * packs;
+            for (std::size_t c = 0; c < packs; ++c) {
+                const std::size_t j0 = t.begin + c * wide;
+                const int lanes = j0 + wide <= t.end
+                                          ? W
+                                          : static_cast<int>(t.end - j0);
+                row[c] = simd_load_lanes<W>(b, r, j0, lanes);
+            }
+        }
+        // Solve phase: every pipeline stage runs on the staged tile while
+        // it is cache-resident, one pack column at a time (stride =
+        // packs-per-tile walks down one column of the row-major tile).
+        for (std::size_t c = 0; c < packs; ++c) {
+            const PackSpan<double, W> b0{buf + c, s.n0, packs};
+            const PackSpan<double, W> b1{
+                    s.k > 0 ? buf + s.n0 * packs + c : buf, s.k, packs};
+            solve_pack_column<W, UseSpmv>(s, b0, b1);
+        }
+        // Scatter phase: mirror of the gather.
+        for (std::size_t r = 0; r < s.n; ++r) {
+            const Pack* PSPL_RESTRICT row = buf + r * packs;
+            for (std::size_t c = 0; c < packs; ++c) {
+                const std::size_t j0 = t.begin + c * wide;
+                const int lanes = j0 + wide <= t.end
+                                          ? W
+                                          : static_cast<int>(t.end - j0);
+                simd_store_lanes<W>(row[c], b, r, j0, lanes);
+            }
+        }
+    });
+    attribute_solve_cost(s, label, batch, UseSpmv);
+    attribute_tile_span(s, batch, UseSpmv, eff_tile, timer.seconds());
+}
+
+/// Tile-resident scalar fused solve: the fused per-column chain already
+/// keeps one column's working set live across all stages; tiling groups
+/// the columns a thread visits into L2-sized spans (bounding the factor
+/// re-sweep distance) without changing any per-column arithmetic, so the
+/// results are bitwise identical to the untiled dispatch.
+template <bool UseSpmv, class Exec, class BView>
+void solve_fused_scalar_tiled(const SchurDeviceData& s, const BView& b,
+                              std::size_t batch, std::size_t tile)
+{
+    const auto b0 = subview(b, std::pair<std::size_t, std::size_t>(0, s.n0),
+                            ALL);
+    const auto b1 = subview(b, std::pair<std::size_t, std::size_t>(s.n0, s.n),
+                            ALL);
+    const char* label = UseSpmv ? "pspl::batched::SerialQsolve-Spmv"
+                                : "pspl::batched::SerialQsolve-Gemv";
+    profiling::Timer timer;
+    for_each_batch_tile(label, RangePolicy<Exec>(batch), tile,
+                        [=](const BatchTile& t) {
+        for (std::size_t i = t.begin; i < t.end; ++i) {
+            auto sub_b0 = subview(b0, ALL, i);
+            solve_q_serial(s, sub_b0);
+            if (s.k > 0) {
+                auto sub_b1 = subview(b1, ALL, i);
+                if constexpr (UseSpmv) {
+                    batched::SerialSpmvCoo::invoke(-1.0, s.lambda_coo,
+                                                   sub_b0, sub_b1);
+                } else {
+                    batched::SerialGemv<>::invoke(-1.0, s.lambda_dense,
+                                                  sub_b0, 1.0, sub_b1);
+                }
+                batched::SerialGetrs<>::invoke(s.delta_lu, s.delta_ipiv,
+                                               sub_b1);
+                if constexpr (UseSpmv) {
+                    batched::SerialSpmvCoo::invoke(-1.0, s.beta_coo, sub_b1,
+                                                   sub_b0);
+                } else {
+                    batched::SerialGemv<>::invoke(-1.0, s.beta_dense, sub_b1,
+                                                  1.0, sub_b0);
+                }
+            }
+        }
+    });
+    attribute_solve_cost(s, label, batch, UseSpmv);
+    attribute_tile_span(s, batch, UseSpmv, tile, timer.seconds());
 }
 
 } // namespace detail
 
 /// Explicit-width SIMD batched solve (the ablation entry point): packs of W
 /// adjacent columns through the fused (dense-gemv) or fused-spmv chain.
+/// The tile policy (PSPL_TILE by default) selects the L2-blocked
+/// tile-resident driver or the untiled legacy dispatch.
 template <int W, class Exec = DefaultExecutionSpace, class BView>
 void schur_solve_batched_simd(const SchurDeviceData& s, const BView& b,
-                              bool use_spmv = true)
+                              bool use_spmv = true,
+                              const TilePolicy& policy = TilePolicy::from_env())
 {
     const std::size_t batch = b.extent(1);
+    const std::size_t tile = policy.tile_cols(
+            s.n, batch, sizeof(double), static_cast<std::size_t>(W));
+    if (tile > 0) {
+        if (use_spmv) {
+            detail::solve_fused_simd_tiled<W, true, Exec>(s, b, batch, tile);
+        } else {
+            detail::solve_fused_simd_tiled<W, false, Exec>(s, b, batch, tile);
+        }
+        return;
+    }
     if (use_spmv) {
         detail::solve_fused_simd<W, true, Exec>(s, b, batch);
     } else {
@@ -306,28 +497,46 @@ void schur_solve_batched_simd(const SchurDeviceData& s, const BView& b,
 
 /// Solve A x = b in place for every column of `b` (shape (n, batch)) with
 /// the requested kernel version. The SIMD versions use the native pack
-/// width of the ISA this translation unit was compiled for.
+/// width of the ISA this translation unit was compiled for. The fused
+/// versions run tile-resident under the given tile policy (PSPL_TILE by
+/// default, "off" recovers the untiled dispatch bit-for-bit); Baseline is
+/// the paper's multi-pass reference and is deliberately never tiled.
 template <class Exec = DefaultExecutionSpace, class BView>
 void schur_solve_batched(const SchurDeviceData& s, const BView& b,
-                         BuilderVersion version)
+                         BuilderVersion version,
+                         const TilePolicy& policy = TilePolicy::from_env())
 {
     constexpr int native_w = simd_preferred_width<double>;
     const std::size_t batch = b.extent(1);
+    const std::size_t scalar_tile =
+            policy.tile_cols(s.n, batch, sizeof(double), 1);
     switch (version) {
     case BuilderVersion::Baseline:
         detail::solve_baseline<Exec>(s, b, batch);
         break;
     case BuilderVersion::Fused:
-        detail::solve_fused<Exec>(s, b, batch);
+        if (scalar_tile > 0) {
+            detail::solve_fused_scalar_tiled<false, Exec>(s, b, batch,
+                                                          scalar_tile);
+        } else {
+            detail::solve_fused<Exec>(s, b, batch);
+        }
         break;
     case BuilderVersion::FusedSpmv:
-        detail::solve_fused_spmv<Exec>(s, b, batch);
+        if (scalar_tile > 0) {
+            detail::solve_fused_scalar_tiled<true, Exec>(s, b, batch,
+                                                         scalar_tile);
+        } else {
+            detail::solve_fused_spmv<Exec>(s, b, batch);
+        }
         break;
     case BuilderVersion::FusedSimd:
-        detail::solve_fused_simd<native_w, false, Exec>(s, b, batch);
+        schur_solve_batched_simd<native_w, Exec>(s, b, /*use_spmv=*/false,
+                                                 policy);
         break;
     case BuilderVersion::FusedSpmvSimd:
-        detail::solve_fused_simd<native_w, true, Exec>(s, b, batch);
+        schur_solve_batched_simd<native_w, Exec>(s, b, /*use_spmv=*/true,
+                                                 policy);
         break;
     }
 }

@@ -7,6 +7,7 @@
 #include "hostlapack/pbtrf.hpp"
 #include "hostlapack/pttrf.hpp"
 #include "parallel/deep_copy.hpp"
+#include "parallel/parallel.hpp"
 #include "parallel/profiling.hpp"
 #include "parallel/subview.hpp"
 
@@ -36,31 +37,38 @@ SchurSolver::SchurSolver(const View2D<double>& a, Options opts)
     m_data.k = k;
 
     // --- Extract the blocks ------------------------------------------------
+    // Row-parallel: besides the (one-time) speedup, the parallel writes
+    // first-touch each factor block under the same static schedule the
+    // solve kernels later read it with, so on a first-touch NUMA system
+    // the pages land near their consumers.
     View2D<double> q("schur_q", n0, n0);
-    for (std::size_t i = 0; i < n0; ++i) {
+    parallel_for("pspl::schur::extract_q", n0, [=](std::size_t i) {
         for (std::size_t j = 0; j < n0; ++j) {
             q(i, j) = a(i, j);
         }
-    }
+    });
     View2D<double> gamma("schur_gamma", n0, std::max<std::size_t>(k, 1));
     View2D<double> lambda("schur_lambda", std::max<std::size_t>(k, 1), n0);
     View2D<double> delta("schur_delta", std::max<std::size_t>(k, 1),
                          std::max<std::size_t>(k, 1));
-    for (std::size_t i = 0; i < n0; ++i) {
-        for (std::size_t j = 0; j < k; ++j) {
-            gamma(i, j) = a(i, n0 + j);
-        }
-    }
-    for (std::size_t i = 0; i < k; ++i) {
-        for (std::size_t j = 0; j < n0; ++j) {
-            lambda(i, j) = a(n0 + i, j);
-        }
-    }
-    for (std::size_t i = 0; i < k; ++i) {
-        for (std::size_t j = 0; j < k; ++j) {
-            delta(i, j) = a(n0 + i, n0 + j);
-        }
-    }
+    parallel_for("pspl::schur::extract_corners", n0 + 2 * k,
+                 [=](std::size_t r) {
+                     if (r < n0) {
+                         for (std::size_t j = 0; j < k; ++j) {
+                             gamma(r, j) = a(r, n0 + j);
+                         }
+                     } else if (r < n0 + k) {
+                         const std::size_t i = r - n0;
+                         for (std::size_t j = 0; j < n0; ++j) {
+                             lambda(i, j) = a(n0 + i, j);
+                         }
+                     } else {
+                         const std::size_t i = r - n0 - k;
+                         for (std::size_t j = 0; j < k; ++j) {
+                             delta(i, j) = a(n0 + i, n0 + j);
+                         }
+                     }
+                 });
 
     // --- Factorize Q with the recommended solver, falling back on failure --
     SolverKind kind = m_structure.recommended;

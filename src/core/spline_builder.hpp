@@ -25,8 +25,10 @@
 #include "core/batched_solve.hpp"
 #include "core/schur_solver.hpp"
 #include "parallel/profiling.hpp"
+#include "parallel/tiling.hpp"
 
 #include <memory>
+#include <optional>
 #include <utility>
 
 namespace pspl::core {
@@ -44,6 +46,14 @@ public:
     BuilderVersion version() const { return m_version; }
     const SchurSolver& solver() const { return *m_solver; }
 
+    /// Override the batch tile policy for this builder; when unset (the
+    /// default) every solve consults PSPL_TILE / the L2 cache model.
+    void set_tile_policy(const TilePolicy& policy) { m_tile = policy; }
+    TilePolicy tile_policy() const
+    {
+        return m_tile ? *m_tile : TilePolicy::from_env();
+    }
+
     /// Solve A * coeffs = values in place: on entry each column of `b`
     /// (shape (n, batch)) holds interpolation values at the basis'
     /// interpolation points; on exit it holds the spline coefficients.
@@ -53,7 +63,8 @@ public:
         PSPL_EXPECT(b.extent(0) == m_basis.nbasis(),
                     "build_inplace: RHS rows must equal nbasis");
         profiling::ScopedRegion region("pspl_splines_solve");
-        schur_solve_batched<Exec>(m_solver->device_data(), b, m_version);
+        schur_solve_batched<Exec>(m_solver->device_data(), b, m_version,
+                                  tile_policy());
     }
 
     /// GYSELA-shaped batches: the distribution function keeps several
@@ -75,6 +86,7 @@ private:
     bsplines::BSplineBasis m_basis;
     BuilderVersion m_version = BuilderVersion::FusedSpmv;
     std::shared_ptr<const SchurSolver> m_solver;
+    std::optional<TilePolicy> m_tile;
 };
 
 } // namespace pspl::core

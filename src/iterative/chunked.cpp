@@ -5,11 +5,13 @@
 #include "iterative/cg.hpp"
 #include "iterative/gmres.hpp"
 #include "iterative/ilu0.hpp"
+#include "debug/registry.hpp"
+#include "parallel/arena.hpp"
 #include "parallel/parallel.hpp"
 #include "parallel/profiling.hpp"
 
 #include <algorithm>
-#include <vector>
+#include <span>
 
 namespace pspl::iterative {
 
@@ -66,6 +68,18 @@ SolveStats ChunkedIterativeSolver::solve_impl(const BView& b) const
     View1D<double> resid("chunk_resid", main_chunk_size);
     View1D<int> conv("chunk_conv", main_chunk_size);
 
+    // Persistent per-thread staging for the contiguous column copy (the
+    // paper's b_buffer) and the solution vector: reserved once, reused by
+    // every chunk of every solve on this host thread -- no allocation
+    // inside the dispatch body.
+    WorkspaceArena& arena = host_workspace_arena();
+    arena.reserve(
+            static_cast<std::size_t>(DefaultExecutionSpace::concurrency()),
+            2 * n * sizeof(double));
+    std::byte* const abase = arena.data();
+    const std::size_t astride = arena.slot_stride_bytes();
+    debug::ScratchGuard scratch(arena.data(), arena.size_bytes());
+
     profiling::ScopedRegion region("pspl_splines_solve_iterative");
     for (std::size_t c = 0; c < nchunks; ++c) {
         const std::size_t begin = c * main_chunk_size;
@@ -75,10 +89,17 @@ SolveStats ChunkedIterativeSolver::solve_impl(const BView& b) const
         parallel_for(
                 "pspl::iterative::chunk_solve", width, [=](std::size_t j) {
                     const std::size_t col = begin + j;
-                    // Copy the column to a contiguous buffer (the paper's
-                    // b_buffer); its values double as the initial guess.
-                    std::vector<double> rhs(n);
-                    std::vector<double> x(n);
+                    // Copy the column to this thread's arena slot (the
+                    // paper's b_buffer); its values double as the initial
+                    // guess.
+                    double* const buf = reinterpret_cast<double*>(
+                            abase
+                            + astride
+                                      * static_cast<std::size_t>(
+                                              DefaultExecutionSpace::
+                                                      thread_rank()));
+                    const std::span<double> rhs(buf, n);
+                    const std::span<double> x(buf + n, n);
                     for (std::size_t i = 0; i < n; ++i) {
                         rhs[i] = b(i, col);
                         x[i] = rhs[i];

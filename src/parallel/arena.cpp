@@ -1,0 +1,40 @@
+#include "parallel/arena.hpp"
+
+namespace pspl {
+
+namespace {
+
+/// Slot strides are rounded up so every slot base is suitably aligned for
+/// any pack type and slots land on distinct cache lines (no false sharing
+/// between worker threads).
+constexpr std::size_t slot_align = 128;
+
+} // namespace
+
+void WorkspaceArena::reserve(std::size_t slots, std::size_t bytes_per_slot)
+{
+    const std::size_t stride =
+            (bytes_per_slot + slot_align - 1) / slot_align * slot_align;
+    if (slots <= m_slots && stride <= m_stride) {
+        return; // current allocation already covers the request
+    }
+    const std::size_t new_slots = slots > m_slots ? slots : m_slots;
+    const std::size_t new_stride = stride > m_stride ? stride : m_stride;
+    // The View constructor zero-fills (first touch happens here, on the
+    // owning host thread) and registers the allocation with the debug
+    // registry; dropping the previous View tombstones the old range, so a
+    // stale slot pointer from before this grow is caught under PSPL_CHECK.
+    m_buf = View1D<std::byte>("pspl::workspace_arena",
+                              new_slots * new_stride);
+    m_slots = new_slots;
+    m_stride = new_stride;
+    ++m_generation;
+}
+
+WorkspaceArena& host_workspace_arena()
+{
+    thread_local WorkspaceArena arena;
+    return arena;
+}
+
+} // namespace pspl

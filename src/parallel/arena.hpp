@@ -1,0 +1,65 @@
+// Persistent per-thread workspace arenas.
+//
+// Hot batched kernels need per-thread staging memory (SIMD pack buffers,
+// transpose tiles).  Allocating a fresh View per solve call puts a heap
+// allocation on every dispatch; the arena instead keeps one grow-only
+// allocation per *host* thread and hands out fixed-stride slots, one per
+// worker thread rank.  The backing memory is an ordinary View, so the
+// allocation registry, NaN poisoning and the memory high-water mark all see
+// it; callers wrap their dispatch in a debug::ScratchGuard over the arena
+// so PSPL_CHECK treats slot reuse across iterations as staging, not a race.
+//
+// Growth invalidates previously returned slot pointers -- generation() lets
+// tests (and assertions) detect stale pointers, and under PSPL_CHECK the
+// old allocation is tombstoned so a stale access aborts with provenance.
+#pragma once
+
+#include "parallel/view.hpp"
+
+#include <cstddef>
+#include <cstdint>
+
+namespace pspl {
+
+class WorkspaceArena
+{
+public:
+    /// Ensure capacity for `slots` slots of `bytes_per_slot` each.
+    /// Grow-only in both dimensions (the maxima over all requests are
+    /// kept), so alternating callers with different shapes reuse one
+    /// allocation. Reallocation bumps generation().
+    void reserve(std::size_t slots, std::size_t bytes_per_slot);
+
+    /// Base of slot `rank`, typed. Valid until the next growing reserve().
+    template <class T>
+    T* slot(int rank) const
+    {
+        PSPL_DEBUG_ASSERT(static_cast<std::size_t>(rank) < m_slots,
+                          "WorkspaceArena: slot rank out of range");
+        return reinterpret_cast<T*>(m_buf.data()
+                                    + static_cast<std::size_t>(rank)
+                                              * m_stride);
+    }
+
+    std::byte* data() const { return m_buf.data(); }
+    std::size_t size_bytes() const { return m_slots * m_stride; }
+    std::size_t slot_stride_bytes() const { return m_stride; }
+    std::size_t slots() const { return m_slots; }
+
+    /// Incremented on every reallocation; a cached slot pointer is only
+    /// valid while the generation it was taken under is current.
+    std::uint64_t generation() const { return m_generation; }
+
+private:
+    View1D<std::byte> m_buf;
+    std::size_t m_slots = 0;
+    std::size_t m_stride = 0;
+    std::uint64_t m_generation = 0;
+};
+
+/// The calling host thread's arena (thread-local, so two host threads
+/// driving solves concurrently never share slots). Worker threads inside a
+/// dispatch index into the dispatching thread's arena by thread rank.
+WorkspaceArena& host_workspace_arena();
+
+} // namespace pspl

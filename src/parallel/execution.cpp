@@ -1,9 +1,30 @@
 #include "parallel/execution.hpp"
 
+#include <atomic>
+#include <cstdlib>
+
 #if defined(PSPL_ENABLE_OPENMP)
 #include <omp.h>
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+#endif
 
 namespace pspl {
+
+namespace {
+
+std::atomic<bool> g_pinned{false};
+
+} // namespace
+
+bool threads_pinned()
+{
+    return g_pinned.load(std::memory_order_relaxed);
+}
+
+#if defined(PSPL_ENABLE_OPENMP)
 
 int OpenMP::concurrency()
 {
@@ -15,5 +36,52 @@ int OpenMP::thread_rank()
     return omp_get_thread_num();
 }
 
-} // namespace pspl
+namespace {
+
+void pin_openmp_threads()
+{
+#if defined(__linux__)
+    const char* env = std::getenv("PSPL_PIN");
+    if (env == nullptr || env[0] != '1') {
+        return;
+    }
+    // Enumerate the CPUs this process may run on; pinning round-robins the
+    // OpenMP workers over that set (respecting an outer taskset/cgroup).
+    cpu_set_t allowed;
+    CPU_ZERO(&allowed);
+    if (sched_getaffinity(0, sizeof(allowed), &allowed) != 0) {
+        return;
+    }
+    int cpus[CPU_SETSIZE];
+    int ncpu = 0;
+    for (int c = 0; c < CPU_SETSIZE; ++c) {
+        if (CPU_ISSET(c, &allowed)) {
+            cpus[ncpu++] = c;
+        }
+    }
+    if (ncpu == 0) {
+        return;
+    }
+    bool ok = true;
+#pragma omp parallel reduction(&& : ok)
+    {
+        cpu_set_t one;
+        CPU_ZERO(&one);
+        CPU_SET(cpus[omp_get_thread_num() % ncpu], &one);
+        ok = pthread_setaffinity_np(pthread_self(), sizeof(one), &one) == 0;
+    }
+    g_pinned.store(ok, std::memory_order_relaxed);
 #endif
+}
+
+} // namespace
+
+void OpenMP::ensure_pinned()
+{
+    static const bool once = (pin_openmp_threads(), true);
+    (void)once;
+}
+
+#endif // PSPL_ENABLE_OPENMP
+
+} // namespace pspl

@@ -22,6 +22,11 @@ struct Serial {
     static void fence() {}
 };
 
+/// True when PSPL_PIN=1 successfully pinned the OpenMP worker threads to
+/// distinct CPUs (always false for Serial-only builds or when pinning was
+/// not requested / failed). Recorded in perf reports for provenance.
+bool threads_pinned();
+
 #if defined(PSPL_ENABLE_OPENMP)
 /// OpenMP thread-parallel backend.
 struct OpenMP {
@@ -29,6 +34,11 @@ struct OpenMP {
     static int concurrency();
     static int thread_rank();
     static void fence() {}
+    /// Opt-in thread pinning: on the first call, if PSPL_PIN=1, bind each
+    /// OpenMP worker to one CPU of the process affinity mask (round-robin)
+    /// so first-touched pages stay local to the thread that touched them.
+    /// Subsequent calls are a single static-initialization check.
+    static void ensure_pinned();
 };
 
 using DefaultExecutionSpace = OpenMP;

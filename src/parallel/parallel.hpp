@@ -83,6 +83,7 @@ void dispatch_reduce(Serial, std::size_t b, std::size_t e, const F& f, T& result
 template <class F>
 void dispatch_range(OpenMP, std::size_t b, std::size_t e, const F& f)
 {
+    OpenMP::ensure_pinned();
 #pragma omp parallel for schedule(static)
     for (long long i = static_cast<long long>(b); i < static_cast<long long>(e);
          ++i) {
@@ -93,6 +94,7 @@ void dispatch_range(OpenMP, std::size_t b, std::size_t e, const F& f)
 template <class F>
 void dispatch_md2(OpenMP, std::size_t n0, std::size_t n1, const F& f)
 {
+    OpenMP::ensure_pinned();
 #pragma omp parallel for collapse(2) schedule(static)
     for (long long i = 0; i < static_cast<long long>(n0); ++i) {
         for (long long j = 0; j < static_cast<long long>(n1); ++j) {
@@ -104,6 +106,7 @@ void dispatch_md2(OpenMP, std::size_t n0, std::size_t n1, const F& f)
 template <class F>
 void dispatch_md3(OpenMP, std::size_t n0, std::size_t n1, std::size_t n2, const F& f)
 {
+    OpenMP::ensure_pinned();
 #pragma omp parallel for collapse(3) schedule(static)
     for (long long i = 0; i < static_cast<long long>(n0); ++i) {
         for (long long j = 0; j < static_cast<long long>(n1); ++j) {
@@ -119,6 +122,7 @@ template <class F, class T, class Combine>
 void dispatch_reduce(OpenMP, std::size_t b, std::size_t e, const F& f, T& result,
                      T identity, Combine combine)
 {
+    OpenMP::ensure_pinned();
     T acc = identity;
 #pragma omp parallel
     {

@@ -1,0 +1,166 @@
+#include "parallel/tiling.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace pspl {
+
+namespace {
+
+// Widest tile honored in any mode: keeps the per-thread staging arena
+// bounded (a (rows, tile) double tile at rows = 1000 is ~32 MB here).
+constexpr std::size_t max_tile_cols = 4096;
+
+/// Read one small sysfs file into buf; false when unreadable.
+bool read_sysfs(const char* path, char* buf, std::size_t len)
+{
+    std::FILE* f = std::fopen(path, "r");
+    if (f == nullptr) {
+        return false;
+    }
+    const bool ok = std::fgets(buf, static_cast<int>(len), f) != nullptr;
+    std::fclose(f);
+    return ok;
+}
+
+/// Parse a sysfs cache size string ("2048K", "1M", "262144").
+std::size_t parse_cache_size(const char* text)
+{
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(text, &end, 10);
+    if (end == text) {
+        return 0;
+    }
+    std::size_t bytes = static_cast<std::size_t>(v);
+    if (*end == 'K' || *end == 'k') {
+        bytes *= 1024;
+    } else if (*end == 'M' || *end == 'm') {
+        bytes *= 1024 * 1024;
+    }
+    return bytes;
+}
+
+std::size_t detect_cache_bytes(int level, std::size_t fallback)
+{
+#if defined(__linux__)
+    // Scan cpu0's cache indices for the requested-level data/unified cache.
+    for (int index = 0; index < 8; ++index) {
+        char path[96];
+        char text[64];
+        std::snprintf(path, sizeof(path),
+                      "/sys/devices/system/cpu/cpu0/cache/index%d/level",
+                      index);
+        if (!read_sysfs(path, text, sizeof(text))
+            || std::atoi(text) != level) {
+            continue;
+        }
+        std::snprintf(path, sizeof(path),
+                      "/sys/devices/system/cpu/cpu0/cache/index%d/type",
+                      index);
+        if (read_sysfs(path, text, sizeof(text))
+            && std::strncmp(text, "Instruction", 11) == 0) {
+            continue;
+        }
+        std::snprintf(path, sizeof(path),
+                      "/sys/devices/system/cpu/cpu0/cache/index%d/size",
+                      index);
+        if (read_sysfs(path, text, sizeof(text))) {
+            const std::size_t bytes = parse_cache_size(text);
+            if (bytes > 0) {
+                return bytes;
+            }
+        }
+    }
+#endif
+    return fallback;
+}
+
+} // namespace
+
+std::size_t l2_cache_bytes()
+{
+    static const std::size_t bytes =
+            detect_cache_bytes(2, std::size_t{1} << 20); // 1 MiB fallback
+    return bytes;
+}
+
+std::size_t l3_cache_bytes()
+{
+    static const std::size_t bytes =
+            detect_cache_bytes(3, std::size_t{32} << 20); // 32 MiB fallback
+    return bytes;
+}
+
+TilePolicy TilePolicy::from_env()
+{
+    const char* env = std::getenv("PSPL_TILE");
+    if (env == nullptr || *env == '\0'
+        || std::strcmp(env, "auto") == 0) {
+        return automatic();
+    }
+    if (std::strcmp(env, "off") == 0 || std::strcmp(env, "0") == 0) {
+        return off();
+    }
+    const long long v = std::atoll(env);
+    if (v > 0) {
+        return explicit_width(static_cast<std::size_t>(v));
+    }
+    return automatic(); // unparseable: fall back to the model
+}
+
+std::size_t TilePolicy::tile_cols(std::size_t rows, std::size_t batch_cols,
+                                  std::size_t value_bytes,
+                                  std::size_t pack_width) const
+{
+    if (mode == Mode::Off) {
+        return 0;
+    }
+    const std::size_t w = pack_width > 0 ? pack_width : 1;
+    std::size_t cols = 0;
+    if (mode == Mode::Explicit) {
+        // Round the request up to a pack multiple so tile boundaries stay
+        // on chunk boundaries (the bitwise-identity invariant).
+        cols = (tile + w - 1) / w * w;
+    } else {
+        // Auto, streaming guard: once the whole (rows, batch) block
+        // exceeds the last-level cache, every pass streams from DRAM and
+        // the single-pass fused chain gains nothing from staging -- the
+        // gather/scatter would be pure extra copy traffic. Run untiled.
+        // (Division keeps the comparison overflow-safe for huge batches.)
+        const std::size_t row_bytes = rows * value_bytes;
+        if (row_bytes > 0 && batch_cols > l3_cache_bytes() / row_bytes) {
+            return 0;
+        }
+        // The staged tile (rows * cols * value_bytes) targets half of L2,
+        // leaving room for the factor data swept once per column.
+        const std::size_t budget = l2_cache_bytes() / 2;
+        cols = row_bytes > 0 ? budget / row_bytes : max_tile_cols;
+        cols = cols / w * w; // round down to a pack multiple
+    }
+    if (cols < w) {
+        cols = w;
+    }
+    const std::size_t cap = max_tile_cols / w * w > 0
+                                    ? max_tile_cols / w * w
+                                    : w;
+    if (cols > cap) {
+        cols = cap;
+    }
+    return cols;
+}
+
+std::string TilePolicy::describe() const
+{
+    switch (mode) {
+    case Mode::Auto:
+        return "auto";
+    case Mode::Off:
+        return "off";
+    case Mode::Explicit:
+        return std::to_string(tile);
+    }
+    return "?";
+}
+
+} // namespace pspl

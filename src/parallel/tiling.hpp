@@ -1,0 +1,122 @@
+// Batch tiling: partition the batch index into L2-sized column tiles so
+// every pipeline stage of a batched solve runs over one cache-resident tile
+// before the next tile is touched.
+//
+// The cache model is deliberately simple: one tile of a (n, batch) RHS
+// block costs n * value_bytes per column, and the tile is sized so the
+// staged tile fills about half of L2 (the other half is left for the
+// factorized matrix data and the stack).  The width is rounded to a
+// multiple of the SIMD pack width so tile boundaries coincide with pack
+// chunk boundaries -- that is what makes the tiled path bitwise identical
+// to the untiled one.
+//
+// Streaming guard: staging pays when the working set is cache-resident
+// (it converts the untiled path's strided pack loads into contiguous
+// sweeps), but once the whole block exceeds the last-level cache every
+// pass streams from DRAM anyway -- the fused chain is already single-pass
+// per pack, so the gather/scatter would only add copy traffic.  Auto mode
+// therefore falls back to the untiled dispatch when
+// rows * batch * value_bytes > l3_cache_bytes(); explicit widths are
+// always honored (that is what ablations are for).
+//
+// PSPL_TILE overrides the model at runtime:
+//   unset / "auto"  -> cache model (default)
+//   "off" / "0"     -> untiled legacy path (the 0-ULP reference)
+//   <positive int>  -> explicit tile width in batch columns
+#pragma once
+
+#include "parallel/parallel.hpp"
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace pspl {
+
+/// Detected L2 data-cache capacity of cpu0 (sysfs), cached after the first
+/// call; falls back to 1 MiB when the hierarchy cannot be read.
+std::size_t l2_cache_bytes();
+
+/// Detected last-level (L3) cache capacity of cpu0 (sysfs), cached after
+/// the first call; falls back to 32 MiB when the hierarchy cannot be read.
+/// The auto tile model's streaming guard keys on this.
+std::size_t l3_cache_bytes();
+
+struct TilePolicy {
+    enum class Mode {
+        Auto,     ///< size tiles from the L2 cache model
+        Off,      ///< untiled: one dispatch over the whole batch
+        Explicit, ///< honor `tile` (rounded to a pack multiple)
+    };
+
+    Mode mode = Mode::Auto;
+    std::size_t tile = 0; ///< requested width (Explicit mode only)
+
+    /// Parse PSPL_TILE (read live on every call so tests can setenv).
+    static TilePolicy from_env();
+    static TilePolicy off() { return {Mode::Off, 0}; }
+    static TilePolicy automatic() { return {Mode::Auto, 0}; }
+    static TilePolicy explicit_width(std::size_t w)
+    {
+        return {Mode::Explicit, w};
+    }
+
+    bool tiled() const { return mode != Mode::Off; }
+
+    /// Tile width in batch columns for a (rows, batch_cols) block of
+    /// `value_bytes`-sized elements processed `pack_width` columns at a
+    /// time. A non-zero result is always a multiple of pack_width, at
+    /// least pack_width, and capped so per-thread staging stays bounded.
+    /// Returns 0 -- run the untiled dispatch -- in Off mode, and in Auto
+    /// mode when the whole block exceeds the last-level cache (the
+    /// streaming guard: beyond L3 the fused single-pass chain streams
+    /// from DRAM either way and staging would only add copy traffic).
+    std::size_t tile_cols(std::size_t rows, std::size_t batch_cols,
+                          std::size_t value_bytes,
+                          std::size_t pack_width) const;
+
+    /// Human/JSON form: "auto", "off", or the explicit width.
+    std::string describe() const;
+};
+
+/// One tile of the batch range: columns [begin, end), tile number `index`.
+struct BatchTile {
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    std::size_t index = 0;
+
+    std::size_t cols() const { return end - begin; }
+};
+
+/// Tile scheduler: carve [policy.begin, policy.end) into tiles of `tile`
+/// columns (the last tile may be narrower) and dispatch one functor call
+/// per tile through the ordinary labeled parallel_for machinery, so tiles
+/// inherit profiling spans and PSPL_CHECK region guards unchanged.
+template <class Exec, class F>
+void for_each_batch_tile(std::string_view label, RangePolicy<Exec> policy,
+                         std::size_t tile, const F& f)
+{
+    PSPL_EXPECT(tile >= 1, "for_each_batch_tile: tile width must be >= 1");
+    const std::size_t begin = policy.begin;
+    const std::size_t end = policy.end;
+    const std::size_t total = end > begin ? end - begin : 0;
+    const std::size_t ntiles = (total + tile - 1) / tile;
+    parallel_for(label, RangePolicy<Exec>(ntiles), [=](std::size_t t) {
+        const std::size_t t0 = begin + t * tile;
+        const std::size_t t1 = t0 + tile < end ? t0 + tile : end;
+        PSPL_DEBUG_ASSERT(t0 < t1 && t1 <= end,
+                          "for_each_batch_tile: tile outside batch range");
+        f(BatchTile{t0, t1, t});
+    });
+}
+
+/// Shorthand: tile [0, batch) on the default execution space.
+template <class F>
+void for_each_batch_tile(std::string_view label, std::size_t batch,
+                         std::size_t tile, const F& f)
+{
+    for_each_batch_tile(label, RangePolicy<DefaultExecutionSpace>(batch),
+                        tile, f);
+}
+
+} // namespace pspl

@@ -29,6 +29,15 @@ inline constexpr bool all_integral_v = (std::is_convertible_v<Is, std::size_t> &
 
 } // namespace detail
 
+/// Tag selecting the NUMA-aware allocating constructor: pages are
+/// first-touched (zero-filled) from inside a parallel region instead of
+/// serially, so on a first-touch NUMA system each page lands on the node
+/// of the thread that will work on it under a static schedule.
+struct FirstTouchTag {
+    explicit FirstTouchTag() = default;
+};
+inline constexpr FirstTouchTag FirstTouch{};
+
 template <class T, std::size_t Rank, class Layout = LayoutRight>
 class View
 {
@@ -67,6 +76,51 @@ public:
             });
         } else {
             m_alloc = std::shared_ptr<T[]>(new T[n](), [n](T* q) {
+                profiling::note_free(n * sizeof(T));
+                delete[] q;
+            });
+        }
+        m_data = m_alloc.get();
+    }
+
+    /// NUMA-aware allocating constructor: same contract as the allocating
+    /// constructor (zero-initialized elements), but the zero fill runs
+    /// under the OpenMP static schedule the compute kernels use, so the
+    /// first touch distributes pages across NUMA nodes to match them.
+    /// Under PSPL_CHECK the serial registered/poisoned path is kept --
+    /// placement fidelity is a performance property, not a semantic one.
+    template <class... Extents,
+              class = std::enable_if_t<sizeof...(Extents) == Rank
+                                       && detail::all_integral_v<Extents...>
+                                       && is_regular_layout_v<Layout>>>
+    View(FirstTouchTag, std::string label, Extents... extents)
+        : m_label(std::move(label))
+        , m_extent{static_cast<std::size_t>(extents)...}
+        , m_stride(Layout::strides(m_extent))
+    {
+        static_assert(std::is_trivially_default_constructible_v<T>,
+                      "FirstTouch requires a trivially constructible "
+                      "element type (the fill is the initialization)");
+        const std::size_t n = size();
+        profiling::note_alloc(n * sizeof(T));
+        if constexpr (debug::check_enabled) {
+            T* p = new T[n]();
+            debug::register_allocation(p, n * sizeof(T), m_label.c_str());
+            debug::poison_fill(p, n);
+            m_alloc = std::shared_ptr<T[]>(p, [n](T* q) {
+                debug::release_allocation(q);
+                profiling::note_free(n * sizeof(T));
+                delete[] q;
+            });
+        } else {
+            T* p = new T[n]; // uninitialized: the parallel fill touches it
+#if defined(PSPL_ENABLE_OPENMP)
+#pragma omp parallel for schedule(static)
+#endif
+            for (long long i = 0; i < static_cast<long long>(n); ++i) {
+                p[i] = T{};
+            }
+            m_alloc = std::shared_ptr<T[]>(p, [n](T* q) {
                 profiling::note_free(n * sizeof(T));
                 delete[] q;
             });

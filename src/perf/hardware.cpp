@@ -1,6 +1,11 @@
 #include "perf/hardware.hpp"
 
+#include <cstdio>
 #include <cstdlib>
+
+#if defined(__linux__)
+#include <sys/stat.h>
+#endif
 
 namespace pspl::perf {
 
@@ -34,6 +39,26 @@ HardwareSpec host_spec()
         spec.peak_bw_gbs = std::atof(b);
     }
     return spec;
+}
+
+int numa_node_count()
+{
+#if defined(__linux__)
+    int count = 0;
+    for (int node = 0; node < 1024; ++node) {
+        char path[64];
+        std::snprintf(path, sizeof(path),
+                      "/sys/devices/system/node/node%d", node);
+        struct stat st;
+        if (stat(path, &st) != 0) {
+            break; // node directories are numbered densely
+        }
+        ++count;
+    }
+    return count > 0 ? count : 1;
+#else
+    return 1;
+#endif
 }
 
 } // namespace pspl::perf

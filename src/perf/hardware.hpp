@@ -70,4 +70,8 @@ std::vector<HardwareSpec> paper_platforms();
 /// not the measured times).
 HardwareSpec host_spec();
 
+/// Number of NUMA nodes on the host (sysfs), 1 when undetectable. Recorded
+/// in perf reports: first-touch placement only matters when this is > 1.
+int numa_node_count();
+
 } // namespace pspl::perf

@@ -1,7 +1,9 @@
 #include "perf/report.hpp"
 
+#include "parallel/execution.hpp"
 #include "parallel/macros.hpp"
 #include "parallel/profiling.hpp"
+#include "parallel/tiling.hpp"
 #include "perf/hardware.hpp"
 
 #include <algorithm>
@@ -41,8 +43,16 @@ std::string report_json()
     const auto spans = profiling::snapshot_tree();
 
     std::string out = "{";
-    out += "\"schema\": \"pspl-perf-report-v1\"";
+    out += "\"schema\": \"pspl-perf-report-v2\"";
     out += ", \"isa\": " + json_str(compiled_isa_name());
+    // v2: runtime execution configuration -- thread count, pin state, tile
+    // policy and NUMA topology (provenance for every span's bandwidth).
+    out += ", \"threads\": "
+           + std::to_string(DefaultExecutionSpace::concurrency());
+    out += std::string(", \"pinned\": ")
+           + (threads_pinned() ? "true" : "false");
+    out += ", \"tile_policy\": " + json_str(TilePolicy::from_env().describe());
+    out += ", \"numa_nodes\": " + std::to_string(numa_node_count());
     out += ", \"host\": {\"name\": " + json_str(host.name)
            + ", \"peak_gflops\": " + json_num(host.peak_gflops)
            + ", \"peak_bw_gbs\": " + json_num(host.peak_bw_gbs) + "}";

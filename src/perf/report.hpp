@@ -15,7 +15,7 @@ std::string fmt(double value, int precision = 2);
 /// Seconds rendered with an adaptive unit (ns/us/ms/s), paper-style.
 std::string fmt_time(double seconds);
 
-/// Machine-readable performance report ("pspl-perf-report-v1"): host spec,
+/// Machine-readable performance report ("pspl-perf-report-v2"): host spec,
 /// View-allocator memory stats and every profiling span recorded so far
 /// (path-keyed, with derived achieved bandwidth / flop rate against the
 /// host peak model). Returns one stable JSON object; the bench harnesses

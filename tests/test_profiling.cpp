@@ -210,7 +210,7 @@ TEST_F(ProfilingFixture, ReportJsonSchemaRoundTrip)
     }
     const std::string report = pspl::perf::report_json();
     // Stable schema markers the CI diff tooling keys on.
-    EXPECT_NE(report.find("\"schema\": \"pspl-perf-report-v1\""),
+    EXPECT_NE(report.find("\"schema\": \"pspl-perf-report-v2\""),
               std::string::npos);
     for (const char* key :
          {"\"isa\"", "\"host\"", "\"peak_gflops\"", "\"peak_bw_gbs\"",

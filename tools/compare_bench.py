@@ -5,17 +5,28 @@ Design for the bench-smoke job: CI runs the benches at *reduced* sizes while
 the committed baselines are full-scale, so records are matched by identity
 fields that exclude the problem size. Concretely, every record is keyed by
 its bench name plus all non-metric fields except SIZE_FIELDS (n, batch) and
-INFO_FIELDS (isa, pspl_check). Severity is split in two:
+INFO_FIELDS (isa, pspl_check, threads, pinned, tile, numa_nodes). Severity
+is split in three:
 
   * structural / schema drift -> HARD FAIL (exit 1): a record identity that
-    exists on one side only, a metric field added or removed, a field
-    changing JSON type, or nested-object schemas diverging. This is what the
-    gate protects: the shape of the artifact, which downstream tooling and
-    the committed baselines rely on.
-  * metric drift -> WARN by default: numeric perf values (seconds, bandwidth,
-    speedup, ulp, ...) outside --tolerance are reported but do not fail the
-    run, and are only compared at all when both sides ran the same problem
-    size. --fail-on-timing upgrades these to errors for same-machine diffs.
+    exists on one side only, a metric or identity field *removed*, a field
+    changing JSON type, or nested-object schemas losing keys. This is what
+    the gate protects: the shape of the artifact, which downstream tooling
+    and the committed baselines rely on.
+  * additive drift -> WARN: new record fields (identity or metric) and new
+    nested-schema keys in the current artifact are forward-compatible --
+    an old baseline must not block a run that merely *adds* information.
+    Unmatched identities are re-matched under this relaxation: a current
+    record whose identity is a strict field-superset of exactly one
+    unmatched baseline identity pairs with it (ambiguity is an error).
+  * metric drift -> WARN by default: numeric perf values (seconds,
+    bandwidth, speedup, ulp, ...) outside --tolerance are reported but do
+    not fail the run, and are only compared at all when both sides ran the
+    same problem size. --fail-on-timing upgrades these to errors for
+    same-machine diffs.
+
+The comparison core is importable (`compare(baseline, current, ...)`);
+tools/test_compare_bench.py exercises it directly and runs in CI lint.
 
 Usage:
   tools/compare_bench.py BASELINE.json CURRENT.json [--tolerance 0.25]
@@ -34,8 +45,11 @@ from pathlib import Path
 # when these agree on both sides.
 SIZE_FIELDS = {"n", "batch"}
 
-# Informational provenance: reported on mismatch, never an error.
-INFO_FIELDS = {"isa", "pspl_check"}
+# Informational provenance: reported on mismatch, never an error. The
+# execution-configuration fields (threads, pinned, tile, numa_nodes; bench
+# schema v2) vary legitimately between the committed full-scale runs and
+# the CI smoke runner.
+INFO_FIELDS = {"isa", "pspl_check", "threads", "pinned", "tile", "numa_nodes"}
 
 # A numeric field whose name contains one of these substrings is a measured
 # metric (compared within tolerance); any other field is identity.
@@ -83,6 +97,31 @@ def schema_signature(value):
     return "string"
 
 
+def signature_is_additive_superset(old, new):
+    """True when `new` differs from `old` only by *added* object keys (at
+    any nesting depth): the forward-compatible direction of schema drift."""
+    if old == new:
+        return True
+    if isinstance(old, dict) and isinstance(new, dict):
+        return all(
+            k in new and signature_is_additive_superset(v, new[k])
+            for k, v in old.items()
+        )
+    if (
+        isinstance(old, list)
+        and isinstance(new, list)
+        and len(old) == 2
+        and len(new) == 2
+        and old[0] == "array"
+        and new[0] == "array"
+    ):
+        return all(
+            any(signature_is_additive_superset(o, n) for n in new[1])
+            for o in old[1]
+        )
+    return False
+
+
 def record_identity(record):
     """Hashable identity: every field that is not a metric, a size, or
     informational. Nested values contribute their schema signature so two
@@ -98,6 +137,35 @@ def record_identity(record):
         else:
             parts.append((key, value))
     return tuple(parts)
+
+
+def identity_extends(base_identity, cur_identity):
+    """If `cur_identity` is a forward-compatible extension of
+    `base_identity` -- every baseline field present with an equal value, or
+    with an additive-superset nested schema -- return the sorted list of
+    field names added by the current side. Otherwise return None."""
+    base = dict(base_identity)
+    cur = dict(cur_identity)
+    for key, base_value in base.items():
+        if key not in cur:
+            return None
+        cur_value = cur[key]
+        if base_value == cur_value:
+            continue
+        # Nested schemas are stored as JSON-dumped signatures; additive key
+        # growth inside them is the same forward-compatible direction.
+        try:
+            base_sig = json.loads(base_value)
+            cur_sig = json.loads(cur_value)
+        except (TypeError, ValueError):
+            return None
+        if not isinstance(base_sig, (dict, list)) or not isinstance(
+            cur_sig, (dict, list)
+        ):
+            return None
+        if not signature_is_additive_superset(base_sig, cur_sig):
+            return None
+    return sorted(set(cur) - set(base))
 
 
 def identity_label(identity):
@@ -127,6 +195,155 @@ def relative_delta(old, new):
     return abs(new - old) / denom
 
 
+class Report:
+    """Accumulated comparison outcome (the testable result object)."""
+
+    def __init__(self):
+        self.errors = []
+        self.warnings = []
+        self.infos = []
+        self.matched_records = 0
+        self.compared_metrics = 0
+
+    def exit_code(self):
+        return 1 if self.errors else 0
+
+
+def compare_record_pair(report, label, base_rec, cur_rec, tolerance, verbose):
+    report.matched_records += 1
+
+    base_metrics = {k for k, v in base_rec.items() if is_metric_field(k, v)}
+    cur_metrics = {k for k, v in cur_rec.items() if is_metric_field(k, v)}
+    for key in sorted(base_metrics - cur_metrics):
+        report.errors.append(f"metric field removed: {key} [{label}]")
+    # Additive metric fields are forward-compatible: a newer binary may
+    # measure more than the committed baseline knew about.
+    for key in sorted(cur_metrics - base_metrics):
+        report.warnings.append(
+            f"metric field added (not in baseline): {key} [{label}]"
+        )
+
+    for key in INFO_FIELDS & base_rec.keys() & cur_rec.keys():
+        if base_rec[key] != cur_rec[key]:
+            report.infos.append(
+                f"{key}: {base_rec[key]} -> {cur_rec[key]} [{label}]"
+            )
+
+    sizes_match = all(
+        base_rec.get(f) == cur_rec.get(f) for f in SIZE_FIELDS
+    )
+    if not sizes_match:
+        report.infos.append(
+            "sizes differ, metric values not compared: "
+            + ", ".join(
+                f"{f}={base_rec.get(f)}->{cur_rec.get(f)}"
+                for f in sorted(SIZE_FIELDS)
+                if base_rec.get(f) != cur_rec.get(f)
+            )
+            + f" [{label}]"
+        )
+        return
+
+    for key in sorted(base_metrics & cur_metrics):
+        delta = relative_delta(base_rec[key], cur_rec[key])
+        report.compared_metrics += 1
+        if delta > tolerance:
+            report.warnings.append(
+                f"{key}: {base_rec[key]:.6g} -> "
+                f"{cur_rec[key]:.6g} ({delta * 100.0:.1f}% drift, "
+                f"tolerance {tolerance * 100.0:.0f}%) [{label}]"
+            )
+        elif verbose:
+            report.infos.append(
+                f"{key}: {base_rec[key]:.6g} -> "
+                f"{cur_rec[key]:.6g} ({delta * 100.0:.1f}%) [{label}]"
+            )
+
+
+def compare_record_lists(report, identity, base_recs, cur_recs, tolerance,
+                         verbose):
+    label = identity_label(identity)
+    if len(base_recs) != len(cur_recs):
+        report.errors.append(
+            f"record multiplicity changed "
+            f"({len(base_recs)} -> {len(cur_recs)}): {label}"
+        )
+    for base_rec, cur_rec in zip(base_recs, cur_recs):
+        compare_record_pair(report, label, base_rec, cur_rec, tolerance,
+                            verbose)
+
+
+def compare(baseline, current, tolerance=0.25, fail_on_timing=False,
+            verbose=False):
+    """Compare two record lists; returns a Report. Pure function of its
+    inputs (no I/O), so the self-test drives it with literal records."""
+    report = Report()
+
+    base_by_id = {}
+    for rec in baseline:
+        base_by_id.setdefault(record_identity(rec), []).append(rec)
+    cur_by_id = {}
+    for rec in current:
+        cur_by_id.setdefault(record_identity(rec), []).append(rec)
+
+    for identity, base_recs in base_by_id.items():
+        if identity in cur_by_id:
+            compare_record_lists(report, identity, base_recs,
+                                 cur_by_id[identity], tolerance, verbose)
+
+    # Relaxed second phase: pair leftover identities whose only difference
+    # is additive fields on the current side (forward-compatible growth).
+    unmatched_base = [i for i in base_by_id if i not in cur_by_id]
+    unmatched_cur = [i for i in cur_by_id if i not in base_by_id]
+    claimed = set()
+    for base_id in unmatched_base:
+        label = identity_label(base_id)
+        candidates = [
+            cur_id
+            for cur_id in unmatched_cur
+            if cur_id not in claimed
+            and identity_extends(base_id, cur_id) is not None
+        ]
+        if len(candidates) == 1:
+            cur_id = candidates[0]
+            claimed.add(cur_id)
+            added = identity_extends(base_id, cur_id)
+            report.warnings.append(
+                "identity matched with additive fields "
+                f"({', '.join(added) if added else 'nested schema keys'}): "
+                f"{label}"
+            )
+            compare_record_lists(report, cur_id, base_by_id[base_id],
+                                 cur_by_id[cur_id], tolerance, verbose)
+        elif len(candidates) > 1:
+            report.errors.append(
+                f"ambiguous additive match ({len(candidates)} candidates): "
+                f"{label}"
+            )
+        elif any(
+            identity_extends(cur_id, base_id) is not None
+            for cur_id in unmatched_cur
+        ):
+            report.errors.append(
+                f"record lost identity fields (schema regression): {label}"
+            )
+        else:
+            report.errors.append(
+                f"record missing from current: {label}"
+            )
+    for cur_id in unmatched_cur:
+        if cur_id not in claimed:
+            report.errors.append(
+                f"record not in baseline (new/renamed): "
+                f"{identity_label(cur_id)}"
+            )
+
+    if fail_on_timing:
+        report.errors.extend(report.warnings)
+        report.warnings = []
+    return report
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("baseline")
@@ -145,113 +362,28 @@ def main():
     parser.add_argument("--verbose", action="store_true")
     args = parser.parse_args()
 
-    baseline = load_records(args.baseline)
-    current = load_records(args.current)
+    report = compare(
+        load_records(args.baseline),
+        load_records(args.current),
+        tolerance=args.tolerance,
+        fail_on_timing=args.fail_on_timing,
+        verbose=args.verbose,
+    )
 
-    base_by_id = {}
-    for rec in baseline:
-        base_by_id.setdefault(record_identity(rec), []).append(rec)
-    cur_by_id = {}
-    for rec in current:
-        cur_by_id.setdefault(record_identity(rec), []).append(rec)
-
-    errors = []
-    warnings = []
-    infos = []
-    compared_metrics = 0
-    matched_records = 0
-
-    for identity in base_by_id:
-        if identity not in cur_by_id:
-            errors.append(
-                f"record missing from current: {identity_label(identity)}"
-            )
-    for identity in cur_by_id:
-        if identity not in base_by_id:
-            errors.append(
-                f"record not in baseline (new/renamed): "
-                f"{identity_label(identity)}"
-            )
-
-    for identity, base_recs in base_by_id.items():
-        cur_recs = cur_by_id.get(identity)
-        if cur_recs is None:
-            continue
-        if len(base_recs) != len(cur_recs):
-            errors.append(
-                f"record multiplicity changed "
-                f"({len(base_recs)} -> {len(cur_recs)}): "
-                f"{identity_label(identity)}"
-            )
-        for base_rec, cur_rec in zip(base_recs, cur_recs):
-            matched_records += 1
-            label = identity_label(identity)
-
-            base_metrics = {
-                k for k, v in base_rec.items() if is_metric_field(k, v)
-            }
-            cur_metrics = {
-                k for k, v in cur_rec.items() if is_metric_field(k, v)
-            }
-            for key in sorted(base_metrics - cur_metrics):
-                errors.append(f"metric field removed: {key} [{label}]")
-            for key in sorted(cur_metrics - base_metrics):
-                errors.append(f"metric field added: {key} [{label}]")
-
-            for key in INFO_FIELDS & base_rec.keys() & cur_rec.keys():
-                if base_rec[key] != cur_rec[key]:
-                    infos.append(
-                        f"{key}: {base_rec[key]} -> {cur_rec[key]} [{label}]"
-                    )
-
-            sizes_match = all(
-                base_rec.get(f) == cur_rec.get(f) for f in SIZE_FIELDS
-            )
-            if not sizes_match:
-                infos.append(
-                    "sizes differ, metric values not compared: "
-                    + ", ".join(
-                        f"{f}={base_rec.get(f)}->{cur_rec.get(f)}"
-                        for f in sorted(SIZE_FIELDS)
-                        if base_rec.get(f) != cur_rec.get(f)
-                    )
-                    + f" [{label}]"
-                )
-                continue
-
-            for key in sorted(base_metrics & cur_metrics):
-                delta = relative_delta(base_rec[key], cur_rec[key])
-                compared_metrics += 1
-                if delta > args.tolerance:
-                    warnings.append(
-                        f"{key}: {base_rec[key]:.6g} -> "
-                        f"{cur_rec[key]:.6g} ({delta * 100.0:.1f}% drift, "
-                        f"tolerance {args.tolerance * 100.0:.0f}%) [{label}]"
-                    )
-                elif args.verbose:
-                    infos.append(
-                        f"{key}: {base_rec[key]:.6g} -> "
-                        f"{cur_rec[key]:.6g} ({delta * 100.0:.1f}%) [{label}]"
-                    )
-
-    if args.fail_on_timing:
-        errors.extend(warnings)
-        warnings = []
-
-    for line in infos:
+    for line in report.infos:
         print(f"info: {line}")
-    for line in warnings:
+    for line in report.warnings:
         print(f"WARNING: {line}")
-    for line in errors:
+    for line in report.errors:
         print(f"ERROR: {line}")
 
     print(
-        f"compare_bench: {matched_records} records matched, "
-        f"{compared_metrics} metric values compared, "
-        f"{len(warnings)} warnings, {len(errors)} errors "
+        f"compare_bench: {report.matched_records} records matched, "
+        f"{report.compared_metrics} metric values compared, "
+        f"{len(report.warnings)} warnings, {len(report.errors)} errors "
         f"({args.baseline} vs {args.current})"
     )
-    return 1 if errors else 0
+    return report.exit_code()
 
 
 if __name__ == "__main__":

@@ -20,10 +20,17 @@ assumes and the batched-kernel design depends on:
      are host-side implementation, not kernels.
   6. No std::cout / printf in src/ library code (stderr via debug::fail or
      profiling hooks only); keeps library output parseable.
-  7. Every parallel_for / parallel_reduce / for_each_batch_simd call site
-     passes a non-empty label: labels key the profiling spans and the
-     PSPL_CHECK region guards, and an empty label collapses distinct
-     kernels into one unattributable bucket.
+  7. Every parallel_for / parallel_reduce / for_each_batch_simd /
+     for_each_batch_tile call site passes a non-empty label: labels key
+     the profiling spans and the PSPL_CHECK region guards, and an empty
+     label collapses distinct kernels into one unattributable bucket.
+  8. Kernel lambda bodies passed to the dispatch entry points contain no
+     heap allocation: no `new`, no malloc-family call, no std::vector
+     construction or growth (push_back / emplace_back / resize).  Hot
+     dispatch bodies must stage through the persistent WorkspaceArena
+     (src/parallel/arena.hpp) reserved *before* the dispatch -- a hidden
+     per-iteration allocation is exactly the regression the tile-resident
+     pipeline removed.
 
 Exit code 0 when clean, 1 with one `file:line: message` per violation.
 """
@@ -45,9 +52,17 @@ RAW_NEW = re.compile(r"(?<![\w.])new\s+[A-Za-z_:][\w:<>,\s]*[\[(]")
 RAW_CALLOC = re.compile(r"(?<![\w.])(?:malloc|calloc|realloc|free)\s*\(")
 STD_CONTAINER = re.compile(r"std::(?:vector|string|map|set|deque|list)\b")
 KERNEL_DISPATCH = re.compile(
-    r"(?:parallel_for|parallel_reduce|for_each_batch_simd(?:<[^>]*>)?)\s*\(")
+    r"(?:parallel_for|parallel_reduce|"
+    r"for_each_batch_(?:simd|tile)(?:<[^>]*>)?)\s*\(")
 LAMBDA_CAPTURE = re.compile(r"\[(?P<cap>[^\]]*)\]\s*\(")
 IO_CALL = re.compile(r"std::cout|(?<![\w:.])printf\s*\(")
+# Heap activity that must never appear inside a kernel lambda body (rule 8):
+# raw allocation plus std::vector construction or growth.
+DISPATCH_ALLOC = re.compile(
+    r"(?<![\w.])new\s+[A-Za-z_:]"
+    r"|(?<![\w.])(?:malloc|calloc|realloc)\s*\("
+    r"|std::vector\s*<"
+    r"|\.(?:push_back|emplace_back|resize)\s*\(")
 
 
 def strip_comments(text: str) -> str:
@@ -199,6 +214,47 @@ def check_kernel_labels(path: Path, code: str, errors: list[str]) -> None:
                 "region guards, pass a descriptive one")
 
 
+def kernel_lambda_body(code: str, dispatch_end: int) -> tuple[int, int] | None:
+    """Locate the body of the first lambda inside a dispatch call: returns
+    (open_brace_pos, close_brace_pos) or None when no lambda is in range."""
+    window_end = min(len(code), dispatch_end + 400)
+    lam = LAMBDA_CAPTURE.search(code, dispatch_end, window_end)
+    if lam is None:
+        return None
+    # Skip the parameter list, then balance the body braces.
+    j, depth = lam.end(), 1
+    while j < len(code) and depth:
+        depth += code[j] == "("
+        depth -= code[j] == ")"
+        j += 1
+    while j < len(code) and code[j] != "{":
+        j += 1
+    if j >= len(code):
+        return None
+    open_brace, depth = j, 1
+    j += 1
+    while j < len(code) and depth:
+        depth += code[j] == "{"
+        depth -= code[j] == "}"
+        j += 1
+    return open_brace, j
+
+
+def check_dispatch_allocation(path: Path, code: str,
+                              errors: list[str]) -> None:
+    for m in KERNEL_DISPATCH.finditer(code):
+        body = kernel_lambda_body(code, m.end())
+        if body is None:
+            continue
+        open_brace, close_brace = body
+        for alloc in DISPATCH_ALLOC.finditer(code, open_brace, close_brace):
+            errors.append(
+                f"{path}:{line_of(code, alloc.start())}: heap allocation "
+                f"('{alloc.group().strip()}') inside a kernel dispatch body "
+                "-- reserve a WorkspaceArena slot before the dispatch "
+                "instead (hot kernels must not allocate)")
+
+
 def check_io(path: Path, code: str, errors: list[str]) -> None:
     for m in IO_CALL.finditer(code):
         errors.append(
@@ -223,6 +279,7 @@ def main() -> int:
         if path.parent.name != "parallel":
             check_kernel_captures(rel, code, errors)
         check_kernel_labels(rel, code, errors)
+        check_dispatch_allocation(rel, code, errors)
         if "profiling" not in path.name and "report" not in path.name \
                 and "hardware" not in path.name:
             check_io(rel, code, errors)

@@ -1,0 +1,214 @@
+#!/usr/bin/env python3
+"""Self-test for tools/compare_bench.py's comparison core.
+
+pytest-style test_* functions over the importable compare() API, but with a
+zero-dependency fallback runner so CI lint can execute it directly:
+
+  python3 tools/test_compare_bench.py
+
+Covers the severity model the bench-smoke gate relies on: identical runs
+pass; additive record fields, metric additions and nested-schema key growth
+warn without failing; removals, renames, type changes and ambiguous
+additive matches hard-fail; reduced-size runs skip metric comparison; and
+--fail-on-timing promotes drift warnings to errors.
+"""
+
+from __future__ import annotations
+
+import copy
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from compare_bench import (  # noqa: E402
+    compare,
+    identity_extends,
+    record_identity,
+    signature_is_additive_superset,
+)
+
+
+def rec(**fields):
+    base = {
+        "bench": "ablation_tile",
+        "isa": "AVX-512 (512-bit, 8 fp64 lanes)",
+        "pspl_check": False,
+        "n": 1000,
+        "batch": 100000,
+        "seconds": 0.35,
+        "bandwidth_gbs": 2.3,
+    }
+    base.update(fields)
+    return base
+
+
+def test_identical_runs_are_clean():
+    baseline = [rec(tile_request="off"), rec(tile_request="128")]
+    report = compare(baseline, copy.deepcopy(baseline))
+    assert report.errors == []
+    assert report.warnings == []
+    assert report.matched_records == 2
+    assert report.compared_metrics == 4
+    assert report.exit_code() == 0
+
+
+def test_metric_drift_warns_and_fail_on_timing_promotes():
+    baseline = [rec(seconds=0.30)]
+    current = [rec(seconds=0.60)]
+    report = compare(baseline, current, tolerance=0.25)
+    assert report.errors == []
+    assert len(report.warnings) == 1 and "seconds" in report.warnings[0]
+
+    strict = compare(baseline, current, tolerance=0.25, fail_on_timing=True)
+    assert strict.exit_code() == 1
+    assert strict.warnings == []
+
+
+def test_metric_drift_within_tolerance_is_silent():
+    report = compare([rec(seconds=0.30)], [rec(seconds=0.33)],
+                     tolerance=0.25)
+    assert report.errors == [] and report.warnings == []
+
+
+def test_reduced_size_run_skips_metric_comparison():
+    # The CI smoke configuration: same identity, smaller batch, wildly
+    # different timings -- must pass with an informational note only.
+    baseline = [rec(batch=100000, seconds=0.35)]
+    current = [rec(batch=4096, seconds=0.012)]
+    report = compare(baseline, current)
+    assert report.errors == [] and report.warnings == []
+    assert report.compared_metrics == 0
+    assert any("sizes differ" in line for line in report.infos)
+
+
+def test_info_field_changes_never_fail():
+    baseline = [rec()]
+    current = [rec(isa="scalar (1 fp64 lane)", pspl_check=True, threads=8,
+                   pinned=True, tile="128", numa_nodes=2)]
+    report = compare(baseline, current)
+    assert report.errors == []
+    assert report.exit_code() == 0
+
+
+def test_additive_record_field_matches_with_warning():
+    # A v2 artifact gains identity-shaped fields the committed v1 baseline
+    # never had; the relaxed second phase must pair the records and warn.
+    baseline = [rec(tile_request="off"), rec(tile_request="128")]
+    current = [
+        rec(tile_request="off", variant="arena"),
+        rec(tile_request="128", variant="arena"),
+    ]
+    report = compare(baseline, current)
+    assert report.errors == []
+    assert report.matched_records == 2
+    assert sum("additive fields (variant)" in w for w in report.warnings) == 2
+
+
+def test_additive_metric_field_warns_only():
+    report = compare([rec()], [rec(flops_total=1.5e9)])
+    assert report.errors == []
+    assert any("metric field added" in w for w in report.warnings)
+
+
+def test_removed_metric_field_is_error():
+    report = compare([rec()], [{k: v for k, v in rec().items()
+                                if k != "bandwidth_gbs"}])
+    assert any("metric field removed" in e for e in report.errors)
+    assert report.exit_code() == 1
+
+
+def test_removed_identity_field_is_schema_regression():
+    baseline = [rec(tile_request="off")]
+    current = [rec()]  # tile_request dropped
+    report = compare(baseline, current)
+    assert any("lost identity fields" in e for e in report.errors)
+    assert report.exit_code() == 1
+
+
+def test_renamed_record_is_error():
+    report = compare([rec(tile_request="off")], [rec(tile_request="none")])
+    assert any("missing from current" in e for e in report.errors)
+    assert any("not in baseline" in e for e in report.errors)
+
+
+def test_ambiguous_additive_match_is_error():
+    baseline = [rec(tile_request="off")]
+    current = [
+        rec(tile_request="off", variant="a"),
+        rec(tile_request="off", variant="b"),
+    ]
+    report = compare(baseline, current)
+    assert any("ambiguous additive match" in e for e in report.errors)
+
+
+def test_identity_type_change_is_error():
+    # "96" (string) vs 96 (number, non-metric name) -> different identity.
+    report = compare([rec(stage="96")], [rec(stage=96)])
+    assert report.exit_code() == 1
+
+
+def test_multiplicity_change_is_error():
+    report = compare([rec(), rec()], [rec()])
+    assert any("multiplicity" in e for e in report.errors)
+
+
+def test_nested_schema_additive_superset_warns():
+    baseline = [{"bench": "perf_report",
+                 "report": {"schema": "v1", "spans": [{"path": "a",
+                                                       "seconds": 1.0}]}}]
+    current = [{"bench": "perf_report",
+                "report": {"schema": "v2", "threads": 8,
+                           "spans": [{"path": "a", "seconds": 1.0,
+                                      "bytes": 64.0}]}}]
+    report = compare(baseline, current)
+    assert report.errors == []
+    assert any("additive fields" in w for w in report.warnings)
+
+
+def test_nested_schema_key_removal_is_error():
+    baseline = [{"bench": "perf_report",
+                 "report": {"schema": "v2", "threads": 8}}]
+    current = [{"bench": "perf_report", "report": {"schema": "v2"}}]
+    report = compare(baseline, current)
+    assert report.exit_code() == 1
+
+
+def test_signature_superset_helper():
+    assert signature_is_additive_superset("number", "number")
+    assert not signature_is_additive_superset("number", "string")
+    assert signature_is_additive_superset({"a": "number"},
+                                          {"a": "number", "b": "string"})
+    assert not signature_is_additive_superset({"a": "number", "b": "string"},
+                                              {"a": "number"})
+    assert signature_is_additive_superset(
+        ["array", [{"a": "number"}]],
+        ["array", [{"a": "number", "b": "bool"}]])
+
+
+def test_identity_extends_helper():
+    base = record_identity(rec(tile_request="off"))
+    ext = record_identity(rec(tile_request="off", variant="x"))
+    other = record_identity(rec(tile_request="128"))
+    assert identity_extends(base, ext) == ["variant"]
+    assert identity_extends(ext, base) is None
+    assert identity_extends(base, other) is None
+
+
+def main():
+    tests = [(name, fn) for name, fn in sorted(globals().items())
+             if name.startswith("test_") and callable(fn)]
+    failed = 0
+    for name, fn in tests:
+        try:
+            fn()
+            print(f"PASS {name}")
+        except AssertionError as exc:
+            failed += 1
+            print(f"FAIL {name}: {exc}")
+    print(f"test_compare_bench: {len(tests) - failed}/{len(tests)} passed")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
