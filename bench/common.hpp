@@ -69,6 +69,17 @@ inline std::size_t env_size(const char* name, std::size_t fallback)
     return fallback;
 }
 
+inline double env_double(const char* name, double fallback)
+{
+    if (const char* env = std::getenv(name)) {
+        const double v = std::atof(env);
+        if (v > 0.0) {
+            return v;
+        }
+    }
+    return fallback;
+}
+
 inline bsplines::BSplineBasis make_basis(int degree, bool uniform,
                                          std::size_t ncells)
 {
@@ -121,6 +132,93 @@ void fill_rhs_raw(const BView& b)
     }
 }
 
+/// Warmup-and-repeat control shared by the summary sweeps: `--repeats <n>`
+/// sets the minimum number of timed runs per case and `--min-time <sec>`
+/// keeps adding runs until their summed wall time reaches the floor, so
+/// short reduced-size cases (CI smoke) still get a stable median instead
+/// of one noisy sample. Both flags are consumed before
+/// benchmark::Initialize, like --json / --trace.
+struct TimingControl {
+    double min_time = 0.0; ///< total measured seconds to accumulate
+    int repeats = 3;       ///< minimum timed runs per case
+
+    static TimingControl from_args(int& argc, char** argv)
+    {
+        TimingControl ctl;
+        for (int i = 1; i < argc;) {
+            const char* value = nullptr;
+            bool is_min_time = false;
+            int consumed = 0;
+            if (std::strcmp(argv[i], "--min-time") == 0 && i + 1 < argc) {
+                value = argv[i + 1];
+                is_min_time = true;
+                consumed = 2;
+            } else if (std::strncmp(argv[i], "--min-time=", 11) == 0) {
+                value = argv[i] + 11;
+                is_min_time = true;
+                consumed = 1;
+            } else if (std::strcmp(argv[i], "--repeats") == 0
+                       && i + 1 < argc) {
+                value = argv[i + 1];
+                consumed = 2;
+            } else if (std::strncmp(argv[i], "--repeats=", 10) == 0) {
+                value = argv[i] + 10;
+                consumed = 1;
+            }
+            if (consumed == 0) {
+                ++i;
+                continue;
+            }
+            if (is_min_time) {
+                const double v = std::atof(value);
+                if (v >= 0.0) {
+                    ctl.min_time = v;
+                }
+            } else {
+                const int v = std::atoi(value);
+                if (v > 0) {
+                    ctl.repeats = v;
+                }
+            }
+            for (int j = i; j + consumed < argc; ++j) {
+                argv[j] = argv[j + consumed];
+            }
+            argc -= consumed;
+        }
+        return ctl;
+    }
+};
+
+/// Outcome of one stable timing: the median of `repeats` timed runs.
+struct TimedResult {
+    double seconds = 0.0; ///< median wall time of the timed runs
+    int repeats = 0;      ///< timed runs actually taken (recorded in JSON)
+};
+
+/// One untimed warmup call, then timed runs of f() until both the repeat
+/// floor and the min-time floor are met (capped so a pathological
+/// min-time cannot hang a harness). Returns the median and the run count.
+template <class F>
+TimedResult stable_seconds(const TimingControl& ctl, F&& f)
+{
+    constexpr int max_reps = 1000;
+    f(); // warmup: touch code paths, fault pages, spin the arena up
+    std::vector<double> times;
+    double total = 0.0;
+    const int floor_reps = ctl.repeats > 0 ? ctl.repeats : 1;
+    while ((static_cast<int>(times.size()) < floor_reps
+            || total < ctl.min_time)
+           && static_cast<int>(times.size()) < max_reps) {
+        profiling::Timer t;
+        f();
+        const double s = t.seconds();
+        times.push_back(s);
+        total += s;
+    }
+    std::sort(times.begin(), times.end());
+    return {times[times.size() / 2], static_cast<int>(times.size())};
+}
+
 /// Machine-readable result sink behind the `--json <path>` flag shared by
 /// all bench harnesses: each record is one benchmark result (name, problem
 /// parameters, wall time, derived bandwidth...) and the file is a plain
@@ -159,6 +257,11 @@ public:
     }
 
     bool enabled() const { return !m_path.empty(); }
+
+    /// Timed-run count recorded with every subsequent add() (schema v3
+    /// info field; 0 = the harness did not report it). Call before each
+    /// add() when --min-time makes the count vary per case.
+    void set_repeats(int repeats) { m_repeats = repeats; }
 
     /// JSON number literal (%.17g survives a double round-trip).
     static std::string num(double v)
@@ -208,6 +311,9 @@ public:
         rec += ", \"tile\": " + str(TilePolicy::from_env().describe());
         rec += ", \"numa_nodes\": "
                + std::to_string(perf::numa_node_count());
+        // v3: how many timed runs produced this row's median (stability
+        // provenance for the --min-time / --repeats control).
+        rec += ", \"repeats\": " + std::to_string(m_repeats);
         for (const auto& [key, value] : fields) {
             rec += ", " + str(key) + ": " + value;
         }
@@ -245,6 +351,7 @@ public:
 private:
     std::string m_path;
     std::vector<std::string> m_records;
+    int m_repeats = 0;
 };
 
 /// Chrome-trace sink behind the `--trace <path>` flag: when requested, the

@@ -51,6 +51,73 @@ struct SerialGttrsInternal {
     }
 };
 
+struct SerialGttrsRecipInternal {
+    /// Divide-free variant of the backward sweep: takes the precomputed
+    /// reciprocal diagonal dinv[i] = 1 / d[i] so the loop-carried
+    /// dependency runs at FMA latency instead of divide latency. Reserved
+    /// for the reduced-precision pipeline (the FP64 ladder keeps the
+    /// division form bitwise intact; the O(eps) reciprocal rounding is
+    /// absorbed by the FP64 refinement loop).
+    template <typename AValueType, typename BValueType>
+    PSPL_INLINE_FUNCTION static int
+    invoke(const int n, const AValueType* PSPL_RESTRICT dl, const int dls0,
+           const AValueType* PSPL_RESTRICT dinv, const int ds0,
+           const AValueType* PSPL_RESTRICT du, const int dus0,
+           const AValueType* PSPL_RESTRICT du2, const int du2s0,
+           const int* PSPL_RESTRICT ipiv, const int ipivs0,
+           BValueType* PSPL_RESTRICT b, const int bs0)
+    {
+        for (int i = 0; i + 1 < n; i++) {
+            if (ipiv[i * ipivs0] == i) {
+                b[(i + 1) * bs0] -= dl[i * dls0] * b[i * bs0];
+            } else {
+                const BValueType temp = b[i * bs0];
+                b[i * bs0] = b[(i + 1) * bs0];
+                b[(i + 1) * bs0] = temp - dl[i * dls0] * b[i * bs0];
+            }
+        }
+        b[(n - 1) * bs0] *= dinv[(n - 1) * ds0];
+        if (n > 1) {
+            b[(n - 2) * bs0] = (b[(n - 2) * bs0]
+                                - du[(n - 2) * dus0] * b[(n - 1) * bs0])
+                               * dinv[(n - 2) * ds0];
+        }
+        for (int i = n - 3; i >= 0; i--) {
+            b[i * bs0] = (b[i * bs0] - du[i * dus0] * b[(i + 1) * bs0]
+                          - du2[i * du2s0] * b[(i + 2) * bs0])
+                         * dinv[i * ds0];
+        }
+        return 0;
+    }
+};
+
+template <typename ArgTrans = Trans::NoTranspose,
+          typename ArgAlgo = Algo::Getrs::Unblocked>
+struct SerialGttrsRecip {
+    template <typename DLView, typename DView, typename DUView,
+              typename DU2View, typename PivView, typename BView>
+    PSPL_INLINE_FUNCTION static int
+    invoke(const DLView& dl, const DView& dinv, const DUView& du,
+           const DU2View& du2, const PivView& ipiv, const BView& b)
+    {
+        return SerialGttrsRecipInternal::invoke(
+                static_cast<int>(dinv.extent(0)), dl.data(),
+                static_cast<int>(dl.stride(0)), dinv.data(),
+                static_cast<int>(dinv.stride(0)), du.data(),
+                static_cast<int>(du.stride(0)), du2.data(),
+                static_cast<int>(du2.stride(0)), ipiv.data(),
+                static_cast<int>(ipiv.stride(0)), b.data(),
+                static_cast<int>(b.stride(0)));
+    }
+
+    /// Same operation count as SerialGttrs (divides traded for multiplies).
+    static constexpr KernelCost cost(std::size_t n)
+    {
+        const auto nd = static_cast<double>(n);
+        return {8.0 * nd, 16.0 * nd};
+    }
+};
+
 template <typename ArgTrans = Trans::NoTranspose,
           typename ArgAlgo = Algo::Getrs::Unblocked>
 struct SerialGttrs {

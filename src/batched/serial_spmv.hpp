@@ -35,24 +35,30 @@ struct SerialSpmvCooInternal {
 };
 
 struct SerialSpmvCoo {
-    /// y += alpha * A * x, A in COO format; x and y may be strided rank-1
-    /// subviews of the right-hand-side block (or pack spans in the SIMD
-    /// path -- x and y must alias disjoint storage, which the Schur split
-    /// b0/b1 guarantees).
-    template <typename XViewType, typename YViewType>
-    PSPL_INLINE_FUNCTION static int invoke(const double alpha,
-                                           const sparse::Coo& a,
+    /// y += alpha * A * x, A in COO format at any stored precision
+    /// (sparse::BasicCoo<double> on the FP64 ladder, BasicCoo<float> in the
+    /// mixed-precision pipeline -- alpha is converted to the matrix value
+    /// type, so the kernel arithmetic runs uniformly at the COO precision);
+    /// x and y may be strided rank-1 subviews of the right-hand-side block
+    /// (or pack spans in the SIMD path -- x and y must alias disjoint
+    /// storage, which the Schur split b0/b1 guarantees).
+    template <typename ScalarType, typename CooType, typename XViewType,
+              typename YViewType>
+    PSPL_INLINE_FUNCTION static int invoke(const ScalarType alpha,
+                                           const CooType& a,
                                            const XViewType& x,
                                            const YViewType& y)
     {
         const auto& rows = a.rows_idx();
         const auto& cols = a.cols_idx();
         const auto& vals = a.values();
+        using AValue = typename CooType::value_type;
         return SerialSpmvCooInternal::invoke(
                 static_cast<int>(a.nnz()), rows.data(),
                 static_cast<int>(rows.stride(0)), cols.data(),
                 static_cast<int>(cols.stride(0)), vals.data(),
-                static_cast<int>(vals.stride(0)), alpha, x.data(),
+                static_cast<int>(vals.stride(0)),
+                static_cast<AValue>(alpha), x.data(),
                 static_cast<int>(x.stride(0)), y.data(),
                 static_cast<int>(y.stride(0)));
     }

@@ -283,22 +283,27 @@ struct PackSpan {
 
 /// Algorithm-1 chain on one staged pack column (Q-solve, then the Schur
 /// correction). Shared verbatim by the untiled and tiled SIMD drivers --
-/// per-column arithmetic is what makes the two bitwise identical.
-template <int W, bool UseSpmv>
+/// per-column arithmetic is what makes the two bitwise identical. Generic
+/// over the pack element type and the device-data flavour: the FP64 ladder
+/// instantiates (double, SchurDeviceData) exactly as before, and the
+/// mixed-precision pipeline drives float packs through SchurFloatFactors
+/// (whose COO blocks and factors are FP32, so every stage's arithmetic runs
+/// at the pack precision).
+template <int W, bool UseSpmv, class T, class SData>
 PSPL_FORCEINLINE_FUNCTION void
-solve_pack_column(const SchurDeviceData& s, const PackSpan<double, W>& b0,
-                  const PackSpan<double, W>& b1)
+solve_pack_column(const SData& s, const PackSpan<T, W>& b0,
+                  const PackSpan<T, W>& b1)
 {
     solve_q_serial(s, b0);
     if (s.k > 0) {
         if constexpr (UseSpmv) {
-            batched::SerialSpmvCoo::invoke(-1.0, s.lambda_coo, b0, b1);
+            batched::SerialSpmvCoo::invoke(T(-1), s.lambda_coo, b0, b1);
         } else {
             batched::SerialGemv<>::invoke(-1.0, s.lambda_dense, b0, 1.0, b1);
         }
         batched::SerialGetrs<>::invoke(s.delta_lu, s.delta_ipiv, b1);
         if constexpr (UseSpmv) {
-            batched::SerialSpmvCoo::invoke(-1.0, s.beta_coo, b1, b0);
+            batched::SerialSpmvCoo::invoke(T(-1), s.beta_coo, b1, b0);
         } else {
             batched::SerialGemv<>::invoke(-1.0, s.beta_dense, b1, 1.0, b0);
         }

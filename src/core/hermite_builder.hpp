@@ -17,6 +17,8 @@
 
 #include "bsplines/basis.hpp"
 #include "core/batched_solve.hpp"
+#include "core/precision.hpp"
+#include "core/refinement.hpp"
 #include "core/schur_solver.hpp"
 #include "parallel/profiling.hpp"
 #include "parallel/view.hpp"
@@ -48,6 +50,11 @@ public:
     /// The value interpolation points (the ncells+1 break points).
     const std::vector<double>& value_points() const { return m_points; }
 
+    /// Working precision of the batched solve (PSPL_PRECISION default);
+    /// same semantics as SplineBuilder::set_precision.
+    void set_precision(Precision p) { m_precision = p; }
+    Precision precision() const { return m_precision; }
+
     /// Solve for spline coefficients in place. `b` has shape (n, batch)
     /// with the row layout documented above.
     template <class Exec = DefaultExecutionSpace, class T, class L>
@@ -56,6 +63,13 @@ public:
         PSPL_EXPECT(b.extent(0) == m_basis.nbasis(),
                     "build_inplace: RHS rows must equal nbasis");
         profiling::ScopedRegion region("pspl_splines_solve_hermite");
+        if (m_precision != Precision::Double) {
+            const bool use_spmv = m_version != BuilderVersion::Fused
+                                  && m_version != BuilderVersion::FusedSimd;
+            solve_refined_batched<Exec>(*m_solver, b, m_precision, {},
+                                        TilePolicy::from_env(), use_spmv);
+            return;
+        }
         schur_solve_batched<Exec>(m_solver->device_data(), b, m_version);
     }
 
@@ -83,6 +97,7 @@ private:
     bsplines::BSplineBasis m_basis;
     BuilderVersion m_version = BuilderVersion::FusedSpmv;
     std::shared_ptr<const SchurSolver> m_solver;
+    Precision m_precision = precision_from_env();
     std::vector<double> m_points; ///< break points (value rows)
 };
 

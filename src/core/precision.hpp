@@ -1,0 +1,84 @@
+// Precision policy of the batched spline solve.
+//
+// The fused batched solve is memory-bandwidth bound at the production point
+// (matrix ~10^3, batch ~10^5): arithmetic is cheap and bytes moved per RHS
+// dominate. Storing the factors and the staged RHS in FP32 halves that
+// traffic and doubles the pspl::simd pack width, and a short FP64
+// iterative-refinement loop (src/core/refinement.hpp) restores full double
+// accuracy -- the precision-vs-bandwidth trade of batched-solver frameworks
+// like Ginkgo and the batched Landau collision solver of Adams et al.
+//
+//   Double -- the FP64 ladder, bitwise identical to builds without the
+//             precision layer. Default.
+//   Single -- everything in FP32: fastest, ~1e-4 relative accuracy. For
+//             previews / fields whose own discretization error dwarfs it.
+//   Mixed  -- FP32 fused solve + FP64 residual correction to the refinement
+//             target, with a hard FP64 fallback when refinement stalls.
+//
+// Selected per builder via SplineBuilder::set_precision, defaulting to the
+// PSPL_PRECISION environment variable ("double" | "single" | "mixed",
+// case-insensitive; unset or unrecognized -> Double).
+#pragma once
+
+#include <cstdlib>
+#include <string_view>
+
+namespace pspl::core {
+
+enum class Precision {
+    Double = 0,
+    Single = 1,
+    Mixed = 2,
+};
+
+inline const char* to_string(Precision p)
+{
+    switch (p) {
+    case Precision::Double:
+        return "double";
+    case Precision::Single:
+        return "single";
+    case Precision::Mixed:
+        return "mixed";
+    }
+    return "double";
+}
+
+/// Parse a PSPL_PRECISION-style spelling; unrecognized input yields Double
+/// (the conservative default -- never silently degrade accuracy).
+inline Precision parse_precision(std::string_view s)
+{
+    auto lower_eq = [](std::string_view v, std::string_view ref) {
+        if (v.size() != ref.size()) {
+            return false;
+        }
+        for (std::size_t i = 0; i < v.size(); ++i) {
+            const char c = v[i] >= 'A' && v[i] <= 'Z'
+                                   ? static_cast<char>(v[i] - 'A' + 'a')
+                                   : v[i];
+            if (c != ref[i]) {
+                return false;
+            }
+        }
+        return true;
+    };
+    if (lower_eq(s, "single") || lower_eq(s, "float") || lower_eq(s, "fp32")) {
+        return Precision::Single;
+    }
+    if (lower_eq(s, "mixed")) {
+        return Precision::Mixed;
+    }
+    return Precision::Double;
+}
+
+/// Process-wide default from $PSPL_PRECISION (Double when unset).
+inline Precision precision_from_env()
+{
+    const char* env = std::getenv("PSPL_PRECISION");
+    if (env == nullptr) {
+        return Precision::Double;
+    }
+    return parse_precision(env);
+}
+
+} // namespace pspl::core

@@ -180,6 +180,106 @@ SchurSolver::SchurSolver(const View2D<double>& a, Options opts)
     const double thresh = opts.sparsify_threshold * std::max(amax, 1.0);
     m_data.lambda_coo = sparse::Coo::from_dense(lambda, thresh);
     m_data.beta_coo = sparse::Coo::from_dense(beta, thresh);
+
+    // --- Mixed-precision setup: full operator + FP32 factor mirror ----------
+    // The refinement loop needs the exact FP64 operator for r = b - A x
+    // (every structural nonzero, no sparsification), and the FP32 solve
+    // needs narrowed copies of every factor block. Both are one-time,
+    // setup-side conversions -- the sanctioned place for double -> float
+    // narrowing.
+    {
+        profiling::ScopedSpan mixed_span("pspl::schur::float_factors");
+        m_a_coo = sparse::Coo::from_dense(a, 0.0);
+        build_float_factors();
+    }
+}
+
+namespace {
+
+View1D<float> narrow(const char* label, const View1D<double>& v)
+{
+    View1D<float> out(label, v.extent(0));
+    for (std::size_t i = 0; i < v.extent(0); ++i) {
+        out(i) = static_cast<float>(v(i));
+    }
+    return out;
+}
+
+View2D<float> narrow(const char* label, const View2D<double>& v)
+{
+    View2D<float> out(label, v.extent(0), v.extent(1));
+    for (std::size_t i = 0; i < v.extent(0); ++i) {
+        for (std::size_t j = 0; j < v.extent(1); ++j) {
+            out(i, j) = static_cast<float>(v(i, j));
+        }
+    }
+    return out;
+}
+
+/// Reciprocal diagonal, computed in FP64 then narrowed (one rounding).
+View1D<float> narrow_recip(const char* label, const View1D<double>& d)
+{
+    View1D<float> out(label, d.extent(0));
+    for (std::size_t i = 0; i < d.extent(0); ++i) {
+        out(i) = static_cast<float>(1.0 / d(i));
+    }
+    return out;
+}
+
+} // namespace
+
+void SchurSolver::build_float_factors()
+{
+    const SchurDeviceData& d = m_data;
+    m_float.kind = d.kind;
+    m_float.n = d.n;
+    m_float.n0 = d.n0;
+    m_float.k = d.k;
+    m_float.kl = d.kl;
+    m_float.ku = d.ku;
+
+    switch (d.kind) {
+    case SolverKind::PTTRS:
+        m_float.pt_d = narrow("schur_f32_pt_d", d.pt_d);
+        m_float.pt_e = narrow("schur_f32_pt_e", d.pt_e);
+        m_float.pt_dinv = narrow_recip("schur_f32_pt_dinv", d.pt_d);
+        break;
+    case SolverKind::GTTRS:
+        m_float.gt_dl = narrow("schur_f32_gt_dl", d.gt_dl);
+        m_float.gt_d = narrow("schur_f32_gt_d", d.gt_d);
+        m_float.gt_du = narrow("schur_f32_gt_du", d.gt_du);
+        m_float.gt_du2 = narrow("schur_f32_gt_du2", d.gt_du2);
+        m_float.gt_dinv = narrow_recip("schur_f32_gt_dinv", d.gt_d);
+        m_float.gt_ipiv = d.gt_ipiv; // shared: pivots carry no precision
+        break;
+    case SolverKind::PBTRS:
+        m_float.pb_ab = narrow("schur_f32_pb_ab", d.pb_ab);
+        break;
+    case SolverKind::GBTRS:
+        m_float.gb_ab = narrow("schur_f32_gb_ab", d.gb_ab);
+        m_float.gb_ipiv = d.gb_ipiv;
+        break;
+    case SolverKind::GETRS:
+        m_float.ge_lu = narrow("schur_f32_ge_lu", d.ge_lu);
+        m_float.ge_ipiv = d.ge_ipiv;
+        break;
+    }
+
+    m_float.delta_lu = narrow("schur_f32_delta_lu", d.delta_lu);
+    m_float.delta_ipiv = d.delta_ipiv;
+    m_float.lambda_dense = narrow("schur_f32_lambda", d.lambda_dense);
+    m_float.beta_dense = narrow("schur_f32_beta", d.beta_dense);
+
+    // Rebuild the COO blocks at FP32 from the same thresholded dense
+    // blocks, so the sparsity pattern matches the FP64 ladder exactly.
+    m_float.lambda_coo = sparse::BasicCoo<float>(
+            d.lambda_coo.nrows(), d.lambda_coo.ncols(), d.lambda_coo.rows_idx(),
+            d.lambda_coo.cols_idx(),
+            narrow("schur_f32_lambda_coo_vals", d.lambda_coo.values()));
+    m_float.beta_coo = sparse::BasicCoo<float>(
+            d.beta_coo.nrows(), d.beta_coo.ncols(), d.beta_coo.rows_idx(),
+            d.beta_coo.cols_idx(),
+            narrow("schur_f32_beta_coo_vals", d.beta_coo.values()));
 }
 
 } // namespace pspl::core

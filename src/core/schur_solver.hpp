@@ -63,21 +63,71 @@ struct SchurDeviceData {
     sparse::Coo beta_coo;
 };
 
+/// FP32 mirror of the factorized blocks, produced once at setup by
+/// narrowing the host FP64 factors (plus precomputed reciprocal diagonals
+/// for the tridiagonal kinds, so the FP32 sweeps run divide-free at FMA
+/// latency). Same member names as SchurDeviceData so the value-type-generic
+/// solve chain -- solve_q_serial, solve_pack_column -- consumes either
+/// struct through one template. Used by the mixed/single-precision pipeline
+/// (src/core/refinement.hpp); the FP64 ladder never touches it.
+struct SchurFloatFactors {
+    SolverKind kind = SolverKind::GETRS;
+    std::size_t n = 0;
+    std::size_t n0 = 0;
+    std::size_t k = 0;
+    int kl = 0;
+    int ku = 0;
+
+    View1D<float> pt_d, pt_e;
+    View1D<float> pt_dinv; // 1/d, the divide-free PTTRS sweep
+    View1D<float> gt_dl, gt_d, gt_du, gt_du2;
+    View1D<float> gt_dinv; // 1/d, the divide-free GTTRS backward sweep
+    View1D<int> gt_ipiv;
+    View2D<float> pb_ab;
+    View2D<float> gb_ab;
+    View1D<int> gb_ipiv;
+    View2D<float> ge_lu;
+    View1D<int> ge_ipiv;
+
+    View2D<float> delta_lu;
+    View1D<int> delta_ipiv;
+
+    View2D<float> lambda_dense;
+    View2D<float> beta_dense;
+    sparse::BasicCoo<float> lambda_coo;
+    sparse::BasicCoo<float> beta_coo;
+};
+
 /// Solve Q x = b in place for one RHS, dispatching on the factor kind.
-/// Callable inside parallel kernels.
-template <class BView>
-PSPL_INLINE_FUNCTION void solve_q_serial(const SchurDeviceData& s, const BView& b)
+/// Callable inside parallel kernels. Generic over the device-data flavour:
+/// SchurDeviceData drives the FP64 ladder exactly as before, and
+/// SchurFloatFactors (detected by its reciprocal-diagonal members) routes
+/// the tridiagonal kinds through the divide-free reciprocal sweeps.
+template <class SData, class BView>
+PSPL_INLINE_FUNCTION void solve_q_serial(const SData& s, const BView& b)
 {
     switch (s.kind) {
     case SolverKind::PTTRS:
-        batched::SerialPttrs<batched::Uplo::Lower,
-                             batched::Algo::Pttrs::Unblocked>::invoke(s.pt_d,
-                                                                      s.pt_e,
-                                                                      b);
+        if constexpr (requires { s.pt_dinv; }) {
+            batched::SerialPttrsRecip<
+                    batched::Uplo::Lower,
+                    batched::Algo::Pttrs::Unblocked>::invoke(s.pt_dinv,
+                                                             s.pt_e, b);
+        } else {
+            batched::SerialPttrs<
+                    batched::Uplo::Lower,
+                    batched::Algo::Pttrs::Unblocked>::invoke(s.pt_d, s.pt_e,
+                                                             b);
+        }
         break;
     case SolverKind::GTTRS:
-        batched::SerialGttrs<>::invoke(s.gt_dl, s.gt_d, s.gt_du, s.gt_du2,
-                                       s.gt_ipiv, b);
+        if constexpr (requires { s.gt_dinv; }) {
+            batched::SerialGttrsRecip<>::invoke(s.gt_dl, s.gt_dinv, s.gt_du,
+                                                s.gt_du2, s.gt_ipiv, b);
+        } else {
+            batched::SerialGttrs<>::invoke(s.gt_dl, s.gt_d, s.gt_du,
+                                           s.gt_du2, s.gt_ipiv, b);
+        }
         break;
     case SolverKind::PBTRS:
         batched::SerialPbtrs<>::invoke(s.pb_ab, b);
@@ -110,6 +160,14 @@ public:
     const MatrixStructure& structure() const { return m_structure; }
     const SchurDeviceData& device_data() const { return m_data; }
     SolverKind kind() const { return m_data.kind; }
+
+    /// FP32 mirror of the factors (built once at setup; views are shallow,
+    /// so kernels shallow-copy it like the FP64 device data).
+    const SchurFloatFactors& float_factors() const { return m_float; }
+
+    /// The full FP64 matrix A in COO form (all structural nonzeros), the
+    /// operator the refinement loop applies for r = b - A x residuals.
+    const sparse::Coo& matrix_coo() const { return m_a_coo; }
 
     /// Solve A x = b in place for a single host-side RHS (reference path,
     /// used by tests and the host beta computation).
@@ -154,6 +212,10 @@ public:
 private:
     MatrixStructure m_structure;
     SchurDeviceData m_data;
+    SchurFloatFactors m_float;
+    sparse::Coo m_a_coo;
+
+    void build_float_factors();
 };
 
 namespace detail {

@@ -23,6 +23,8 @@
 #include "bsplines/basis.hpp"
 #include "bsplines/collocation.hpp"
 #include "core/batched_solve.hpp"
+#include "core/precision.hpp"
+#include "core/refinement.hpp"
 #include "core/schur_solver.hpp"
 #include "parallel/profiling.hpp"
 #include "parallel/tiling.hpp"
@@ -54,6 +56,30 @@ public:
         return m_tile ? *m_tile : TilePolicy::from_env();
     }
 
+    /// Working precision of the batched solve. Defaults to PSPL_PRECISION
+    /// (unset -> Double). Double runs the FP64 ladder exactly as before --
+    /// bitwise, not just to tolerance; Single / Mixed route through the
+    /// reduced-precision driver in core/refinement.hpp.
+    void set_precision(Precision p) { m_precision = p; }
+    Precision precision() const { return m_precision; }
+
+    /// Tuning knobs of the Mixed refinement loop (residual target, budget).
+    void set_refinement_options(const RefinementOptions& opt)
+    {
+        m_refine_opts = opt;
+    }
+    const RefinementOptions& refinement_options() const
+    {
+        return m_refine_opts;
+    }
+
+    /// What the most recent reduced-precision build_inplace actually did
+    /// (zeroed stats when the builder runs at Precision::Double).
+    const RefinementStats& last_refinement_stats() const
+    {
+        return m_last_refine;
+    }
+
     /// Solve A * coeffs = values in place: on entry each column of `b`
     /// (shape (n, batch)) holds interpolation values at the basis'
     /// interpolation points; on exit it holds the spline coefficients.
@@ -63,6 +89,18 @@ public:
         PSPL_EXPECT(b.extent(0) == m_basis.nbasis(),
                     "build_inplace: RHS rows must equal nbasis");
         profiling::ScopedRegion region("pspl_splines_solve");
+        if (m_precision != Precision::Double) {
+            // Reduced-precision pipeline: FP32 fused solve (+ FP64
+            // refinement for Mixed). The kernel version only decides the
+            // corner-correction flavour; the chain is always fused+SIMD.
+            const bool use_spmv = m_version != BuilderVersion::Fused
+                                  && m_version != BuilderVersion::FusedSimd;
+            m_last_refine = solve_refined_batched<Exec>(
+                    *m_solver, b, m_precision, m_refine_opts, tile_policy(),
+                    use_spmv);
+            return;
+        }
+        m_last_refine = RefinementStats{};
         schur_solve_batched<Exec>(m_solver->device_data(), b, m_version,
                                   tile_policy());
     }
@@ -87,6 +125,9 @@ private:
     BuilderVersion m_version = BuilderVersion::FusedSpmv;
     std::shared_ptr<const SchurSolver> m_solver;
     std::optional<TilePolicy> m_tile;
+    Precision m_precision = precision_from_env();
+    RefinementOptions m_refine_opts;
+    mutable RefinementStats m_last_refine;
 };
 
 } // namespace pspl::core

@@ -71,6 +71,14 @@ PSPL_DEFINE_NATIVE_PACK(double, 8, pack_storage_d8)
 PSPL_DEFINE_NATIVE_PACK(float, 4, pack_storage_f4)
 PSPL_DEFINE_NATIVE_PACK(float, 8, pack_storage_f8)
 PSPL_DEFINE_NATIVE_PACK(float, 16, pack_storage_f16)
+// Same-width integer packs: used only by the broadcast constructor to splat
+// a scalar's bit pattern with a single instruction (see simd(T)).
+PSPL_DEFINE_NATIVE_PACK(long long, 2, pack_storage_i64x2)
+PSPL_DEFINE_NATIVE_PACK(long long, 4, pack_storage_i64x4)
+PSPL_DEFINE_NATIVE_PACK(long long, 8, pack_storage_i64x8)
+PSPL_DEFINE_NATIVE_PACK(int, 4, pack_storage_i32x4)
+PSPL_DEFINE_NATIVE_PACK(int, 8, pack_storage_i32x8)
+PSPL_DEFINE_NATIVE_PACK(int, 16, pack_storage_i32x16)
 #undef PSPL_DEFINE_NATIVE_PACK
 #endif
 
@@ -115,8 +123,25 @@ struct simd {
     /// expressions the way they do in the ValueType-generic kernels.
     PSPL_FORCEINLINE_FUNCTION simd(T s)
     {
-        for (int l = 0; l < W; ++l) {
-            v[l] = s;
+        using bits_t = std::conditional_t<sizeof(T) == 8, long long, int>;
+        if constexpr (has_native && std::is_floating_point_v<T>
+                      && sizeof(bits_t) == sizeof(T)
+                      && detail::native_pack<bits_t, W>::available) {
+            // The naive lane loop compiles to W masked single-lane inserts
+            // on GCC/AVX-512 instead of one broadcast, which dominates the
+            // pack-sweep inner loops. Splatting the *bit pattern* through a
+            // same-width integer vector OR is bit-exact (arithmetic splat
+            // idioms like `vec{} + s` would turn -0.0 into +0.0) and lowers
+            // to one vpbroadcast.
+            using ivec = typename detail::native_pack<bits_t, W>::type;
+            bits_t b;
+            std::memcpy(&b, &s, sizeof(T));
+            const ivec t = ivec{} | b;
+            std::memcpy(&v, &t, sizeof(v));
+        } else {
+            for (int l = 0; l < W; ++l) {
+                v[l] = s;
+            }
         }
     }
 
@@ -302,6 +327,92 @@ PSPL_FORCEINLINE_FUNCTION detail::where_expr<T, W> where(const simd_mask<T, W>& 
                                                          simd<T, W>& x)
 {
     return {k, x};
+}
+
+// ---------------------------------------------------------------------------
+// f32 <-> f64 pack conversion -- the sanctioned precision-change helpers of
+// the mixed-precision pipeline. A float pack covers twice the lanes of a
+// double pack at equal register width, so the natural conversion shapes are
+// 2:1: two double packs narrow into one float pack, and one float pack
+// widens into its low / high double-pack halves. Lane order is preserved
+// (lane l of `lo` -> lane l, lane l of `hi` -> lane W + l), which is what
+// keeps the row-major tile layouts of the two precisions interchangeable.
+// ---------------------------------------------------------------------------
+
+/// Narrow two W-wide double packs into one 2W-wide float pack
+/// (round-to-nearest, the hardware cvtpd2ps semantics).
+template <int W>
+PSPL_FORCEINLINE_FUNCTION simd<float, 2 * W> simd_narrow(const simd<double, W>& lo,
+                                                         const simd<double, W>& hi)
+{
+    simd<float, 2 * W> r;
+#if PSPL_SIMD_VECTOR_EXT
+    if constexpr (simd<double, W>::has_native
+                  && detail::native_pack<float, W>::available) {
+        using half_t = typename detail::native_pack<float, W>::type;
+        const half_t a = __builtin_convertvector(lo.v, half_t);
+        const half_t b = __builtin_convertvector(hi.v, half_t);
+        std::memcpy(reinterpret_cast<char*>(&r.v), &a, sizeof(half_t));
+        std::memcpy(reinterpret_cast<char*>(&r.v) + sizeof(half_t), &b,
+                    sizeof(half_t));
+        return r;
+    }
+#endif
+    for (int l = 0; l < W; ++l) {
+        r.set(l, static_cast<float>(lo[l]));
+        r.set(W + l, static_cast<float>(hi[l]));
+    }
+    return r;
+}
+
+/// Widen the low W lanes of a 2W-wide float pack into a double pack
+/// (exact: every float is representable as a double).
+template <int W>
+PSPL_FORCEINLINE_FUNCTION simd<double, W / 2> simd_widen_lo(const simd<float, W>& x)
+{
+    static_assert(W >= 2, "simd_widen_lo needs at least two float lanes");
+    constexpr int H = W / 2;
+    simd<double, H> r;
+#if PSPL_SIMD_VECTOR_EXT
+    if constexpr (simd<double, H>::has_native
+                  && detail::native_pack<float, H>::available) {
+        using half_t = typename detail::native_pack<float, H>::type;
+        half_t a;
+        std::memcpy(&a, reinterpret_cast<const char*>(&x.v), sizeof(half_t));
+        r.v = __builtin_convertvector(
+                a, typename detail::native_pack<double, H>::type);
+        return r;
+    }
+#endif
+    for (int l = 0; l < H; ++l) {
+        r.set(l, static_cast<double>(x[l]));
+    }
+    return r;
+}
+
+/// Widen the high W lanes of a 2W-wide float pack into a double pack.
+template <int W>
+PSPL_FORCEINLINE_FUNCTION simd<double, W / 2> simd_widen_hi(const simd<float, W>& x)
+{
+    static_assert(W >= 2, "simd_widen_hi needs at least two float lanes");
+    constexpr int H = W / 2;
+    simd<double, H> r;
+#if PSPL_SIMD_VECTOR_EXT
+    if constexpr (simd<double, H>::has_native
+                  && detail::native_pack<float, H>::available) {
+        using half_t = typename detail::native_pack<float, H>::type;
+        half_t a;
+        std::memcpy(&a, reinterpret_cast<const char*>(&x.v) + sizeof(half_t),
+                    sizeof(half_t));
+        r.v = __builtin_convertvector(
+                a, typename detail::native_pack<double, H>::type);
+        return r;
+    }
+#endif
+    for (int l = 0; l < H; ++l) {
+        r.set(l, static_cast<double>(x[H + l]));
+    }
+    return r;
 }
 
 // ---------------------------------------------------------------------------

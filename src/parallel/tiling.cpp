@@ -150,6 +150,40 @@ std::size_t TilePolicy::tile_cols(std::size_t rows, std::size_t batch_cols,
     return cols;
 }
 
+std::size_t TilePolicy::staged_tile_cols(std::size_t rows,
+                                         std::size_t batch_cols,
+                                         std::size_t staging_bytes,
+                                         std::size_t pack_width) const
+{
+    const std::size_t w = pack_width > 0 ? pack_width : 1;
+    std::size_t cols = 0;
+    if (mode == Mode::Explicit && tile > 0) {
+        cols = (tile + w - 1) / w * w;
+    } else {
+        // L2 model only -- no streaming guard: a staged pipeline gathers
+        // and scatters regardless, so the only question is how wide a tile
+        // fits. Half of L2 for the staging buffers, the rest for factors.
+        const std::size_t elem_bytes = rows * staging_bytes;
+        const std::size_t budget = l2_cache_bytes() / 2;
+        cols = elem_bytes > 0 ? budget / elem_bytes : max_tile_cols;
+        cols = cols / w * w;
+    }
+    if (cols < w) {
+        cols = w;
+    }
+    const std::size_t batch_rounded = (batch_cols + w - 1) / w * w;
+    if (batch_rounded > 0 && cols > batch_rounded) {
+        cols = batch_rounded;
+    }
+    const std::size_t cap = max_tile_cols / w * w > 0
+                                    ? max_tile_cols / w * w
+                                    : w;
+    if (cols > cap) {
+        cols = cap;
+    }
+    return cols;
+}
+
 std::string TilePolicy::describe() const
 {
     switch (mode) {

@@ -75,6 +75,19 @@ struct TilePolicy {
                           std::size_t value_bytes,
                           std::size_t pack_width) const;
 
+    /// Tile width for a pipeline that *must* stage (the mixed-precision
+    /// driver keeps FP32 and FP64 mirrors of every staged element, so
+    /// running untiled is not an option). `staging_bytes` is the summed
+    /// per-element footprint of all staging buffers -- 4 for a pure FP32
+    /// tile (tiles widen vs FP64, the element-size dependence of the
+    /// model), ~20 for the mixed loop's f32 + f64 + residual mirrors.
+    /// Differences from tile_cols: the streaming guard does not apply
+    /// (staging is the point, not an optimization), and Off/degenerate
+    /// requests still yield a usable width from the L2 model.
+    std::size_t staged_tile_cols(std::size_t rows, std::size_t batch_cols,
+                                 std::size_t staging_bytes,
+                                 std::size_t pack_width) const;
+
     /// Human/JSON form: "auto", "off", or the explicit width.
     std::string describe() const;
 };

@@ -7,12 +7,50 @@
 #include "perf/hardware.hpp"
 
 #include <algorithm>
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <sstream>
 
 namespace pspl::perf {
 
 namespace {
+
+/// Run attributes for schema v3 (process-wide, like the profiling state).
+std::string& run_precision_storage()
+{
+    static std::string value;
+    return value;
+}
+
+int& run_refine_iters_storage()
+{
+    static int value = 0;
+    return value;
+}
+
+/// Default precision string when the harness never called
+/// set_run_precision: resolve PSPL_PRECISION the same way the builder does
+/// (perf cannot link core, so the tiny parse is duplicated knowingly --
+/// test_precision pins the two against each other).
+std::string env_precision_name()
+{
+    const char* env = std::getenv("PSPL_PRECISION");
+    if (env == nullptr) {
+        return "double";
+    }
+    std::string s;
+    for (const char* p = env; *p != '\0'; ++p) {
+        s += static_cast<char>(std::tolower(static_cast<unsigned char>(*p)));
+    }
+    if (s == "single" || s == "float" || s == "fp32") {
+        return "single";
+    }
+    if (s == "mixed") {
+        return "mixed";
+    }
+    return "double";
+}
 
 std::string json_num(double v)
 {
@@ -36,6 +74,16 @@ std::string json_str(const std::string& s)
 
 } // namespace
 
+void set_run_precision(const std::string& precision)
+{
+    run_precision_storage() = precision;
+}
+
+void set_run_refine_iters(int iters)
+{
+    run_refine_iters_storage() = iters;
+}
+
 std::string report_json()
 {
     const HardwareSpec host = host_spec();
@@ -43,8 +91,14 @@ std::string report_json()
     const auto spans = profiling::snapshot_tree();
 
     std::string out = "{";
-    out += "\"schema\": \"pspl-perf-report-v2\"";
+    out += "\"schema\": \"pspl-perf-report-v3\"";
     out += ", \"isa\": " + json_str(compiled_isa_name());
+    // v3: working precision of the solve pipeline and the mixed path's
+    // refinement iteration count (0 when the FP64 ladder ran).
+    const std::string& prec = run_precision_storage();
+    out += ", \"precision\": "
+           + json_str(prec.empty() ? env_precision_name() : prec);
+    out += ", \"refine_iters\": " + std::to_string(run_refine_iters_storage());
     // v2: runtime execution configuration -- thread count, pin state, tile
     // policy and NUMA topology (provenance for every span's bandwidth).
     out += ", \"threads\": "

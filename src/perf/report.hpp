@@ -15,12 +15,24 @@ std::string fmt(double value, int precision = 2);
 /// Seconds rendered with an adaptive unit (ns/us/ms/s), paper-style.
 std::string fmt_time(double seconds);
 
-/// Machine-readable performance report ("pspl-perf-report-v2"): host spec,
+/// Machine-readable performance report ("pspl-perf-report-v3"): host spec,
 /// View-allocator memory stats and every profiling span recorded so far
 /// (path-keyed, with derived achieved bandwidth / flop rate against the
 /// host peak model). Returns one stable JSON object; the bench harnesses
 /// embed it verbatim into their --json output so CI can diff runs.
+///
+/// v3 adds the run's working precision ("double" / "single" / "mixed") and
+/// the refinement iteration count of the mixed-precision pipeline --
+/// provenance for every span's bandwidth, exactly like threads/tile_policy.
 std::string report_json();
+
+/// Set the schema-v3 run attributes embedded in report_json(). The bench
+/// harness calls these once per run; unset, `precision` defaults to what
+/// PSPL_PRECISION resolves to and `refine_iters` to 0. perf depends only on
+/// parallel, so the precision travels as its canonical string form
+/// (core::to_string(Precision)).
+void set_run_precision(const std::string& precision);
+void set_run_refine_iters(int iters);
 
 class Table
 {

@@ -5,7 +5,8 @@
 
 namespace pspl::sparse {
 
-Coo Coo::from_dense(const View2D<double>& a, double threshold)
+template <class T>
+BasicCoo<T> BasicCoo<T>::from_dense(const View2D<double>& a, double threshold)
 {
     const std::size_t nrows = a.extent(0);
     const std::size_t ncols = a.extent(1);
@@ -27,19 +28,23 @@ Coo Coo::from_dense(const View2D<double>& a, double threshold)
     for (std::size_t k = 0; k < vals.size(); ++k) {
         rows_idx(k) = rows[k];
         cols_idx(k) = cols[k];
-        values(k) = vals[k];
+        values(k) = static_cast<T>(vals[k]);
     }
-    return Coo(nrows, ncols, rows_idx, cols_idx, values);
+    return BasicCoo(nrows, ncols, rows_idx, cols_idx, values);
 }
 
-View2D<double> Coo::to_dense() const
+template <class T>
+View2D<T> BasicCoo<T>::to_dense() const
 {
-    View2D<double> a("coo_dense", m_nrows, m_ncols);
+    View2D<T> a("coo_dense", m_nrows, m_ncols);
     for (std::size_t nz = 0; nz < nnz(); ++nz) {
         a(static_cast<std::size_t>(m_rows_idx(nz)),
           static_cast<std::size_t>(m_cols_idx(nz))) += m_values(nz);
     }
     return a;
 }
+
+template class BasicCoo<double>;
+template class BasicCoo<float>;
 
 } // namespace pspl::sparse

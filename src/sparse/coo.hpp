@@ -2,6 +2,11 @@
 // Schur corner blocks "in order to avoid implementing kernels for both CSR
 // and CSC formats" (Listing 5). All accessors are usable inside parallel
 // kernels; iteration over nnz() entries replaces the dense GEMV loops.
+//
+// The container is templated over the stored value type: the FP64 solve
+// ladder uses BasicCoo<double> (aliased to the historical name Coo), and the
+// mixed-precision pipeline keeps FP32 mirrors of the corner blocks as
+// BasicCoo<float>, built once at setup by narrowing the FP64 entries.
 #pragma once
 
 #include "parallel/macros.hpp"
@@ -11,16 +16,18 @@
 
 namespace pspl::sparse {
 
-class Coo
+template <class T>
+class BasicCoo
 {
 public:
+    using value_type = T;
     using IdxType = View1D<int>;
-    using ValueType = View1D<double>;
+    using ValueType = View1D<T>;
 
-    Coo() = default;
+    BasicCoo() = default;
 
-    Coo(std::size_t nrows, std::size_t ncols, IdxType rows_idx, IdxType cols_idx,
-        ValueType values)
+    BasicCoo(std::size_t nrows, std::size_t ncols, IdxType rows_idx,
+             IdxType cols_idx, ValueType values)
         : m_nrows(nrows)
         , m_ncols(ncols)
         , m_rows_idx(std::move(rows_idx))
@@ -36,13 +43,15 @@ public:
     PSPL_FUNCTION const IdxType& cols_idx() const { return m_cols_idx; }
     PSPL_FUNCTION const ValueType& values() const { return m_values; }
 
-    /// Extract the entries of a dense matrix with |a_ij| > threshold.
-    /// The paper uses this to exploit the exponential decay of
+    /// Extract the entries of a dense FP64 matrix with |a_ij| > threshold,
+    /// stored at this container's precision (values are narrowed for
+    /// T = float -- the setup-time conversion of the mixed pipeline).
+    /// The paper uses the thresholding to exploit the exponential decay of
     /// beta = Q^{-1} gamma: a (999,1) block keeps only ~48 nonzeros.
-    static Coo from_dense(const View2D<double>& a, double threshold = 0.0);
+    static BasicCoo from_dense(const View2D<double>& a, double threshold = 0.0);
 
     /// Scatter back to a dense matrix (testing / debugging aid).
-    View2D<double> to_dense() const;
+    View2D<T> to_dense() const;
 
     /// y -= this * x  (the fused-kernel SpMV of Listing 6, serial, one RHS).
     template <class XView, class YView>
@@ -62,5 +71,11 @@ private:
     IdxType m_cols_idx;
     ValueType m_values;
 };
+
+extern template class BasicCoo<double>;
+extern template class BasicCoo<float>;
+
+/// Historical name of the FP64 instantiation (the solve ladder's format).
+using Coo = BasicCoo<double>;
 
 } // namespace pspl::sparse

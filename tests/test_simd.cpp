@@ -51,7 +51,7 @@ class SimdPackTyped : public ::testing::Test
 
 using PackTypes = ::testing::Types<simd<double, 2>, simd<double, 4>,
                                    simd<double, 8>, simd<float, 4>,
-                                   simd<float, 8>>;
+                                   simd<float, 8>, simd<float, 16>>;
 TYPED_TEST_SUITE(SimdPackTyped, PackTypes);
 
 TYPED_TEST(SimdPackTyped, BroadcastAndLaneAccess)
@@ -183,6 +183,77 @@ TYPED_TEST(SimdPackTyped, DeadTailLanesStayFiniteThroughDivision)
     for (int l = 1; l < W; ++l) {
         EXPECT_EQ(y[l], T(0));
         EXPECT_TRUE(std::isfinite(static_cast<double>(y[l])));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// f32 <-> f64 pack conversion (the mixed-precision staging primitives).
+// ---------------------------------------------------------------------------
+
+template <int W>
+void narrow_widen_round_trip()
+{
+    // Lane values: exactly float-representable (must round-trip bit-exact
+    // through narrow/widen) plus one that float must round (must match the
+    // scalar static_cast rounding, lane for lane).
+    std::vector<double> lo_v(W);
+    std::vector<double> hi_v(W);
+    for (int l = 0; l < W; ++l) {
+        lo_v[static_cast<std::size_t>(l)] = -3.0 + 0.5 * l; // exact in float
+        hi_v[static_cast<std::size_t>(l)] = 0.1 * (l + 1);  // rounds
+    }
+    const auto lo = simd<double, W>::load(lo_v.data());
+    const auto hi = simd<double, W>::load(hi_v.data());
+    const simd<float, 2 * W> f = simd_narrow(lo, hi);
+    for (int l = 0; l < W; ++l) {
+        EXPECT_EQ(f[l], static_cast<float>(lo[l])) << "lane " << l;
+        EXPECT_EQ(f[W + l], static_cast<float>(hi[l])) << "lane " << W + l;
+    }
+    const simd<double, W> back_lo = simd_widen_lo(f);
+    const simd<double, W> back_hi = simd_widen_hi(f);
+    for (int l = 0; l < W; ++l) {
+        // Widening is exact, so the exact lanes round-trip bit-identically
+        // and the rounded lanes equal the double of their float rounding.
+        EXPECT_EQ(back_lo[l], lo[l]) << "lane " << l;
+        EXPECT_EQ(back_hi[l],
+                  static_cast<double>(static_cast<float>(hi[l])))
+                << "lane " << l;
+    }
+}
+
+TEST(SimdConvert, NarrowWidenRoundTripAllWidths)
+{
+    narrow_widen_round_trip<2>();
+    narrow_widen_round_trip<4>();
+    narrow_widen_round_trip<8>();
+}
+
+TEST(SimdConvert, FloatMaskedTailRoundTrip)
+{
+    // Partial load/store at the float pack widths the mixed pipeline uses
+    // for its tail handling (W = 8 on AVX2, W = 16 on AVX-512).
+    const auto tail_case = [](auto pack_tag, int live) {
+        using Pack = decltype(pack_tag);
+        constexpr int W = Pack::width;
+        std::vector<float> src(W);
+        for (int l = 0; l < W; ++l) {
+            src[l] = 1.5f * static_cast<float>(l + 1);
+        }
+        const Pack x = Pack::load_partial(src.data(), 1, live);
+        for (int l = 0; l < W; ++l) {
+            EXPECT_EQ(x[l], l < live ? src[l] : 0.0f) << "lane " << l;
+        }
+        std::vector<float> out(W, -7.0f);
+        x.store_partial(out.data(), 1, live);
+        for (int l = 0; l < W; ++l) {
+            EXPECT_EQ(out[l], l < live ? src[l] : -7.0f) << "lane " << l;
+        }
+    };
+    for (int live = 1; live < 8; ++live) {
+        tail_case(simd<float, 8>{}, live);
+    }
+    for (int live : {1, 7, 8, 9, 15}) {
+        tail_case(simd<float, 16>{}, live);
     }
 }
 

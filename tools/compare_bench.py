@@ -47,9 +47,25 @@ SIZE_FIELDS = {"n", "batch"}
 
 # Informational provenance: reported on mismatch, never an error. The
 # execution-configuration fields (threads, pinned, tile, numa_nodes; bench
-# schema v2) vary legitimately between the committed full-scale runs and
-# the CI smoke runner.
-INFO_FIELDS = {"isa", "pspl_check", "threads", "pinned", "tile", "numa_nodes"}
+# schema v2) and the timing-harness repeat count (repeats; schema v3) vary
+# legitimately between the committed full-scale runs and the CI smoke
+# runner.
+INFO_FIELDS = {
+    "isa",
+    "pspl_check",
+    "threads",
+    "pinned",
+    "tile",
+    "numa_nodes",
+    "repeats",
+}
+
+# Schema v3 identity fields, listed explicitly because the gate depends on
+# them: `precision` (string) and `refine_iters` (numeric, but no metric
+# name part) both classify as record identity -- a mixed-precision run can
+# never satisfy a double baseline, and a change in converged refinement
+# iterations is a behavioural regression, not timing jitter.
+ASSERT_IDENTITY_FIELDS = {"precision", "refine_iters"}
 
 # A numeric field whose name contains one of these substrings is a measured
 # metric (compared within tolerance); any other field is identity.
@@ -65,6 +81,7 @@ METRIC_NAME_PARTS = (
     "ulp",
     "bandwidth",
     "time",
+    "error",
 )
 
 
@@ -128,6 +145,9 @@ def record_identity(record):
     perf_report records collapse onto one identity."""
     parts = []
     for key, value in sorted(record.items()):
+        if key in ASSERT_IDENTITY_FIELDS:
+            parts.append((key, value))
+            continue
         if key in SIZE_FIELDS or key in INFO_FIELDS:
             continue
         if is_metric_field(key, value):

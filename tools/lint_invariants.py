@@ -31,6 +31,16 @@ assumes and the batched-kernel design depends on:
      (src/parallel/arena.hpp) reserved *before* the dispatch -- a hidden
      per-iteration allocation is exactly the regression the tile-resident
      pipeline removed.
+  9. Batched kernel bodies (`invoke(...)` in src/batched/) never narrow
+     through double implicitly: an unsuffixed floating literal promotes
+     T=float arithmetic to double and narrows back on assignment, silently
+     discarding the FP32 pipeline's precision contract -- wrap literals in
+     an explicit T(...) / static_cast.  Hard-coded `float` types inside a
+     generic kernel body are flagged for the same reason: the element type
+     belongs to the template parameter.  (clang-tidy's
+     bugprone-narrowing-conversions backstops the cases a regex cannot
+     see; see .clang-tidy.)  Cost-model functions outside invoke() are
+     exempt -- flops/bytes estimates are honestly double.
 
 Exit code 0 when clean, 1 with one `file:line: message` per violation.
 """
@@ -262,6 +272,59 @@ def check_io(path: Path, code: str, errors: list[str]) -> None:
             "(use debug::fail / profiling hooks)")
 
 
+# Rule 9: bare floating literal (no f suffix) and hard-coded float types.
+BARE_FP_LITERAL = re.compile(
+    r"(?<![\w.])(?:\d+\.\d*(?:[eE][+-]?\d+)?|\.\d+(?:[eE][+-]?\d+)?"
+    r"|\d+[eE][+-]?\d+)(?![fF\w.])")
+FLOAT_TYPE_TOKEN = re.compile(r"(?<![\w:])float\b")
+# An explicit conversion wrapping the literal: `T(`, `Scalar(`,
+# `static_cast<...>(` directly before it.
+EXPLICIT_WRAP = re.compile(r"(?:[A-Za-z_]\w*|static_cast<[^<>]*>)\s*\(\s*$")
+
+
+def invoke_body(code: str, args_start: int) -> tuple[int, int] | None:
+    """Span of the function body following an `invoke(` argument list, or
+    None for declarations without a body."""
+    depth, j = 1, args_start
+    while j < len(code) and depth:
+        depth += code[j] == "("
+        depth -= code[j] == ")"
+        j += 1
+    while j < len(code) and code[j] not in "{;":
+        j += 1
+    if j >= len(code) or code[j] != "{":
+        return None
+    open_brace, depth = j, 1
+    j += 1
+    while j < len(code) and depth:
+        depth += code[j] == "{"
+        depth -= code[j] == "}"
+        j += 1
+    return open_brace, j
+
+
+def check_kernel_narrowing(path: Path, code: str, errors: list[str]) -> None:
+    for m in re.finditer(r"\binvoke\s*\(", code):
+        body = invoke_body(code, m.end())
+        if body is None:
+            continue
+        open_brace, close_brace = body
+        for lit in BARE_FP_LITERAL.finditer(code, open_brace, close_brace):
+            if EXPLICIT_WRAP.search(code[max(0, lit.start() - 60):
+                                         lit.start()]):
+                continue
+            errors.append(
+                f"{path}:{line_of(code, lit.start())}: bare double literal "
+                f"'{lit.group()}' in a batched kernel body -- promotes "
+                "T=float arithmetic to double and narrows implicitly; wrap "
+                "in T(...) or suffix with f")
+        for tok in FLOAT_TYPE_TOKEN.finditer(code, open_brace, close_brace):
+            errors.append(
+                f"{path}:{line_of(code, tok.start())}: hard-coded 'float' "
+                "in a generic batched kernel body -- the element type "
+                "belongs to the template parameter")
+
+
 def main() -> int:
     errors: list[str] = []
     for path in sorted(SRC.rglob("*")):
@@ -276,6 +339,8 @@ def main() -> int:
             check_raw_allocation(rel, code, errors)
         if path.parent.name == "batched" and path.name.startswith("serial_"):
             check_serial_kernel(rel, code, errors)
+        if path.parent.name == "batched":
+            check_kernel_narrowing(rel, code, errors)
         if path.parent.name != "parallel":
             check_kernel_captures(rel, code, errors)
         check_kernel_labels(rel, code, errors)

@@ -174,6 +174,50 @@ def test_nested_schema_key_removal_is_error():
     assert report.exit_code() == 1
 
 
+def test_v2_baseline_matches_v3_run_with_warning():
+    # A committed v2 baseline (no precision / refine_iters / repeats)
+    # against a current v3 artifact: the new identity fields are additive,
+    # so the records pair up with a warning, never an error; `repeats` is
+    # informational and contributes nothing.
+    baseline = [rec(tile_request="off"), rec(tile_request="128")]
+    current = [
+        rec(tile_request="off", precision="double", refine_iters=0,
+            repeats=5),
+        rec(tile_request="128", precision="double", refine_iters=0,
+            repeats=5),
+    ]
+    report = compare(baseline, current)
+    assert report.errors == []
+    assert report.matched_records == 2
+    assert sum("additive fields" in w for w in report.warnings) == 2
+
+
+def test_v3_precision_change_is_identity_mismatch():
+    # Same bench, same sizes, but the run precision changed: a mixed run
+    # must never be accepted against a double baseline.
+    baseline = [rec(precision="double", refine_iters=0)]
+    current = [rec(precision="mixed", refine_iters=1)]
+    report = compare(baseline, current)
+    assert report.exit_code() == 1
+    assert any("missing from current" in e for e in report.errors)
+
+
+def test_v3_refine_iters_is_identity_not_metric():
+    # refine_iters is numeric but behavioural: drifting from 1 to 3
+    # converged iterations is a regression, not timing jitter.
+    baseline = [rec(precision="mixed", refine_iters=1)]
+    current = [rec(precision="mixed", refine_iters=3)]
+    report = compare(baseline, current)
+    assert report.exit_code() == 1
+
+
+def test_v3_repeats_change_never_fails():
+    baseline = [rec(precision="mixed", refine_iters=1, repeats=3)]
+    current = [rec(precision="mixed", refine_iters=1, repeats=20)]
+    report = compare(baseline, current)
+    assert report.errors == [] and report.warnings == []
+
+
 def test_signature_superset_helper():
     assert signature_is_additive_superset("number", "number")
     assert not signature_is_additive_superset("number", "string")
