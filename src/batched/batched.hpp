@@ -3,6 +3,7 @@
 #pragma once
 
 #include "batched/blas_gemm.hpp"
+#include "batched/kernel_traits.hpp"
 #include "batched/serial_gbtrs.hpp"
 #include "batched/serial_gemv.hpp"
 #include "batched/serial_getrf.hpp"

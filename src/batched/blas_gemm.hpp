@@ -4,6 +4,7 @@
 // contiguous batch index, the GPU-coalesced mapping the paper uses.
 #pragma once
 
+#include "core/concepts.hpp"
 #include "parallel/parallel.hpp"
 #include "parallel/view.hpp"
 
@@ -11,8 +12,8 @@
 
 namespace pspl::blas {
 
-template <class Exec = DefaultExecutionSpace, class AView, class BView,
-          class CView>
+template <class Exec = DefaultExecutionSpace, BatchBlockView AView,
+          BatchBlockView BView, BatchBlockView CView>
 void gemm(std::string_view label, double alpha, const AView& a,
           const BView& b, double beta, const CView& c)
 {

@@ -1,0 +1,166 @@
+// Kernel-side concepts: the static contract every batched serial kernel
+// (src/batched/serial_*.hpp) and its view-typed arguments must satisfy.
+//
+// The kernels are the paper's core abstraction -- stateless tag structs
+// whose static invoke() runs allocation-free inside a parallel region on a
+// shared factorization and one RHS column (scalar or simd pack). These
+// concepts reject the misuses that used to surface as instantiation-stack
+// walls: wrong-rank view arguments, FP64 factors silently narrowing into an
+// FP32 right-hand side, stateful kernel types, and kernels missing the
+// static cost() model the profiling layer attributes bandwidth with.
+// PSPL_RESTRICT on the raw-pointer invoke parameters cannot be expressed in
+// the type system; lint rule 4 (tools/lint_invariants.py) enforces it.
+#pragma once
+
+#include "batched/types.hpp"
+#include "core/concepts.hpp"
+
+#include <concepts>
+#include <cstddef>
+#include <type_traits>
+
+namespace pspl {
+template <class T, int W>
+struct simd;
+} // namespace pspl
+
+namespace pspl::batched {
+
+// ---------------------------------------------------------------------------
+// Element scalars: unwrap simd packs so precision rules compare the
+// underlying arithmetic type (simd<float, 8> mixes like float).
+// ---------------------------------------------------------------------------
+
+template <class X>
+struct kernel_scalar {
+    using type = std::remove_cv_t<X>;
+};
+template <class T, int W>
+struct kernel_scalar<pspl::simd<T, W>> {
+    using type = T;
+};
+template <class X>
+using kernel_scalar_t = typename kernel_scalar<std::remove_cv_t<X>>::type;
+
+/// Scalar element type of a view-like kernel argument (pack-unwrapped).
+template <class V>
+using kernel_element_t = kernel_scalar_t<typename V::value_type>;
+
+// ---------------------------------------------------------------------------
+// View-shaped kernel arguments.
+// ---------------------------------------------------------------------------
+
+/// Rank-1 argument of a serial kernel: a factor array, an RHS column
+/// subview, or a PackSpan of staged packs. Consumed through
+/// data()/extent(0)/stride(0) only.
+template <class V>
+concept KernelVectorArg = ViewOfRank<V, 1>;
+
+/// Rank-2 argument of a serial kernel: a dense factor matrix (lu, ab) or
+/// banded storage, consumed through data()/extent/stride pairs.
+template <class V>
+concept KernelMatrixArg = ViewOfRank<V, 2>;
+
+/// Rank-1 integer pivot array (getrs/getrf/gttrs ipiv).
+template <class V>
+concept KernelPivotArg =
+        KernelVectorArg<V> && std::integral<kernel_element_t<V>>;
+
+/// COO block argument of the spmv kernel (sparse::BasicCoo at any stored
+/// precision): index arrays plus a value array, each rank-1 view-like.
+template <class C>
+concept KernelCooArg = requires(const C& c) {
+    typename C::value_type;
+    { c.nnz() } -> std::convertible_to<std::size_t>;
+    { c.rows_idx() };
+    { c.cols_idx() };
+    { c.values() };
+} && KernelVectorArg<std::remove_cvref_t<decltype(std::declval<const C&>()
+                                                          .values())>>;
+
+// ---------------------------------------------------------------------------
+// Precision mixing.
+//
+// A kernel's factor/matrix scalar (AValueType) multiplies into its RHS
+// element (BValueType). Widening (float factors driving double packs) is
+// exact; the reverse -- FP64 factors driving an FP32 RHS -- would narrow
+// every product implicitly, which is precisely the defect class lint rule 9
+// and clang-tidy's bugprone-narrowing-conversions police inside the kernel
+// bodies. The concept rejects it at the wrapper signature.
+// ---------------------------------------------------------------------------
+
+template <class AScalar, class BScalar>
+concept KernelPrecisionCompatible =
+        !(std::is_floating_point_v<AScalar> && std::is_floating_point_v<BScalar>
+          && (sizeof(AScalar) > sizeof(BScalar)));
+
+// ---------------------------------------------------------------------------
+// The kernel contract itself.
+// ---------------------------------------------------------------------------
+
+/// Kernels are stateless tag types: no data members (state would be shared
+/// by every batch entry and could not stay allocation-free), and a static
+/// invoke() over the given view arguments returning the LAPACK-style int
+/// info code.
+template <class K, class... Views>
+concept BatchedSerialKernel =
+        std::is_empty_v<K> && requires(const Views&... vs) {
+            { K::invoke(vs...) } -> std::same_as<int>;
+        };
+
+/// Static cost model: constexpr cost(...) -> KernelCost with the kernel's
+/// hand-counted flops/bytes (the profiling layer derives achieved bandwidth
+/// from it). Arity varies with the kernel's shape parameters: (n),
+/// (n, kd) / (m, n), or (n, kl, ku). The bool_constant trick forces the
+/// call into a constant expression, so a non-constexpr cost() fails the
+/// concept, not just the eventual constant-evaluated use.
+template <class K>
+concept HasUnaryCostModel = requires {
+    { K::cost(std::size_t{2}) } -> std::same_as<KernelCost>;
+    typename std::bool_constant<(K::cost(std::size_t{2}).flops >= 0.0)>;
+};
+
+template <class K>
+concept HasBinaryCostModel = requires {
+    { K::cost(std::size_t{2}, std::size_t{1}) } -> std::same_as<KernelCost>;
+    typename std::bool_constant<(
+            K::cost(std::size_t{2}, std::size_t{1}).flops >= 0.0)>;
+};
+
+template <class K>
+concept HasTernaryCostModel = requires {
+    { K::cost(std::size_t{2}, 1, 1) } -> std::same_as<KernelCost>;
+    typename std::bool_constant<(K::cost(std::size_t{2}, 1, 1).flops >= 0.0)>;
+};
+
+template <class K>
+concept KernelCostModel =
+        HasUnaryCostModel<K> || HasBinaryCostModel<K> || HasTernaryCostModel<K>;
+
+/// Message-carrying validator: instantiate in a constant expression
+/// (static_assert(validate_batched_kernel<K, Views...>())) to check a
+/// user-defined kernel against the full contract with human-readable
+/// diagnostics instead of a bare concept failure.
+template <class K, class... Views>
+consteval bool validate_batched_kernel()
+{
+    static_assert(std::is_empty_v<K>,
+                  "BatchedSerialKernel: kernels must be stateless tag types "
+                  "(no data members) -- per-kernel state would be shared "
+                  "across batch entries and kernels must stay "
+                  "allocation-free inside parallel regions");
+    static_assert(requires(const Views&... vs) {
+                      { K::invoke(vs...) } -> std::same_as<int>;
+                  },
+                  "BatchedSerialKernel: missing a static invoke(views...) "
+                  "returning int (the LAPACK-style info code) for these "
+                  "argument types");
+    static_assert(KernelCostModel<K>,
+                  "BatchedSerialKernel: missing a constexpr static "
+                  "cost(...) -> KernelCost model -- every kernel carries "
+                  "its hand-counted flops/bytes so the profiling layer can "
+                  "attribute achieved bandwidth");
+    return true;
+}
+
+} // namespace pspl::batched

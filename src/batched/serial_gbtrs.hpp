@@ -4,6 +4,7 @@
 // (i, j) of the factored matrix lives at ab(kl+ku+i-j, j).
 #pragma once
 
+#include "batched/kernel_traits.hpp"
 #include "batched/types.hpp"
 #include "parallel/macros.hpp"
 
@@ -63,6 +64,22 @@ struct SerialGbtrs {
                                            const PivViewType& ipiv,
                                            const BViewType& b)
     {
+        static_assert(KernelMatrixArg<ABViewType>,
+                      "SerialGbtrs ab must be a rank-2 view-like band "
+                      "factor in (2*kl+ku+1, n) LAPACK band storage");
+        static_assert(KernelPivotArg<PivViewType>,
+                      "SerialGbtrs ipiv must be a rank-1 integer pivot "
+                      "array");
+        static_assert(KernelVectorArg<BViewType>,
+                      "SerialGbtrs b must be rank-1 view-like: one RHS "
+                      "column (subview a (n, batch) block first) or a pack "
+                      "span");
+        static_assert(
+                KernelPrecisionCompatible<kernel_element_t<ABViewType>,
+                                          kernel_element_t<BViewType>>,
+                "SerialGbtrs: FP64 factors driving an FP32 right-hand side "
+                "would narrow every product implicitly -- use FP32 factors "
+                "or widen the RHS");
         return SerialGbtrsInternal::invoke(
                 static_cast<int>(ab.extent(1)), kl, ku, ab.data(),
                 static_cast<int>(ab.stride(0)), static_cast<int>(ab.stride(1)),

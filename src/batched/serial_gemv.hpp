@@ -3,6 +3,7 @@
 // GEMM, paper Listing 4).
 #pragma once
 
+#include "batched/kernel_traits.hpp"
 #include "batched/types.hpp"
 #include "parallel/macros.hpp"
 
@@ -41,6 +42,20 @@ struct SerialGemv {
     invoke(const double alpha, const AViewType& a, const XViewType& x,
            const double beta, const YViewType& y)
     {
+        static_assert(KernelMatrixArg<AViewType>,
+                      "SerialGemv a must be a rank-2 view-like dense "
+                      "matrix");
+        static_assert(KernelVectorArg<XViewType>
+                              && KernelVectorArg<YViewType>,
+                      "SerialGemv x and y must be rank-1 view-like: one "
+                      "column each (subview a (n, batch) block first) or "
+                      "pack spans");
+        static_assert(
+                KernelPrecisionCompatible<kernel_element_t<AViewType>,
+                                          kernel_element_t<YViewType>>,
+                "SerialGemv: FP64 matrix entries driving an FP32 y would "
+                "narrow every product implicitly -- use an FP32 matrix "
+                "(SchurFloatFactors) or widen the vectors");
         // Deduce the matrix element type from the view so float matrices
         // get float scalars (avoids a double/float deduction conflict).
         using AScalar = std::remove_cv_t<std::remove_pointer_t<decltype(a.data())>>;

@@ -7,6 +7,7 @@
 // host instead -- bench_ablation_multimatrix quantifies that difference.
 #pragma once
 
+#include "batched/kernel_traits.hpp"
 #include "batched/types.hpp"
 #include "parallel/macros.hpp"
 
@@ -75,10 +76,27 @@ struct SerialGetrf {
     PSPL_INLINE_FUNCTION static int invoke(const AViewType& a,
                                            const PivViewType& ipiv)
     {
+        static_assert(KernelMatrixArg<AViewType>,
+                      "SerialGetrf a must be a rank-2 view-like dense "
+                      "matrix (factorized in place)");
+        static_assert(KernelPivotArg<PivViewType>,
+                      "SerialGetrf ipiv must be a rank-1 integer pivot "
+                      "array");
         return SerialGetrfInternal::invoke(
                 static_cast<int>(a.extent(0)), a.data(),
                 static_cast<int>(a.stride(0)), static_cast<int>(a.stride(1)),
                 ipiv.data(), static_cast<int>(ipiv.stride(0)));
+    }
+
+    /// Cost of one in-place n x n right-looking LU: the classic 2/3 n^3
+    /// flop count; the trailing submatrix is re-read and re-written each of
+    /// the n elimination steps, so traffic is modeled as 16 n^2 bytes
+    /// (cache-resident per-matrix working set, matching how the other
+    /// kernels count their streamed footprint).
+    static constexpr KernelCost cost(std::size_t n)
+    {
+        const auto nd = static_cast<double>(n);
+        return {2.0 / 3.0 * nd * nd * nd, 16.0 * nd * nd};
     }
 };
 

@@ -4,6 +4,7 @@
 // block delta' in Algorithm 1.
 #pragma once
 
+#include "batched/kernel_traits.hpp"
 #include "batched/types.hpp"
 #include "parallel/macros.hpp"
 
@@ -58,6 +59,22 @@ struct SerialGetrs {
     PSPL_INLINE_FUNCTION static int
     invoke(const LUViewType& lu, const PivViewType& ipiv, const BViewType& b)
     {
+        static_assert(KernelMatrixArg<LUViewType>,
+                      "SerialGetrs lu must be a rank-2 view-like dense LU "
+                      "factor matrix");
+        static_assert(KernelPivotArg<PivViewType>,
+                      "SerialGetrs ipiv must be a rank-1 integer pivot "
+                      "array");
+        static_assert(KernelVectorArg<BViewType>,
+                      "SerialGetrs b must be rank-1 view-like: one RHS "
+                      "column (subview a (n, batch) block first) or a pack "
+                      "span");
+        static_assert(
+                KernelPrecisionCompatible<kernel_element_t<LUViewType>,
+                                          kernel_element_t<BViewType>>,
+                "SerialGetrs: FP64 factors driving an FP32 right-hand side "
+                "would narrow every product implicitly -- use FP32 factors "
+                "(SchurFloatFactors) or widen the RHS");
         return SerialGetrsInternal::invoke(
                 static_cast<int>(lu.extent(0)), lu.data(),
                 static_cast<int>(lu.stride(0)), static_cast<int>(lu.stride(1)),

@@ -4,6 +4,7 @@
 // tridiagonal matrices that are not symmetric positive definite.
 #pragma once
 
+#include "batched/kernel_traits.hpp"
 #include "batched/types.hpp"
 #include "parallel/macros.hpp"
 
@@ -100,6 +101,22 @@ struct SerialGttrsRecip {
     invoke(const DLView& dl, const DView& dinv, const DUView& du,
            const DU2View& du2, const PivView& ipiv, const BView& b)
     {
+        static_assert(KernelVectorArg<DLView> && KernelVectorArg<DView>
+                              && KernelVectorArg<DUView>
+                              && KernelVectorArg<DU2View>
+                              && KernelVectorArg<BView>,
+                      "SerialGttrsRecip arguments must be rank-1 view-like "
+                      "(tridiagonal factor arrays and one RHS column or pack "
+                      "span)");
+        static_assert(KernelPivotArg<PivView>,
+                      "SerialGttrsRecip ipiv must be a rank-1 integer pivot "
+                      "array");
+        static_assert(
+                KernelPrecisionCompatible<kernel_element_t<DView>,
+                                          kernel_element_t<BView>>,
+                "SerialGttrsRecip: FP64 factors driving an FP32 right-hand "
+                "side would narrow every product implicitly -- use FP32 "
+                "factors or widen the RHS");
         return SerialGttrsRecipInternal::invoke(
                 static_cast<int>(dinv.extent(0)), dl.data(),
                 static_cast<int>(dl.stride(0)), dinv.data(),
@@ -127,6 +144,22 @@ struct SerialGttrs {
     invoke(const DLView& dl, const DView& d, const DUView& du,
            const DU2View& du2, const PivView& ipiv, const BView& b)
     {
+        static_assert(KernelVectorArg<DLView> && KernelVectorArg<DView>
+                              && KernelVectorArg<DUView>
+                              && KernelVectorArg<DU2View>
+                              && KernelVectorArg<BView>,
+                      "SerialGttrs arguments must be rank-1 view-like "
+                      "(tridiagonal factor arrays and one RHS column or pack "
+                      "span)");
+        static_assert(KernelPivotArg<PivView>,
+                      "SerialGttrs ipiv must be a rank-1 integer pivot "
+                      "array");
+        static_assert(
+                KernelPrecisionCompatible<kernel_element_t<DView>,
+                                          kernel_element_t<BView>>,
+                "SerialGttrs: FP64 factors driving an FP32 right-hand side "
+                "would narrow every product implicitly -- use FP32 factors "
+                "or widen the RHS");
         return SerialGttrsInternal::invoke(
                 static_cast<int>(d.extent(0)), dl.data(),
                 static_cast<int>(dl.stride(0)), d.data(),

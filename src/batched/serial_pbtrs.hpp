@@ -4,6 +4,7 @@
 // is shared across the batch.
 #pragma once
 
+#include "batched/kernel_traits.hpp"
 #include "batched/types.hpp"
 #include "parallel/macros.hpp"
 
@@ -50,6 +51,19 @@ struct SerialPbtrs {
     PSPL_INLINE_FUNCTION static int invoke(const ABViewType& ab,
                                            const BViewType& b)
     {
+        static_assert(KernelMatrixArg<ABViewType>,
+                      "SerialPbtrs ab must be a rank-2 view-like band "
+                      "factor in (kd+1, n) lower band storage");
+        static_assert(KernelVectorArg<BViewType>,
+                      "SerialPbtrs b must be rank-1 view-like: one RHS "
+                      "column (subview a (n, batch) block first) or a pack "
+                      "span");
+        static_assert(
+                KernelPrecisionCompatible<kernel_element_t<ABViewType>,
+                                          kernel_element_t<BViewType>>,
+                "SerialPbtrs: FP64 factors driving an FP32 right-hand side "
+                "would narrow every product implicitly -- use FP32 factors "
+                "or widen the RHS");
         return SerialPbtrsInternal::invoke(
                 static_cast<int>(ab.extent(1)),
                 static_cast<int>(ab.extent(0)) - 1, ab.data(),

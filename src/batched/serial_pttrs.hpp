@@ -5,6 +5,7 @@
 // batch entry; only b differs per batch.
 #pragma once
 
+#include "batched/kernel_traits.hpp"
 #include "batched/types.hpp"
 #include "parallel/macros.hpp"
 
@@ -68,6 +69,17 @@ struct SerialPttrsRecip {
     PSPL_INLINE_FUNCTION static int
     invoke(const DViewType& dinv, const EViewType& e, const BViewType& b)
     {
+        static_assert(KernelVectorArg<DViewType> && KernelVectorArg<EViewType>
+                              && KernelVectorArg<BViewType>,
+                      "SerialPttrsRecip arguments must be rank-1 view-like "
+                      "(factor arrays dinv, e and one RHS column or pack "
+                      "span)");
+        static_assert(
+                KernelPrecisionCompatible<kernel_element_t<DViewType>,
+                                          kernel_element_t<BViewType>>,
+                "SerialPttrsRecip: FP64 factors driving an FP32 right-hand "
+                "side would narrow every product implicitly -- use FP32 "
+                "factors (SchurFloatFactors) or widen the RHS");
         return SerialPttrsRecipInternal::invoke(
                 static_cast<int>(dinv.extent(0)), dinv.data(),
                 static_cast<int>(dinv.stride(0)), e.data(),
@@ -90,6 +102,16 @@ struct SerialPttrs {
     PSPL_INLINE_FUNCTION static int
     invoke(const DViewType& d, const EViewType& e, const BViewType& b)
     {
+        static_assert(KernelVectorArg<DViewType> && KernelVectorArg<EViewType>
+                              && KernelVectorArg<BViewType>,
+                      "SerialPttrs arguments must be rank-1 view-like (factor "
+                      "arrays d, e and one RHS column or pack span)");
+        static_assert(
+                KernelPrecisionCompatible<kernel_element_t<DViewType>,
+                                          kernel_element_t<BViewType>>,
+                "SerialPttrs: FP64 factors driving an FP32 right-hand side "
+                "would narrow every product implicitly -- use FP32 factors "
+                "(SchurFloatFactors) or widen the RHS");
         // For real symmetric matrices the Upper/Lower factorizations solve
         // identically; the tag is kept for LAPACK API fidelity.
         return SerialPttrsInternal::invoke(

@@ -4,6 +4,7 @@
 // count by orders of magnitude.
 #pragma once
 
+#include "batched/kernel_traits.hpp"
 #include "batched/types.hpp"
 #include "parallel/macros.hpp"
 #include "sparse/coo.hpp"
@@ -49,6 +50,21 @@ struct SerialSpmvCoo {
                                            const XViewType& x,
                                            const YViewType& y)
     {
+        static_assert(KernelCooArg<CooType>,
+                      "SerialSpmvCoo a must be a COO block "
+                      "(sparse::BasicCoo-shaped: nnz()/rows_idx()/"
+                      "cols_idx()/values() with rank-1 view-like arrays)");
+        static_assert(KernelVectorArg<XViewType>
+                              && KernelVectorArg<YViewType>,
+                      "SerialSpmvCoo x and y must be rank-1 view-like: one "
+                      "column each (subview a (n, batch) block first) or "
+                      "pack spans");
+        static_assert(
+                KernelPrecisionCompatible<kernel_element_t<CooType>,
+                                          kernel_element_t<YViewType>>,
+                "SerialSpmvCoo: FP64 stored values driving an FP32 y would "
+                "narrow every product implicitly -- store the COO block at "
+                "FP32 or widen the vectors");
         const auto& rows = a.rows_idx();
         const auto& cols = a.cols_idx();
         const auto& vals = a.values();

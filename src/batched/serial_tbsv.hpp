@@ -7,6 +7,7 @@
 // (kd+1, n) view -- the hostlapack::SymBandMatrix layout.
 #pragma once
 
+#include "batched/kernel_traits.hpp"
 #include "batched/types.hpp"
 #include "parallel/macros.hpp"
 
@@ -64,6 +65,17 @@ struct SerialTbsv {
     {
         static_assert(std::is_same_v<ArgUplo, Uplo::Lower>,
                       "only lower band storage is implemented");
+        static_assert(KernelMatrixArg<ABViewType>,
+                      "SerialTbsv ab must be a rank-2 view-like band factor "
+                      "in (kd+1, n) lower band storage");
+        static_assert(KernelVectorArg<BViewType>,
+                      "SerialTbsv b must be rank-1 view-like: one RHS "
+                      "column (subview a (n, batch) block first)");
+        static_assert(
+                KernelPrecisionCompatible<kernel_element_t<ABViewType>,
+                                          kernel_element_t<BViewType>>,
+                "SerialTbsv: FP64 factors driving an FP32 right-hand side "
+                "would narrow every product implicitly");
         if constexpr (std::is_same_v<ArgTrans, Trans::NoTranspose>) {
             return SerialTbsvInternal::lower(
                     static_cast<int>(ab.extent(1)),

@@ -5,6 +5,7 @@
 // (e.g. applying only the L or U factor during preconditioning research).
 #pragma once
 
+#include "batched/kernel_traits.hpp"
 #include "batched/types.hpp"
 #include "parallel/macros.hpp"
 
@@ -60,6 +61,17 @@ struct SerialTrsv {
     PSPL_INLINE_FUNCTION static int invoke(const AViewType& a,
                                            const BViewType& b)
     {
+        static_assert(KernelMatrixArg<AViewType>,
+                      "SerialTrsv a must be a rank-2 view-like dense "
+                      "triangular matrix");
+        static_assert(KernelVectorArg<BViewType>,
+                      "SerialTrsv b must be rank-1 view-like: one RHS "
+                      "column (subview a (n, batch) block first)");
+        static_assert(
+                KernelPrecisionCompatible<kernel_element_t<AViewType>,
+                                          kernel_element_t<BViewType>>,
+                "SerialTrsv: FP64 factors driving an FP32 right-hand side "
+                "would narrow every product implicitly");
         constexpr bool unit = std::is_same_v<ArgDiag, Diag::Unit>;
         if constexpr (std::is_same_v<ArgUplo, Uplo::Lower>) {
             return SerialTrsvInternal::lower(

@@ -6,6 +6,7 @@
 #pragma once
 
 #include "batched/batched.hpp"
+#include "core/concepts.hpp"
 #include "core/schur_solver.hpp"
 #include "debug/registry.hpp"
 #include "parallel/arena.hpp"
@@ -260,6 +261,7 @@ void solve_fused_spmv(const SchurDeviceData& s, const BView& b,
 template <class T, int W>
 struct PackSpan {
     using value_type = simd<T, W>;
+    static constexpr std::size_t rank = 1; ///< models pspl::ViewLike
 
     simd<T, W>* PSPL_RESTRICT ptr = nullptr;
     std::size_t len = 0;
@@ -482,6 +484,18 @@ void schur_solve_batched_simd(const SchurDeviceData& s, const BView& b,
                               bool use_spmv = true,
                               const TilePolicy& policy = TilePolicy::from_env())
 {
+    static_assert(BatchBlockView<BView>,
+                  "schur_solve_batched_simd operates on a rank-2 (rows, "
+                  "batch) right-hand-side block with element access");
+    static_assert(std::is_same_v<typename BView::value_type, double>,
+                  "schur_solve_batched_simd consumes an FP64 block: the "
+                  "SchurDeviceData factors are FP64, and an FP32 block here "
+                  "would narrow every product -- the FP32 path is the "
+                  "mixed-precision driver (core/refinement.hpp), which "
+                  "stages through SchurFloatFactors instead");
+    static_assert(SimdLaneCount<W>,
+                  "schur_solve_batched_simd pack width must be a positive "
+                  "power of two");
     const std::size_t batch = b.extent(1);
     const std::size_t tile = policy.tile_cols(
             s.n, batch, sizeof(double), static_cast<std::size_t>(W));
@@ -511,6 +525,13 @@ void schur_solve_batched(const SchurDeviceData& s, const BView& b,
                          BuilderVersion version,
                          const TilePolicy& policy = TilePolicy::from_env())
 {
+    static_assert(BatchBlockView<BView>,
+                  "schur_solve_batched operates on a rank-2 (rows, batch) "
+                  "right-hand-side block with element access");
+    static_assert(std::is_same_v<typename BView::value_type, double>,
+                  "schur_solve_batched consumes an FP64 block (the FP32 "
+                  "path is the mixed-precision driver in "
+                  "core/refinement.hpp)");
     constexpr int native_w = simd_preferred_width<double>;
     const std::size_t batch = b.extent(1);
     const std::size_t scalar_tile =

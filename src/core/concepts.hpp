@@ -1,0 +1,177 @@
+// Compile-time contract layer: C++20 concepts encoding the interfaces the
+// runtime instrumentation (PSPL_CHECK, docs/DEBUGGING.md) and the regex lint
+// (tools/lint_invariants.py) can only police after the fact. Every dispatch
+// and view entry point is constrained against these, so misuse fails at the
+// call site with a one-line diagnostic instead of a template backtrace --
+// the property that makes a future backend port diagnosable
+// (docs/STATIC_ANALYSIS.md has the concept -> guarantee -> runtime-twin
+// table).
+//
+// The view concepts are structural on purpose: both View<T, Rank, Layout>
+// and the solver's PackSpan<T, W> staging span model ViewLike, which is
+// exactly the duck-typed contract the batched serial kernels were written
+// against -- the concepts name it instead of implying it.
+#pragma once
+
+#include "parallel/layout.hpp"
+
+#include <concepts>
+#include <cstddef>
+#include <type_traits>
+#include <utility>
+
+namespace pspl {
+
+// ---------------------------------------------------------------------------
+// Layout tags (src/parallel/layout.hpp).
+// ---------------------------------------------------------------------------
+
+/// Layouts with a closed-form stride rule (LayoutRight / LayoutLeft): the
+/// only layouts an allocating View constructor accepts.
+template <class L>
+concept RegularLayout = is_regular_layout_v<L>;
+
+/// Any layout a View can carry, including the stride-carrying result of
+/// subview()/transposed_view().
+template <class L>
+concept ViewLayout = RegularLayout<L> || std::is_same_v<L, LayoutStride>;
+
+// ---------------------------------------------------------------------------
+// Views.
+// ---------------------------------------------------------------------------
+
+/// Structural view contract: an element type, a static rank in 1..4, and
+/// the extent/stride/data access the kernels consume. Modeled by
+/// View<T, Rank, Layout> and by core::PackSpan<T, W> (rank 1).
+template <class V>
+concept ViewLike = requires(const V& v, std::size_t r) {
+    typename V::value_type;
+    { v.extent(r) } -> std::convertible_to<std::size_t>;
+    { v.stride(r) } -> std::convertible_to<std::size_t>;
+    { v.data() } -> std::convertible_to<typename V::value_type*>;
+} && (V::rank >= 1) && (V::rank <= 4);
+
+/// ViewLike with a specific rank; the rank-compatibility vocabulary of
+/// subview/transpose/deep_copy diagnostics.
+template <class V, std::size_t R>
+concept ViewOfRank = ViewLike<V> && (V::rank == R);
+
+/// A view whose layout is regular (closed-form strides), i.e. its span is
+/// gap-free by construction -- what bulk memcpy-style optimizations and the
+/// allocating constructors require. Subview results (LayoutStride) are
+/// ViewLike but not ContiguousViewLike.
+template <class V>
+concept ContiguousViewLike =
+        ViewLike<V> && requires { typename V::layout_type; }
+        && RegularLayout<typename V::layout_type>;
+
+/// deep_copy's compatibility contract: identical rank and identical element
+/// type (deep_copy never converts precision implicitly; the sanctioned
+/// f32<->f64 conversions live in parallel/simd.hpp and core/refinement.hpp).
+template <class Dst, class Src>
+concept DeepCopyCompatible =
+        ViewLike<Dst> && ViewLike<Src> && (Dst::rank == Src::rank)
+        && std::same_as<typename Dst::value_type, typename Src::value_type>;
+
+/// Rank-2 (row, batch) block with element access -- the shape the SIMD
+/// load/store glue (parallel/simd_view.hpp) and the batched solve drivers
+/// stage from.
+template <class V>
+concept BatchBlockView = ViewOfRank<V, 2> && requires(const V& v, std::size_t i) {
+    { v(i, i) } -> std::convertible_to<typename V::value_type>;
+};
+
+// ---------------------------------------------------------------------------
+// Subview slicers.
+// ---------------------------------------------------------------------------
+
+/// Slicer keeping a whole dimension (pspl::ALL).
+struct all_t {
+    explicit all_t() = default;
+};
+inline constexpr all_t ALL{};
+
+namespace detail {
+
+template <class S>
+struct is_slice_pair : std::false_type {
+};
+template <class A, class B>
+struct is_slice_pair<std::pair<A, B>> : std::true_type {
+};
+
+} // namespace detail
+
+/// The subview slicer vocabulary: pspl::ALL (keep the dimension), a
+/// std::pair{begin, end} half-open range (keep), or an integral index
+/// (fix the index, dropping the dimension).
+template <class S>
+concept SubviewSlicer =
+        std::is_same_v<std::decay_t<S>, all_t>
+        || detail::is_slice_pair<std::decay_t<S>>::value
+        || std::is_convertible_v<std::decay_t<S>, std::size_t>;
+
+// ---------------------------------------------------------------------------
+// SIMD packs.
+// ---------------------------------------------------------------------------
+
+/// Element types simd<T, W> supports: arithmetic, but never bool (a bool
+/// pack would make the masked-lane arithmetic meaningless; masks have their
+/// own type, simd_mask).
+template <class T>
+concept SimdPackable = std::is_arithmetic_v<T>
+                       && !std::is_same_v<std::remove_cv_t<T>, bool>;
+
+/// Valid pack lane counts: positive powers of two (the tail-mask math and
+/// the 2:1 f32/f64 conversion shapes both assume it).
+template <int W>
+concept SimdLaneCount = (W >= 1) && ((W & (W - 1)) == 0);
+
+// ---------------------------------------------------------------------------
+// Dispatch bodies.
+//
+// Every functor handed to a dispatch entry point is invoked through a
+// `const F&` (the value-capture contract: bodies are copied into the
+// parallel region, so `mutable` lambdas and reference state are exactly the
+// things that break on an offloading backend). The concepts require
+// const-invocability with the policy's index shape; lint rule 5 backstops
+// the reference-capture cases the type system cannot see.
+// ---------------------------------------------------------------------------
+
+/// Body of a rank-1 RangePolicy parallel_for: f(i).
+template <class F>
+concept DispatchBody = std::is_copy_constructible_v<std::remove_cvref_t<F>>
+                       && std::is_invocable_v<const F&, std::size_t>;
+
+/// Body of an MDRangePolicy<2> parallel_for: f(i, j).
+template <class F>
+concept DispatchBody2 =
+        std::is_copy_constructible_v<std::remove_cvref_t<F>>
+        && std::is_invocable_v<const F&, std::size_t, std::size_t>;
+
+/// Body of an MDRangePolicy<3> parallel_for: f(i, j, k).
+template <class F>
+concept DispatchBody3 =
+        std::is_copy_constructible_v<std::remove_cvref_t<F>>
+        && std::is_invocable_v<const F&, std::size_t, std::size_t, std::size_t>;
+
+/// Body of a parallel_reduce with accumulator type T: f(i, acc&).
+template <class F, class T>
+concept ReduceBody = std::is_copy_constructible_v<std::remove_cvref_t<F>>
+                     && std::is_invocable_v<const F&, std::size_t, T&>;
+
+template <int W>
+struct BatchChunk;
+struct BatchTile;
+
+/// Body of a for_each_batch_simd<W> dispatch: f(const BatchChunk<W>&).
+template <class F, int W>
+concept BatchSimdBody = std::is_copy_constructible_v<std::remove_cvref_t<F>>
+                        && std::is_invocable_v<const F&, const BatchChunk<W>&>;
+
+/// Body of a for_each_batch_tile dispatch: f(const BatchTile&).
+template <class F>
+concept BatchTileBody = std::is_copy_constructible_v<std::remove_cvref_t<F>>
+                        && std::is_invocable_v<const F&, const BatchTile&>;
+
+} // namespace pspl

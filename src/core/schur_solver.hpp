@@ -223,6 +223,9 @@ namespace detail {
 /// Rank-1 window into another rank-1 view: b[offset + i].
 template <class BView>
 struct Window {
+    using value_type = double;
+    static constexpr std::size_t rank = 1; ///< models pspl::ViewLike
+
     const BView& b;
     std::size_t offset;
     std::size_t len;

@@ -3,6 +3,7 @@
 // are needed; the API matches Kokkos::deep_copy so user code keeps its shape.
 #pragma once
 
+#include "core/concepts.hpp"
 #include "parallel/parallel.hpp"
 #include "parallel/view.hpp"
 
@@ -132,6 +133,28 @@ void deep_copy(const View<T, 3, LDst>& dst, const View<T, 3, LSrc>& src)
             }
         }
     }
+}
+
+/// Diagnostic catch-all: a view-to-view copy that matches no exact overload
+/// above (mismatched rank, mismatched element type, or rank 4) lands here,
+/// where partial ordering guarantees it is never selected for a valid copy,
+/// and reports which compatibility contract broke (DeepCopyCompatible in
+/// core/concepts.hpp names the valid shape).
+template <class TDst, std::size_t RDst, class LDst, class TSrc,
+          std::size_t RSrc, class LSrc>
+void deep_copy(const View<TDst, RDst, LDst>&, const View<TSrc, RSrc, LSrc>&)
+{
+    static_assert(RDst == RSrc,
+                  "deep_copy rank mismatch: source and destination views "
+                  "must have identical rank -- reshape with subview or "
+                  "transposed_view first");
+    static_assert(std::is_same_v<TDst, TSrc>,
+                  "deep_copy element type mismatch: deep_copy never "
+                  "converts precision implicitly (a double -> float copy "
+                  "narrows); convert through the sanctioned f32<->f64 "
+                  "helpers in parallel/simd.hpp instead");
+    static_assert(RDst != RSrc || !std::is_same_v<TDst, TSrc>,
+                  "deep_copy supports views of rank 1..3");
 }
 
 template <class T, class L>

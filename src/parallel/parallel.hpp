@@ -6,6 +6,7 @@
 // the paper collects per-kernel times with Kokkos-tools.
 #pragma once
 
+#include "core/concepts.hpp"
 #include "debug/instrument.hpp"
 #include "parallel/execution.hpp"
 #include "parallel/macros.hpp"
@@ -177,6 +178,7 @@ using KernelTimer = profiling::ScopedSpan;
 // ---------------------------------------------------------------------------
 
 template <class Exec, class F>
+    requires DispatchBody<F>
 void parallel_for(std::string_view label, RangePolicy<Exec> policy, const F& f)
 {
     detail::KernelTimer t(label);
@@ -200,6 +202,25 @@ void parallel_for(std::string_view label, RangePolicy<Exec> policy, const F& f)
     detail::dispatch_range(Exec{}, policy.begin, policy.end, f);
 }
 
+/// Diagnostic fallback, selected only when the body breaks the dispatch
+/// contract; the static_asserts name which clause broke.
+template <class Exec, class F>
+    requires(!DispatchBody<F>)
+void parallel_for(std::string_view, RangePolicy<Exec>, const F&)
+{
+    static_assert(std::is_invocable_v<const F&, std::size_t>,
+                  "parallel_for range body must be invocable as "
+                  "f(std::size_t) on a const functor -- a mutable lambda "
+                  "(or non-const operator()) breaks the value-capture "
+                  "dispatch contract: bodies are copied into the parallel "
+                  "region, so per-call mutable state would be lost");
+    static_assert(std::is_copy_constructible_v<std::remove_cvref_t<F>>,
+                  "parallel_for body must be copy-constructible: dispatch "
+                  "captures the functor by value so it can be replicated "
+                  "across workers (and, on an offloading backend, copied to "
+                  "the device)");
+}
+
 /// Shorthand: iterate [0, n) on the default execution space.
 template <class F>
 void parallel_for(std::string_view label, std::size_t n, const F& f)
@@ -208,6 +229,7 @@ void parallel_for(std::string_view label, std::size_t n, const F& f)
 }
 
 template <class Exec, class F>
+    requires DispatchBody2<F>
 void parallel_for(std::string_view label, MDRangePolicy<2, Exec> policy,
                   const F& f)
 {
@@ -231,6 +253,20 @@ void parallel_for(std::string_view label, MDRangePolicy<2, Exec> policy,
 }
 
 template <class Exec, class F>
+    requires(!DispatchBody2<F>)
+void parallel_for(std::string_view, MDRangePolicy<2, Exec>, const F&)
+{
+    static_assert(std::is_invocable_v<const F&, std::size_t, std::size_t>,
+                  "parallel_for MDRangePolicy<2> body must be invocable as "
+                  "f(std::size_t, std::size_t) on a const functor (one index "
+                  "per policy dimension)");
+    static_assert(std::is_copy_constructible_v<std::remove_cvref_t<F>>,
+                  "parallel_for body must be copy-constructible (value "
+                  "capture dispatch contract)");
+}
+
+template <class Exec, class F>
+    requires DispatchBody3<F>
 void parallel_for(std::string_view label, MDRangePolicy<3, Exec> policy,
                   const F& f)
 {
@@ -259,6 +295,21 @@ void parallel_for(std::string_view label, MDRangePolicy<3, Exec> policy,
                          policy.upper[2], f);
 }
 
+template <class Exec, class F>
+    requires(!DispatchBody3<F>)
+void parallel_for(std::string_view, MDRangePolicy<3, Exec>, const F&)
+{
+    static_assert(
+            std::is_invocable_v<const F&, std::size_t, std::size_t,
+                                std::size_t>,
+            "parallel_for MDRangePolicy<3> body must be invocable as "
+            "f(std::size_t, std::size_t, std::size_t) on a const functor "
+            "(one index per policy dimension)");
+    static_assert(std::is_copy_constructible_v<std::remove_cvref_t<F>>,
+                  "parallel_for body must be copy-constructible (value "
+                  "capture dispatch contract)");
+}
+
 // ---------------------------------------------------------------------------
 // for_each_batch_simd: SIMD-across-batch dispatch.
 //
@@ -283,7 +334,14 @@ template <int W, class Exec, class F>
 void for_each_batch_simd(std::string_view label, RangePolicy<Exec> policy,
                          const F& f)
 {
-    static_assert(W >= 1, "pack width must be positive");
+    static_assert(SimdLaneCount<W>,
+                  "for_each_batch_simd pack width must be a positive power "
+                  "of two (simd<T, W> lane counts)");
+    static_assert(BatchSimdBody<F, W>,
+                  "for_each_batch_simd body must be invocable as "
+                  "f(const BatchChunk<W>&) on a const functor -- the "
+                  "dispatch hands the body one chunk of W adjacent batch "
+                  "entries, not a bare index");
     const std::size_t begin = policy.begin;
     const std::size_t end = policy.end;
     const std::size_t total = end > begin ? end - begin : 0;
@@ -332,6 +390,10 @@ template <class Exec, class F, class T>
 void parallel_reduce(std::string_view label, RangePolicy<Exec> policy,
                      const F& f, Sum<T> reducer)
 {
+    static_assert(ReduceBody<F, T>,
+                  "parallel_reduce body must be invocable as "
+                  "f(std::size_t, T&) on a const functor, with T the "
+                  "reducer's value type");
     detail::KernelTimer t(label);
     reducer.value = T{};
     detail::dispatch_reduce_checked<Exec>(label, policy.begin, policy.end, f,
@@ -343,6 +405,10 @@ template <class Exec, class F, class T>
 void parallel_reduce(std::string_view label, RangePolicy<Exec> policy,
                      const F& f, Max<T> reducer)
 {
+    static_assert(ReduceBody<F, T>,
+                  "parallel_reduce body must be invocable as "
+                  "f(std::size_t, T&) on a const functor, with T the "
+                  "reducer's value type");
     detail::KernelTimer t(label);
     const T identity = std::numeric_limits<T>::lowest();
     reducer.value = identity;
@@ -355,6 +421,10 @@ template <class Exec, class F, class T>
 void parallel_reduce(std::string_view label, RangePolicy<Exec> policy,
                      const F& f, Min<T> reducer)
 {
+    static_assert(ReduceBody<F, T>,
+                  "parallel_reduce body must be invocable as "
+                  "f(std::size_t, T&) on a const functor, with T the "
+                  "reducer's value type");
     detail::KernelTimer t(label);
     const T identity = std::numeric_limits<T>::max();
     reducer.value = identity;

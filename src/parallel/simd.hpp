@@ -25,6 +25,7 @@
 // cover the general masked-update case.
 #pragma once
 
+#include "core/concepts.hpp"
 #include "parallel/macros.hpp"
 
 #include <array>
@@ -107,8 +108,12 @@ inline constexpr int simd_preferred_width =
 
 template <class T, int W>
 struct simd {
-    static_assert(std::is_arithmetic_v<T>, "simd requires an arithmetic type");
-    static_assert(W >= 1 && (W & (W - 1)) == 0, "simd width must be a power of two");
+    static_assert(SimdPackable<T>,
+                  "simd requires an arithmetic type (and never bool: masked "
+                  "lanes are spelled simd_mask, not a bool pack)");
+    static_assert(SimdLaneCount<W>,
+                  "simd width must be a power of two (the tail masks and the "
+                  "2:1 f32/f64 conversion shapes assume it)");
 
     using value_type = T;
     static constexpr int width = W;
@@ -143,6 +148,25 @@ struct simd {
                 v[l] = s;
             }
         }
+    }
+
+    /// Broadcast from a different scalar type. Widening (float scalar into a
+    /// double pack) and integer literals (`acc = 0` in ValueType-generic
+    /// kernels) stay implicit; a floating-point scalar wider than the lane
+    /// type (double into a float pack) is rejected -- that is a silent
+    /// round-off injected into every lane, the defect class the
+    /// mixed-precision pipeline confines to simd_narrow().
+    template <class U>
+        requires(std::is_arithmetic_v<U> && !std::is_same_v<U, T>)
+    PSPL_FORCEINLINE_FUNCTION simd(U s) : simd(static_cast<T>(s))
+    {
+        static_assert(!(std::is_floating_point_v<U>
+                        && std::is_floating_point_v<T>
+                        && sizeof(U) > sizeof(T)),
+                      "simd broadcast narrows a floating-point scalar "
+                      "(e.g. double -> float lanes): narrowing must be "
+                      "explicit -- static_cast the scalar or convert whole "
+                      "packs with simd_narrow()");
     }
 
     PSPL_FORCEINLINE_FUNCTION T operator[](int l) const { return v[l]; }
@@ -217,11 +241,18 @@ struct simd {
         }                                                                     \
         return a;                                                             \
     }                                                                         \
-    PSPL_FORCEINLINE_FUNCTION friend simd operator op(simd a, T s)            \
+    /* Scalar operands deduce U instead of converting to T up front: the   */ \
+    /* broadcast constructor then owns the one narrowing diagnostic, so    */ \
+    /* `float_pack * 2.0` fails loudly instead of rounding silently.       */ \
+    template <class U>                                                        \
+        requires(std::is_arithmetic_v<U>)                                     \
+    PSPL_FORCEINLINE_FUNCTION friend simd operator op(simd a, U s)            \
     {                                                                         \
         return a op simd(s);                                                  \
     }                                                                         \
-    PSPL_FORCEINLINE_FUNCTION friend simd operator op(T s, const simd& b)     \
+    template <class U>                                                        \
+        requires(std::is_arithmetic_v<U>)                                     \
+    PSPL_FORCEINLINE_FUNCTION friend simd operator op(U s, const simd& b)     \
     {                                                                         \
         return simd(s) op b;                                                  \
     }                                                                         \
@@ -230,7 +261,9 @@ struct simd {
         *this = *this op b;                                                   \
         return *this;                                                         \
     }                                                                         \
-    PSPL_FORCEINLINE_FUNCTION simd& operator op##=(T s)                       \
+    template <class U>                                                        \
+        requires(std::is_arithmetic_v<U>)                                     \
+    PSPL_FORCEINLINE_FUNCTION simd& operator op##=(U s)                       \
     {                                                                         \
         *this = *this op simd(s);                                             \
         return *this;                                                         \

@@ -10,6 +10,7 @@
 // zero-filling masked loads from simd.hpp.
 #pragma once
 
+#include "core/concepts.hpp"
 #include "parallel/macros.hpp"
 #include "parallel/simd.hpp"
 
@@ -18,11 +19,14 @@
 namespace pspl {
 
 /// Pack of W lanes from row `i`, batch columns [j0, j0 + lanes) of `v`.
-template <int W, class V>
+template <int W, BatchBlockView V>
 PSPL_FORCEINLINE_FUNCTION auto simd_load_lanes(const V& v, std::size_t i,
                                                std::size_t j0, int lanes)
 {
     using T = std::remove_cv_t<typename V::value_type>;
+    static_assert(SimdPackable<T>,
+                  "simd_load_lanes: block element type must be an arithmetic "
+                  "(SimdPackable) type");
     PSPL_DEBUG_ASSERT(lanes >= 1 && lanes <= W
                               && j0 + static_cast<std::size_t>(lanes)
                                          <= v.extent(1),
@@ -36,7 +40,7 @@ PSPL_FORCEINLINE_FUNCTION auto simd_load_lanes(const V& v, std::size_t i,
 }
 
 /// Store the first `lanes` lanes of `x` to row `i`, columns [j0, j0 + lanes).
-template <int W, class V>
+template <int W, BatchBlockView V>
 PSPL_FORCEINLINE_FUNCTION void
 simd_store_lanes(const simd<std::remove_cv_t<typename V::value_type>, W>& x,
                  const V& v, std::size_t i, std::size_t j0, int lanes)
@@ -62,7 +66,7 @@ simd_store_lanes(const simd<std::remove_cv_t<typename V::value_type>, W>& x,
 /// Stage rows [row0, row0 + nrows) x batch columns [j0, j0 + lanes) of `b`
 /// into a contiguous pack buffer, one pack per row. The batched-serial
 /// kernels then run on the buffer with unit stride, entirely in cache.
-template <int W, class BView, class T>
+template <int W, BatchBlockView BView, SimdPackable T>
 PSPL_INLINE_FUNCTION void simd_load_chunk(const BView& b, std::size_t row0,
                                           std::size_t nrows, std::size_t j0,
                                           int lanes,
@@ -91,7 +95,7 @@ PSPL_INLINE_FUNCTION void simd_load_chunk(const BView& b, std::size_t row0,
 }
 
 /// Inverse of simd_load_chunk: write the live lanes back into the block.
-template <int W, class BView, class T>
+template <int W, BatchBlockView BView, SimdPackable T>
 PSPL_INLINE_FUNCTION void simd_store_chunk(const BView& b, std::size_t row0,
                                            std::size_t nrows, std::size_t j0,
                                            int lanes,

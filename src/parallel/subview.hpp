@@ -11,6 +11,7 @@
 // batched serial solvers are written against.
 #pragma once
 
+#include "core/concepts.hpp"
 #include "parallel/view.hpp"
 
 #include <type_traits>
@@ -18,23 +19,15 @@
 
 namespace pspl {
 
-struct all_t {
-    explicit all_t() = default;
-};
-inline constexpr all_t ALL{};
+// all_t / ALL and the SubviewSlicer concept live in core/concepts.hpp (the
+// slicer vocabulary is part of the compile-time contract layer).
 
 namespace detail {
 
 template <class S>
-struct is_pair : std::false_type {
-};
-template <class A, class B>
-struct is_pair<std::pair<A, B>> : std::true_type {
-};
-
-template <class S>
 inline constexpr bool slice_keeps_dim_v =
-        std::is_same_v<std::decay_t<S>, all_t> || is_pair<std::decay_t<S>>::value;
+        std::is_same_v<std::decay_t<S>, all_t>
+        || is_slice_pair<std::decay_t<S>>::value;
 
 } // namespace detail
 
@@ -42,10 +35,16 @@ template <class T, std::size_t Rank, class Layout, class... Slicers>
 auto subview(const View<T, Rank, Layout>& v, Slicers... slicers)
 {
     static_assert(sizeof...(Slicers) == Rank,
-                  "subview needs one slicer per dimension");
+                  "subview needs one slicer per dimension (pspl::ALL, a "
+                  "std::pair{begin, end} range, or an integral index)");
+    static_assert((SubviewSlicer<Slicers> && ...),
+                  "subview slicer must be pspl::ALL, a std::pair{begin, end} "
+                  "range, or an integral index");
     constexpr std::size_t NewRank =
             (std::size_t{detail::slice_keeps_dim_v<Slicers>} + ...);
-    static_assert(NewRank >= 1, "subview must keep at least one dimension");
+    static_assert(NewRank >= 1,
+                  "subview must keep at least one dimension (ALL or a "
+                  "range); use operator() to read a single element");
 
     std::array<std::size_t, NewRank> ext{};
     std::array<std::size_t, NewRank> str{};
@@ -59,7 +58,7 @@ auto subview(const View<T, Rank, Layout>& v, Slicers... slicers)
             ext[out] = v.extent(r);
             str[out] = v.stride(r);
             ++out;
-        } else if constexpr (detail::is_pair<S>::value) {
+        } else if constexpr (detail::is_slice_pair<S>::value) {
             const auto begin = static_cast<std::size_t>(s.first);
             const auto end = static_cast<std::size_t>(s.second);
             if (!(begin <= end && end <= v.extent(r))) {
@@ -108,6 +107,18 @@ View<T, 2, LayoutStride> transposed_view(const View<T, 2, Layout>& v)
     return View<T, 2, LayoutStride>(v.allocation(), v.data(),
                                     {v.extent(1), v.extent(0)},
                                     {v.stride(1), v.stride(0)}, v.label());
+}
+
+/// Diagnostic overload: selected only for non-rank-2 views, where it
+/// carries the human-readable rank-compatibility message.
+template <class T, std::size_t Rank, class Layout>
+    requires(Rank != 2)
+void transposed_view(const View<T, Rank, Layout>&)
+{
+    static_assert(Rank == 2,
+                  "transposed_view requires a rank-2 view -- only a matrix "
+                  "has a zero-copy transpose; permute higher-rank views "
+                  "with explicit subviews");
 }
 
 } // namespace pspl

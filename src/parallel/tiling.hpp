@@ -109,6 +109,11 @@ template <class Exec, class F>
 void for_each_batch_tile(std::string_view label, RangePolicy<Exec> policy,
                          std::size_t tile, const F& f)
 {
+    static_assert(BatchTileBody<F>,
+                  "for_each_batch_tile body must be invocable as "
+                  "f(const BatchTile&) on a const functor -- the scheduler "
+                  "hands the body one [begin, end) column tile, not a bare "
+                  "index");
     PSPL_EXPECT(tile >= 1, "for_each_batch_tile: tile width must be >= 1");
     const std::size_t begin = policy.begin;
     const std::size_t end = policy.end;

@@ -7,6 +7,7 @@
 // usable inside parallel kernels.
 #pragma once
 
+#include "core/concepts.hpp"
 #include "debug/instrument.hpp"
 #include "parallel/layout.hpp"
 #include "parallel/macros.hpp"
@@ -42,6 +43,13 @@ template <class T, std::size_t Rank, class Layout = LayoutRight>
 class View
 {
     static_assert(Rank >= 1 && Rank <= 4, "View supports rank 1..4");
+    static_assert(ViewLayout<Layout>,
+                  "View layout must be LayoutRight, LayoutLeft, or "
+                  "LayoutStride (see parallel/layout.hpp)");
+    static_assert(!std::is_reference_v<T> && !std::is_const_v<T>,
+                  "View element type must be a plain object type -- "
+                  "const/reference element types break the shared-ownership "
+                  "allocation contract");
 
 public:
     using value_type = T;
@@ -51,10 +59,10 @@ public:
     View() = default;
 
     /// Allocating constructor: zero-initializes `extents...` elements.
-    template <class... Extents,
-              class = std::enable_if_t<sizeof...(Extents) == Rank
-                                       && detail::all_integral_v<Extents...>
-                                       && is_regular_layout_v<Layout>>>
+    template <class... Extents>
+        requires(sizeof...(Extents) == Rank
+                 && detail::all_integral_v<Extents...>
+                 && RegularLayout<Layout>)
     explicit View(std::string label, Extents... extents)
         : m_label(std::move(label))
         , m_extent{static_cast<std::size_t>(extents)...}
@@ -89,10 +97,10 @@ public:
     /// first touch distributes pages across NUMA nodes to match them.
     /// Under PSPL_CHECK the serial registered/poisoned path is kept --
     /// placement fidelity is a performance property, not a semantic one.
-    template <class... Extents,
-              class = std::enable_if_t<sizeof...(Extents) == Rank
-                                       && detail::all_integral_v<Extents...>
-                                       && is_regular_layout_v<Layout>>>
+    template <class... Extents>
+        requires(sizeof...(Extents) == Rank
+                 && detail::all_integral_v<Extents...>
+                 && RegularLayout<Layout>)
     View(FirstTouchTag, std::string label, Extents... extents)
         : m_label(std::move(label))
         , m_extent{static_cast<std::size_t>(extents)...}
@@ -145,7 +153,7 @@ public:
 
     /// Unmanaged wrapper around caller-owned memory (no ownership taken).
     View(T* data, std::array<std::size_t, Rank> extent)
-        requires is_regular_layout_v<Layout>
+        requires RegularLayout<Layout>
         : m_extent(extent), m_stride(Layout::strides(extent)), m_data(data)
     {
     }

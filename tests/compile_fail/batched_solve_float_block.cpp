@@ -1,0 +1,11 @@
+// Misuse: driving the FP64 batched Schur solve with an FP32 block. The
+// SchurDeviceData factors are FP64; the FP32 path is the mixed-precision
+// driver (core/refinement.hpp) staging through SchurFloatFactors.
+// EXPECT: consumes an FP64 block
+#include "core/batched_solve.hpp"
+
+void misuse(const pspl::core::SchurDeviceData& s,
+            const pspl::View2D<float>& b)
+{
+    pspl::core::schur_solve_batched_simd<4>(s, b);
+}

@@ -1,0 +1,53 @@
+// Positive control: one TU exercising every constrained entry point
+// *correctly*. If this stops compiling, the harness flags or include paths
+// are broken and every compile-fail "pass" in this directory is suspect.
+// EXPECT-OK
+#include "batched/batched.hpp"
+#include "parallel/deep_copy.hpp"
+#include "parallel/parallel.hpp"
+#include "parallel/simd.hpp"
+#include "parallel/subview.hpp"
+#include "parallel/tiling.hpp"
+#include "parallel/view.hpp"
+
+void control()
+{
+    pspl::View2D<double> block("block", 4, 8);
+    pspl::View2D<double> copy("copy", 4, 8);
+    pspl::deep_copy(copy, block);
+
+    auto col = pspl::subview(block, pspl::ALL, std::size_t{0});
+    auto window = pspl::subview(block, std::pair<std::size_t, std::size_t>{1, 3},
+                                pspl::ALL);
+    auto flipped = pspl::transposed_view(block);
+    (void)window;
+    (void)flipped;
+
+    pspl::parallel_for("range", std::size_t{8}, [](std::size_t) {});
+    pspl::parallel_for("md2", pspl::MDRangePolicy<2>({4, 8}),
+                       [](std::size_t, std::size_t) {});
+    pspl::parallel_for("md3", pspl::MDRangePolicy<3>({2, 4, 8}),
+                       [](std::size_t, std::size_t, std::size_t) {});
+
+    double total = 0.0;
+    pspl::parallel_reduce("sum", std::size_t{8},
+                          [](std::size_t, double& acc) { acc += 1.0; },
+                          pspl::Sum<double>(total));
+
+    pspl::for_each_batch_simd<4>("chunks", std::size_t{8},
+                                 [](const pspl::BatchChunk<4>&) {});
+    pspl::for_each_batch_tile("tiles", std::size_t{8}, std::size_t{4},
+                              [](const pspl::BatchTile&) {});
+
+    // Widening scalar mixes are fine; only float-narrowing is rejected.
+    pspl::simd<double, 4> p(1.0f);
+    p = p * 2 + 1.0f;
+
+    pspl::View1D<double> d("d", 4);
+    pspl::View1D<double> e("e", 3);
+    (void)pspl::batched::SerialPttrs<>::invoke(d, e, col);
+
+    pspl::View2D<double> lu("lu", 4, 4);
+    pspl::View1D<int> ipiv("ipiv", 4);
+    (void)pspl::batched::SerialGetrs<>::invoke(lu, ipiv, col);
+}

@@ -1,0 +1,10 @@
+// Misuse: deep_copy from an FP64 view into an FP32 view -- an implicit
+// whole-array narrowing. Precision changes go through the sanctioned
+// f32<->f64 helpers, never through deep_copy.
+// EXPECT: deep_copy element type mismatch
+#include "parallel/deep_copy.hpp"
+
+void misuse(const pspl::View1D<float>& dst, const pspl::View1D<double>& src)
+{
+    pspl::deep_copy(dst, src);
+}

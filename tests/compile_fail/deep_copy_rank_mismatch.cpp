@@ -1,0 +1,10 @@
+// Misuse: deep_copy between views of different rank. The catch-all
+// diagnostic overload names the broken compatibility clause instead of
+// dumping an overload-resolution backtrace.
+// EXPECT: deep_copy rank mismatch
+#include "parallel/deep_copy.hpp"
+
+void misuse(const pspl::View2D<double>& dst, const pspl::View1D<double>& src)
+{
+    pspl::deep_copy(dst, src);
+}

@@ -1,0 +1,11 @@
+// Misuse: a mutable lambda as a parallel_for body. Bodies are copied into
+// the parallel region (value-capture contract), so per-call mutable state
+// would be silently lost -- the dispatch requires const-invocability.
+// EXPECT: invocable as f(std::size_t) on a const functor
+#include "parallel/parallel.hpp"
+
+void misuse()
+{
+    pspl::parallel_for("mutable_body", std::size_t{16},
+                       [count = 0](std::size_t) mutable { ++count; });
+}

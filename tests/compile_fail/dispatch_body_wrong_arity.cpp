@@ -1,0 +1,10 @@
+// Misuse: an MDRangePolicy<2> dispatch with a rank-1 body. The body must
+// take one index per policy dimension.
+// EXPECT: MDRangePolicy<2> body must be invocable
+#include "parallel/parallel.hpp"
+
+void misuse()
+{
+    pspl::MDRangePolicy<2> policy({4, 4});
+    pspl::parallel_for("wrong_arity", policy, [](std::size_t) {});
+}

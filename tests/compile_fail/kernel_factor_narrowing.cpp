@@ -1,0 +1,13 @@
+// Misuse: FP64 factors driving an FP32 right-hand side -- every product
+// would be computed in double and silently rounded into the float RHS.
+// The mixed-precision pipeline converts the *factors* (SchurFloatFactors)
+// so kernel arithmetic runs uniformly at the pack precision.
+// EXPECT: FP64 factors driving an FP32 right-hand side
+#include "batched/serial_getrs.hpp"
+#include "parallel/view.hpp"
+
+int misuse(const pspl::View2D<double>& lu, const pspl::View1D<int>& ipiv,
+           const pspl::View1D<float>& b)
+{
+    return pspl::batched::SerialGetrs<>::invoke(lu, ipiv, b);
+}

@@ -1,0 +1,17 @@
+// Misuse: a batched kernel without a constexpr static cost() model. Every
+// kernel carries its hand-counted flops/bytes so the profiling layer can
+// attribute achieved bandwidth (docs/PROFILING.md).
+// EXPECT: missing a constexpr static cost
+#include "batched/kernel_traits.hpp"
+#include "parallel/view.hpp"
+
+struct CostlessKernel {
+    template <typename BView>
+    static int invoke(const BView&)
+    {
+        return 0;
+    }
+};
+
+static_assert(pspl::batched::validate_batched_kernel<CostlessKernel,
+                                                     pspl::View1D<double>>());

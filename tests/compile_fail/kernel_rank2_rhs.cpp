@@ -1,0 +1,12 @@
+// Misuse: handing a whole (n, batch) block to a serial kernel that solves
+// ONE right-hand side. The batch dimension is the dispatch's job; the
+// kernel takes a rank-1 column (subview) or pack span.
+// EXPECT: SerialPttrs arguments must be rank-1 view-like
+#include "batched/serial_pttrs.hpp"
+#include "parallel/view.hpp"
+
+int misuse(const pspl::View1D<double>& d, const pspl::View1D<double>& e,
+           const pspl::View2D<double>& whole_block)
+{
+    return pspl::batched::SerialPttrs<>::invoke(d, e, whole_block);
+}

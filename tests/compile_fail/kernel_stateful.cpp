@@ -1,0 +1,24 @@
+// Misuse: a batched kernel with a data member. Kernels are stateless tag
+// types -- per-kernel state would be shared by every batch entry and
+// kernels must stay allocation-free inside parallel regions.
+// EXPECT: stateless tag types
+#include "batched/kernel_traits.hpp"
+#include "parallel/view.hpp"
+
+struct StatefulKernel {
+    int calls = 0; // contraband state
+
+    template <typename BView>
+    static int invoke(const BView&)
+    {
+        return 0;
+    }
+
+    static constexpr pspl::batched::KernelCost cost(std::size_t n)
+    {
+        return {static_cast<double>(n), static_cast<double>(n)};
+    }
+};
+
+static_assert(pspl::batched::validate_batched_kernel<StatefulKernel,
+                                                     pspl::View1D<double>>());

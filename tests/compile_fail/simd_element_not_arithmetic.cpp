@@ -1,0 +1,14 @@
+// Misuse: a pack of structs. Lanes carry arithmetic scalars only.
+// EXPECT: simd requires an arithmetic type
+#include "parallel/simd.hpp"
+
+struct Particle {
+    double x;
+    double v;
+};
+
+void misuse()
+{
+    pspl::simd<Particle, 4> p;
+    (void)p;
+}

@@ -1,0 +1,10 @@
+// Misuse: a double literal in float-pack arithmetic (the classic generic-
+// kernel bug: `x * 2.0` where x is FP32). The scalar operand deduces its
+// own type and the broadcast constructor rejects the narrowing.
+// EXPECT: simd broadcast narrows a floating-point scalar
+#include "parallel/simd.hpp"
+
+pspl::simd<float, 8> misuse(const pspl::simd<float, 8>& x)
+{
+    return x * 2.0;
+}

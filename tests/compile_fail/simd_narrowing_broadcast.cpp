@@ -1,0 +1,11 @@
+// Misuse: broadcasting a double scalar into float lanes -- a silent
+// round-off injected into every lane of every batch entry. The
+// mixed-precision pipeline confines narrowing to simd_narrow().
+// EXPECT: simd broadcast narrows a floating-point scalar
+#include "parallel/simd.hpp"
+
+void misuse()
+{
+    pspl::simd<float, 8> p(1.0);
+    (void)p;
+}

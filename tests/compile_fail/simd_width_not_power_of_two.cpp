@@ -1,0 +1,10 @@
+// Misuse: a 3-lane pack. Tail masks and the 2:1 f32/f64 conversion shapes
+// assume power-of-two lane counts.
+// EXPECT: simd width must be a power of two
+#include "parallel/simd.hpp"
+
+void misuse()
+{
+    pspl::simd<double, 3> p;
+    (void)p;
+}

@@ -1,0 +1,10 @@
+// Misuse: fixing every index of a subview, which would produce a rank-0
+// result the View vocabulary does not have -- element reads are operator().
+// EXPECT: subview must keep at least one dimension
+#include "parallel/subview.hpp"
+
+void misuse(const pspl::View2D<double>& block)
+{
+    auto elem = pspl::subview(block, std::size_t{0}, std::size_t{1});
+    (void)elem;
+}

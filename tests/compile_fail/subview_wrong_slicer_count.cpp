@@ -1,0 +1,10 @@
+// Misuse: slicing a rank-2 block with a single slicer (forgot the batch
+// dimension). Every dimension must be sliced explicitly.
+// EXPECT: subview needs one slicer per dimension
+#include "parallel/subview.hpp"
+
+void misuse(const pspl::View2D<double>& block)
+{
+    auto row = pspl::subview(block, pspl::ALL);
+    (void)row;
+}

@@ -1,0 +1,9 @@
+// Misuse: transposing a rank-1 view. Only a matrix has a zero-copy
+// transpose; the diagnostic overload carries the rank-compatibility message.
+// EXPECT: transposed_view requires a rank-2 view
+#include "parallel/subview.hpp"
+
+void misuse(const pspl::View1D<double>& column)
+{
+    pspl::transposed_view(column);
+}

@@ -1,0 +1,10 @@
+// Misuse: a rank-5 View. The library's indexing, subview, and dispatch
+// vocabulary is written for ranks 1..4 (the paper's data shapes).
+// EXPECT: View supports rank 1..4
+#include "parallel/view.hpp"
+
+void misuse()
+{
+    pspl::View<double, 5> v("too_deep", 2, 2, 2, 2, 2);
+    (void)v;
+}

@@ -1,0 +1,244 @@
+// Positive coverage of the compile-time contract layer (core/concepts.hpp,
+// batched/kernel_traits.hpp): every concept is asserted against the types
+// that are documented to model it -- and against a few that must NOT --
+// so a refactor that silently un-models a contract fails here, in one
+// readable place, before any call site notices.
+#include "core/batched_solve.hpp"
+#include "core/concepts.hpp"
+
+#include "batched/batched.hpp"
+#include "batched/kernel_traits.hpp"
+#include "parallel/layout.hpp"
+#include "parallel/parallel.hpp"
+#include "parallel/simd.hpp"
+#include "parallel/subview.hpp"
+#include "parallel/tiling.hpp"
+#include "parallel/view.hpp"
+#include "sparse/coo.hpp"
+
+#include <gtest/gtest.h>
+
+#include <utility>
+
+namespace {
+
+using namespace pspl;
+using namespace pspl::batched;
+
+// ---------------------------------------------------------------------------
+// Layouts.
+// ---------------------------------------------------------------------------
+static_assert(RegularLayout<LayoutRight>);
+static_assert(RegularLayout<LayoutLeft>);
+static_assert(!RegularLayout<LayoutStride>);
+static_assert(ViewLayout<LayoutRight>);
+static_assert(ViewLayout<LayoutLeft>);
+static_assert(ViewLayout<LayoutStride>);
+static_assert(!ViewLayout<int>);
+
+// ---------------------------------------------------------------------------
+// Views: every rank, every layout, plus the solver's PackSpan staging span
+// (the structural contract is the point -- both model ViewLike).
+// ---------------------------------------------------------------------------
+static_assert(ViewLike<View<double, 1>>);
+static_assert(ViewLike<View<double, 2>>);
+static_assert(ViewLike<View<double, 3>>);
+static_assert(ViewLike<View<double, 4>>);
+static_assert(ViewLike<View<float, 2, LayoutLeft>>);
+static_assert(ViewLike<View<int, 1, LayoutStride>>);
+static_assert(!ViewLike<double>);
+static_assert(!ViewLike<double*>);
+
+static_assert(ViewOfRank<View1D<double>, 1>);
+static_assert(ViewOfRank<View2D<double>, 2>);
+static_assert(!ViewOfRank<View2D<double>, 1>);
+
+static_assert(ContiguousViewLike<View2D<double>>);
+static_assert(ContiguousViewLike<View3D<float, LayoutLeft>>);
+static_assert(!ContiguousViewLike<View<double, 2, LayoutStride>>);
+
+static_assert(DeepCopyCompatible<View2D<double>, View<double, 2, LayoutStride>>);
+static_assert(!DeepCopyCompatible<View2D<double>, View1D<double>>);
+static_assert(!DeepCopyCompatible<View1D<float>, View1D<double>>);
+
+static_assert(BatchBlockView<View2D<double>>);
+static_assert(BatchBlockView<View<float, 2, LayoutStride>>);
+static_assert(!BatchBlockView<View1D<double>>);
+
+static_assert(ViewLike<core::detail::PackSpan<double, 4>>);
+static_assert(KernelVectorArg<core::detail::PackSpan<double, 4>>);
+static_assert(KernelVectorArg<core::detail::PackSpan<float, 8>>);
+
+// ---------------------------------------------------------------------------
+// Subview slicers.
+// ---------------------------------------------------------------------------
+static_assert(SubviewSlicer<all_t>);
+static_assert(SubviewSlicer<decltype(ALL)>);
+static_assert(SubviewSlicer<std::pair<std::size_t, std::size_t>>);
+static_assert(SubviewSlicer<std::pair<int, int>>);
+static_assert(SubviewSlicer<int>);
+static_assert(SubviewSlicer<std::size_t>);
+static_assert(!SubviewSlicer<double*>);
+
+// ---------------------------------------------------------------------------
+// SIMD packs: every element type the solvers instantiate.
+// ---------------------------------------------------------------------------
+static_assert(SimdPackable<double>);
+static_assert(SimdPackable<float>);
+static_assert(SimdPackable<int>);
+static_assert(SimdPackable<long long>);
+static_assert(!SimdPackable<bool>);
+static_assert(!SimdPackable<double*>);
+
+static_assert(SimdLaneCount<1>);
+static_assert(SimdLaneCount<2>);
+static_assert(SimdLaneCount<4>);
+static_assert(SimdLaneCount<8>);
+static_assert(SimdLaneCount<16>);
+static_assert(!SimdLaneCount<0>);
+static_assert(!SimdLaneCount<3>);
+static_assert(!SimdLaneCount<12>);
+
+static_assert(std::is_same_v<kernel_scalar_t<simd<double, 4>>, double>);
+static_assert(std::is_same_v<kernel_scalar_t<simd<float, 8>>, float>);
+static_assert(std::is_same_v<kernel_scalar_t<double>, double>);
+static_assert(std::is_same_v<kernel_element_t<core::detail::PackSpan<float, 8>>, float>);
+static_assert(std::is_same_v<kernel_element_t<View1D<double>>, double>);
+
+// ---------------------------------------------------------------------------
+// Dispatch bodies. The negative cases are the contract: mutable lambdas
+// (non-const operator()) and arity mismatches must NOT model the concepts.
+// ---------------------------------------------------------------------------
+using RangeBody = decltype([](std::size_t) {});
+using Md2Body = decltype([](std::size_t, std::size_t) {});
+using Md3Body = decltype([](std::size_t, std::size_t, std::size_t) {});
+using MutableBody = decltype([n = 0](std::size_t) mutable { (void)n; });
+using SumBody = decltype([](std::size_t, double&) {});
+using ChunkBody = decltype([](const BatchChunk<4>&) {});
+using TileBody = decltype([](const BatchTile&) {});
+
+static_assert(DispatchBody<RangeBody>);
+static_assert(!DispatchBody<MutableBody>);
+static_assert(!DispatchBody<Md2Body>);
+static_assert(DispatchBody2<Md2Body>);
+static_assert(DispatchBody3<Md3Body>);
+static_assert(ReduceBody<SumBody, double>);
+static_assert(!ReduceBody<SumBody, float>);
+static_assert(BatchSimdBody<ChunkBody, 4>);
+static_assert(!BatchSimdBody<ChunkBody, 8>);
+static_assert(BatchTileBody<TileBody>);
+static_assert(!BatchTileBody<RangeBody>);
+
+// ---------------------------------------------------------------------------
+// Precision mixing: widening is exact, FP64 -> FP32 narrows and is banned.
+// ---------------------------------------------------------------------------
+static_assert(KernelPrecisionCompatible<double, double>);
+static_assert(KernelPrecisionCompatible<float, float>);
+static_assert(KernelPrecisionCompatible<float, double>);
+static_assert(!KernelPrecisionCompatible<double, float>);
+static_assert(KernelPrecisionCompatible<double, int>); // int RHS: not a float mix
+
+// ---------------------------------------------------------------------------
+// Every shipped serial kernel satisfies the full BatchedSerialKernel
+// contract with the argument shapes the drivers actually use.
+// ---------------------------------------------------------------------------
+using Vec = View1D<double>;
+using Mat = View2D<double>;
+using Piv = View1D<int>;
+using Pack = core::detail::PackSpan<double, 4>;
+
+static_assert(KernelPivotArg<Piv>);
+static_assert(!KernelPivotArg<Vec>);
+static_assert(KernelCooArg<sparse::Coo>);
+static_assert(KernelCooArg<sparse::BasicCoo<float>>);
+static_assert(!KernelCooArg<Mat>);
+
+static_assert(BatchedSerialKernel<SerialPttrs<>, Vec, Vec, Vec>);
+static_assert(BatchedSerialKernel<SerialPttrs<>, Vec, Vec, Pack>);
+static_assert(BatchedSerialKernel<SerialPttrsRecip<>, Vec, Vec, Vec>);
+static_assert(BatchedSerialKernel<SerialGttrs<>, Vec, Vec, Vec, Vec, Piv, Vec>);
+static_assert(BatchedSerialKernel<SerialGttrsRecip<>, Vec, Vec, Vec, Vec, Piv,
+                                  Vec>);
+static_assert(BatchedSerialKernel<SerialGetrs<>, Mat, Piv, Vec>);
+static_assert(BatchedSerialKernel<SerialGetrs<>, Mat, Piv, Pack>);
+static_assert(BatchedSerialKernel<SerialGetrf<>, Mat, Piv>);
+static_assert(BatchedSerialKernel<SerialGemv<>, double, Mat, Vec, double, Vec>);
+static_assert(BatchedSerialKernel<SerialSpmvCoo, double, sparse::Coo, Vec, Vec>);
+static_assert(BatchedSerialKernel<SerialGbtrs<>, Mat, int, int, Piv, Vec>);
+static_assert(BatchedSerialKernel<SerialPbtrs<>, Mat, Vec>);
+static_assert(BatchedSerialKernel<SerialTbsv<>, Mat, Vec>);
+static_assert(BatchedSerialKernel<SerialTrsv<Uplo::Lower>, Mat, Vec>);
+
+// Cost models: each kernel exposes its documented arity, constexpr.
+static_assert(HasUnaryCostModel<SerialPttrs<>>);
+static_assert(HasUnaryCostModel<SerialPttrsRecip<>>);
+static_assert(HasUnaryCostModel<SerialGttrs<>>);
+static_assert(HasUnaryCostModel<SerialGttrsRecip<>>);
+static_assert(HasUnaryCostModel<SerialGetrs<>>);
+static_assert(HasUnaryCostModel<SerialGetrf<>>);
+static_assert(HasUnaryCostModel<SerialTrsv<Uplo::Lower>>);
+static_assert(HasBinaryCostModel<SerialGemv<>>);
+static_assert(HasBinaryCostModel<SerialSpmvCoo>);
+static_assert(HasBinaryCostModel<SerialPbtrs<>>);
+static_assert(HasBinaryCostModel<SerialTbsv<>>);
+static_assert(HasTernaryCostModel<SerialGbtrs<>>);
+static_assert(KernelCostModel<SerialPttrs<>>);
+static_assert(KernelCostModel<SerialGbtrs<>>);
+static_assert(!KernelCostModel<int>);
+
+// The message-carrying validator accepts the shipped kernels.
+static_assert(validate_batched_kernel<SerialPttrs<>, Vec, Vec, Vec>());
+static_assert(validate_batched_kernel<SerialGetrs<>, Mat, Piv, Vec>());
+static_assert(validate_batched_kernel<SerialGetrf<>, Mat, Piv>());
+
+// GETRF's new cost model: the classic 2/3 n^3 LU flop count.
+static_assert(SerialGetrf<>::cost(3).flops == 18.0);
+static_assert(SerialGetrf<>::cost(3).bytes == 144.0);
+
+// ---------------------------------------------------------------------------
+// Runtime smoke: the constrained entry points still dispatch correctly
+// (concepts must be zero-cost and zero-behavior-change).
+// ---------------------------------------------------------------------------
+TEST(Concepts, ConstrainedDispatchStillRuns)
+{
+    View2D<double> block("block", 3, 5);
+    parallel_for("fill", MDRangePolicy<2>({3, 5}),
+                 [=](std::size_t i, std::size_t j) {
+                     block(i, j) = static_cast<double>(i * 5 + j);
+                 });
+
+    double total = 0.0;
+    parallel_reduce("sum", std::size_t{15},
+                    [=](std::size_t k, double& acc) {
+                        acc += block(k / 5, k % 5);
+                    },
+                    Sum<double>(total));
+    EXPECT_DOUBLE_EQ(total, 105.0);
+
+    auto col = subview(block, ALL, std::size_t{2});
+    static_assert(ViewOfRank<decltype(col), 1>);
+    EXPECT_DOUBLE_EQ(col(1), 7.0);
+
+    auto flipped = transposed_view(block);
+    static_assert(BatchBlockView<decltype(flipped)>);
+    EXPECT_DOUBLE_EQ(flipped(2, 1), block(1, 2));
+}
+
+TEST(Concepts, SimdWideningBroadcastStaysImplicit)
+{
+    // The narrowing guard must not outlaw the sanctioned mixes: integer
+    // literals and widening float -> double broadcasts.
+    simd<double, 4> p(1.0f);
+    p = p * 2 + 0.5f;
+    for (int l = 0; l < 4; ++l) {
+        EXPECT_DOUBLE_EQ(p[l], 2.5);
+    }
+
+    simd<float, 8> q(2.0f);
+    q = q * 3; // int scalar into float lanes: exact
+    for (int l = 0; l < 8; ++l) {
+        EXPECT_FLOAT_EQ(q[l], 6.0f);
+    }
+}
+
+} // namespace

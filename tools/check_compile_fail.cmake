@@ -1,0 +1,77 @@
+# Negative-compilation test runner (cmake -P script mode).
+#
+# Each case under tests/compile_fail/ is one translation unit seeded with a
+# contract misuse. The case file declares its expected outcome in comment
+# markers:
+#
+#   // EXPECT: <substring>   -- the TU must FAIL to compile, and the
+#                               compiler diagnostic must contain <substring>
+#                               (every EXPECT line must match; this pins the
+#                               *targeted* message, not just "some error")
+#   // EXPECT-OK             -- positive control: the TU must compile clean
+#                               (guards against the harness passing because
+#                               the include paths or flags are broken)
+#
+# A case with no marker is a harness error: silent cases rot into tests
+# that assert nothing.
+#
+# Invoked per-case from tests/compile_fail/CMakeLists.txt as
+#   cmake -DCASE=<file> -DCXX=<compiler> -DINCLUDE_DIR=<src>
+#         -P tools/check_compile_fail.cmake
+# Compilation is -fsyntax-only: diagnostics are the product, no objects.
+
+foreach(required CASE CXX INCLUDE_DIR)
+    if(NOT DEFINED ${required})
+        message(FATAL_ERROR "check_compile_fail.cmake: missing -D${required}=")
+    endif()
+endforeach()
+
+file(READ "${CASE}" case_source)
+
+string(REGEX MATCHALL "// EXPECT: [^\n]*" expect_lines "${case_source}")
+string(FIND "${case_source}" "// EXPECT-OK" expect_ok_pos)
+
+if(expect_ok_pos EQUAL -1 AND NOT expect_lines)
+    message(FATAL_ERROR
+            "compile-fail case ${CASE} declares no expectation: add "
+            "'// EXPECT: <diagnostic substring>' (must fail with that "
+            "message) or '// EXPECT-OK' (positive control, must compile)")
+endif()
+
+# No PSPL_ENABLE_OPENMP on purpose: DefaultExecutionSpace falls back to
+# Serial, so the cases run anywhere without an OpenMP runtime.
+execute_process(
+        COMMAND "${CXX}" -std=c++20 -fsyntax-only "-I${INCLUDE_DIR}" "${CASE}"
+        RESULT_VARIABLE compile_result
+        OUTPUT_VARIABLE compile_stdout
+        ERROR_VARIABLE compile_stderr)
+
+set(diagnostics "${compile_stdout}${compile_stderr}")
+
+if(NOT expect_ok_pos EQUAL -1)
+    if(NOT compile_result EQUAL 0)
+        message(FATAL_ERROR
+                "positive control ${CASE} failed to compile -- the harness "
+                "flags/include paths are broken, so every compile-fail "
+                "'pass' is suspect:\n${diagnostics}")
+    endif()
+    return()
+endif()
+
+if(compile_result EQUAL 0)
+    message(FATAL_ERROR
+            "compile-fail case ${CASE} unexpectedly COMPILED: the contract "
+            "it misuses is no longer enforced at compile time")
+endif()
+
+foreach(expect_line ${expect_lines})
+    string(REGEX REPLACE "^// EXPECT: " "" expected "${expect_line}")
+    string(FIND "${diagnostics}" "${expected}" found_pos)
+    if(found_pos EQUAL -1)
+        message(FATAL_ERROR
+                "compile-fail case ${CASE} failed to compile (good), but "
+                "the diagnostic does not contain the targeted message\n"
+                "  expected substring: ${expected}\n"
+                "  actual diagnostics:\n${diagnostics}")
+    endif()
+endforeach()

@@ -41,6 +41,13 @@ assumes and the batched-kernel design depends on:
      bugprone-narrowing-conversions backstops the cases a regex cannot
      see; see .clang-tidy.)  Cost-model functions outside invoke() are
      exempt -- flops/bytes estimates are honestly double.
+ 10. Every public header under src/ is self-contained (compiles as the sole
+     include of a TU).  This rule is enforced by the `pspl_header_check`
+     CMake target (one generated TU per header; built by the CI lint job),
+     not by this script -- a compiler is the only honest checker for it.
+
+Rules 1-9 are self-tested by tools/test_lint_invariants.py (fixtures prove
+each rule fires and each exemption holds); run it after editing a pattern.
 
 Exit code 0 when clean, 1 with one `file:line: message` per violation.
 """
