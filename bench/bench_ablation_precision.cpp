@@ -109,6 +109,8 @@ struct RowResult {
 
 int main(int argc, char** argv)
 {
+    auto backend = pspl::bench::BackendChoice::from_args(argc, argv);
+    (void)backend;
     auto json = pspl::bench::JsonReport::from_args(argc, argv);
     auto trace = pspl::bench::ChromeTrace::from_args(argc, argv);
     const auto timing = pspl::bench::TimingControl::from_args(argc, argv);

@@ -192,6 +192,8 @@ SweepResult sweep_case(int degree, bool uniform, std::size_t batch,
 
 int main(int argc, char** argv)
 {
+    auto backend = pspl::bench::BackendChoice::from_args(argc, argv);
+    (void)backend;
     auto json = pspl::bench::JsonReport::from_args(argc, argv);
     auto trace = pspl::bench::ChromeTrace::from_args(argc, argv);
     ::benchmark::Initialize(&argc, argv);

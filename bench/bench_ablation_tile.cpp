@@ -192,6 +192,8 @@ void sweep_width(std::size_t batch, perf::Table& table,
 
 int main(int argc, char** argv)
 {
+    auto backend = pspl::bench::BackendChoice::from_args(argc, argv);
+    (void)backend;
     auto json = pspl::bench::JsonReport::from_args(argc, argv);
     auto trace = pspl::bench::ChromeTrace::from_args(argc, argv);
     ::benchmark::Initialize(&argc, argv);

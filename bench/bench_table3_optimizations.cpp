@@ -24,6 +24,8 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdint>
+#include <cstring>
 
 namespace {
 
@@ -37,6 +39,20 @@ std::size_t batch_size()
 {
     return bench::env_size("PSPL_BENCH_BATCH",
                            bench::full_scale() ? 100000 : 20000);
+}
+
+/// ULP distance via the monotonic lexicographic mapping of IEEE doubles.
+std::uint64_t ulp_distance(double a, double b)
+{
+    const auto lex = [](double d) {
+        std::uint64_t u;
+        std::memcpy(&u, &d, sizeof(u));
+        return (u & 0x8000000000000000ull) != 0 ? ~u
+                                                : u | 0x8000000000000000ull;
+    };
+    const std::uint64_t ua = lex(a);
+    const std::uint64_t ub = lex(b);
+    return ua > ub ? ua - ub : ub - ua;
 }
 
 void bm_builder_version(benchmark::State& state, BuilderVersion version)
@@ -60,10 +76,14 @@ void bm_builder_version(benchmark::State& state, BuilderVersion version)
 
 int main(int argc, char** argv)
 {
+    auto backend = pspl::bench::BackendChoice::from_args(argc, argv);
     auto json = pspl::bench::JsonReport::from_args(argc, argv);
     auto trace = pspl::bench::ChromeTrace::from_args(argc, argv);
     ::benchmark::Initialize(&argc, argv);
     std::printf("compiled ISA: %s\n", perf::compiled_isa_summary().c_str());
+    std::printf("execution space: %s (%d threads)\n",
+                DefaultExecutionSpace::name(),
+                DefaultExecutionSpace::concurrency());
 
     const std::size_t batch = batch_size();
     ::benchmark::RegisterBenchmark(
@@ -183,6 +203,106 @@ int main(int argc, char** argv)
                   {"achieved_bw_gbs",
                    bench::JsonReport::num(stats.achieved_bw_gbs())}});
     }
+
+    // ---- Backend cross-check (schema v4) -----------------------------------
+    // The same solves on every compiled execution space, bypassing the
+    // runtime PSPL_BACKEND selection via the builder's per-call template
+    // parameter. Serial is the bitwise oracle: every version of the ladder
+    // must reproduce its coefficients to 0 ULP on every backend (hard
+    // failure otherwise -- a scheduling-dependent result would invalidate
+    // the portability claim). Timing uses the ladder's top rung; with
+    // PSPL_BENCH_BACKEND_GATE=1 the Threads pool must additionally land
+    // within PSPL_BENCH_BACKEND_SLACK (default 0.15) of OpenMP wall-clock.
+    std::printf("\nBackend cross-check -- gemv_to_spmv_simd solve per "
+                "execution space, 0-ULP oracle: Serial\n\n");
+    constexpr BuilderVersion kLadder[]
+            = {BuilderVersion::Baseline, BuilderVersion::Fused,
+               BuilderVersion::FusedSpmv, BuilderVersion::FusedSimd,
+               BuilderVersion::FusedSpmvSimd};
+    View2D<double> ref("ref", kN, batch);
+    bool identity_ok = true;
+    double serial_seconds = 0.0;
+    double openmp_seconds = 0.0;
+    double threads_seconds = 0.0;
+    perf::Table bt({"Backend", "Threads", "Time (spmv_simd)",
+                    "Speedup vs Serial", "max ULP vs Serial (ladder)"});
+    const auto run_backend = [&](auto exec, int nthreads, double& t_out) {
+        using Exec = decltype(exec);
+        // Bitwise identity across the whole ladder: one solve per version
+        // from identical inputs, compared element-wise against the Serial
+        // oracle solve of the same version.
+        std::uint64_t ulp = 0;
+        for (const auto version : kLadder) {
+            SplineBuilder builder(basis, version);
+            bench::fill_rhs(basis, ref);
+            builder.build_inplace<Serial>(ref);
+            bench::fill_rhs(basis, b);
+            builder.build_inplace<Exec>(b);
+            for (std::size_t i = 0; i < kN; ++i) {
+                for (std::size_t j = 0; j < batch; ++j) {
+                    const std::uint64_t d = ulp_distance(ref(i, j), b(i, j));
+                    ulp = d > ulp ? d : ulp;
+                }
+            }
+        }
+        SplineBuilder builder(basis, BuilderVersion::FusedSpmvSimd);
+        bench::fill_rhs(basis, b);
+        builder.build_inplace<Exec>(b); // warm-up
+        const double t = bench::median_seconds(5, [&] {
+            bench::fill_rhs(basis, b);
+            builder.build_inplace<Exec>(b);
+        });
+        const double fill = bench::median_seconds(
+                3, [&] { bench::fill_rhs(basis, b); });
+        const double solve = t - fill > 0 ? t - fill : t;
+        t_out = solve;
+        const double speedup
+                = serial_seconds > 0.0 ? serial_seconds / solve : 1.0;
+        bt.add_row({Exec::name(), std::to_string(nthreads),
+                    perf::fmt_time(solve), perf::fmt(speedup, 2) + "x",
+                    std::to_string(ulp)});
+        json.add("table3_backend_solve",
+                 {{"space", bench::JsonReport::str(Exec::name())},
+                  {"version", bench::JsonReport::str("gemv_to_spmv_simd")},
+                  {"n", bench::JsonReport::num(kN)},
+                  {"batch", bench::JsonReport::num(batch)},
+                  {"isa", bench::JsonReport::str(perf::compiled_isa_name())},
+                  {"seconds", bench::JsonReport::num(solve)},
+                  {"speedup_vs_serial", bench::JsonReport::num(speedup)},
+                  {"max_ulp_vs_serial",
+                   bench::JsonReport::num(static_cast<double>(ulp))}});
+        if (ulp != 0) {
+            identity_ok = false;
+            std::printf("FAIL: %s diverges from Serial by %llu ULP\n",
+                        Exec::name(),
+                        static_cast<unsigned long long>(ulp));
+        }
+    };
+    run_backend(Serial{}, Serial::concurrency(), serial_seconds);
+#if defined(PSPL_ENABLE_OPENMP)
+    run_backend(OpenMP{}, OpenMP::concurrency(), openmp_seconds);
+#endif
+    run_backend(Threads{}, Threads::concurrency(), threads_seconds);
+    std::printf("%s\n", bt.str().c_str());
+    if (!identity_ok) {
+        return 1;
+    }
+    const char* gate_env = std::getenv("PSPL_BENCH_BACKEND_GATE");
+    if (gate_env != nullptr && gate_env[0] == '1' && openmp_seconds > 0.0) {
+        const double slack
+                = bench::env_double("PSPL_BENCH_BACKEND_SLACK", 0.15);
+        if (threads_seconds > openmp_seconds * (1.0 + slack)) {
+            std::printf("FAIL: Threads %.4fs exceeds OpenMP %.4fs by more "
+                        "than %.0f%%\n",
+                        threads_seconds, openmp_seconds, slack * 100.0);
+            return 1;
+        }
+        std::printf("backend gate: Threads %.4fs within %.0f%% of OpenMP "
+                    "%.4fs\n",
+                    threads_seconds, slack * 100.0, openmp_seconds);
+    }
+    (void)threads_seconds;
+
     json.write();
     trace.write();
     return 0;

@@ -6,10 +6,10 @@
 //  1. Validation of the metric machinery against the paper's own published
 //     bandwidths (Icelake / A100 / MI250X), re-deriving the paper's P
 //     values from Eq. 8-10 and Table II peaks.
-//  2. Measurement on this build's platform set H = {Serial, OpenMP} (both
-//     host backends), using the paper's 8-bytes-per-point bandwidth model
-//     (§V-B) and the roofline from the host peak specs (override with
-//     PSPL_PEAK_GFLOPS / PSPL_PEAK_BW_GBS).
+//  2. Measurement on this build's platform set H = {Serial, OpenMP,
+//     Threads} (every compiled host backend), using the paper's
+//     8-bytes-per-point bandwidth model (§V-B) and the roofline from the
+//     host peak specs (override with PSPL_PEAK_GFLOPS / PSPL_PEAK_BW_GBS).
 #include "bench/common.hpp"
 #include "core/spline_builder.hpp"
 #include "parallel/profiling.hpp"
@@ -119,7 +119,7 @@ int main(int argc, char** argv)
                 "%.1f GB/s\n\n",
                 kN, batch, host.peak_gflops, host.peak_bw_gbs);
     perf::Table t2({"spline", "Serial GB/s", "Serial %", "OpenMP GB/s",
-                    "OpenMP %", "P(host set)"});
+                    "OpenMP %", "Threads GB/s", "Threads %", "P(host set)"});
     for (const auto& row : kPaperTable5) {
         const double ts = measure_build_seconds<Serial>(row.degree,
                                                         row.uniform, batch);
@@ -133,9 +133,15 @@ int main(int argc, char** argv)
 #endif
         const double bw_p = perf::achieved_bandwidth_gbs(kN, batch, tp);
         const double e_p = perf::bandwidth_fraction_percent(bw_p, host);
-        const double p = perf::pennycook_portability({e_s, e_p});
+        const double tt = measure_build_seconds<Threads>(row.degree,
+                                                         row.uniform, batch);
+        const double bw_t = perf::achieved_bandwidth_gbs(kN, batch, tt);
+        const double e_t = perf::bandwidth_fraction_percent(bw_t, host);
+        const double p = perf::pennycook_portability({e_s, e_p, e_t});
         t2.add_row({row.label, perf::fmt(bw_s, 2), perf::fmt(e_s, 2),
-                    perf::fmt(bw_p, 2), perf::fmt(e_p, 2), perf::fmt(p, 3)});
+                    perf::fmt(bw_p, 2), perf::fmt(e_p, 2),
+                    perf::fmt(bw_t, 2), perf::fmt(e_t, 2),
+                    perf::fmt(p, 3)});
     }
     std::printf("%s\nPaper shape: uniform degree 3 achieves the best "
                 "bandwidth; non-uniform and higher degrees degrade "

@@ -132,6 +132,54 @@ void fill_rhs_raw(const BView& b)
     }
 }
 
+/// Backend selection behind the `--backend <name>` flag shared by all bench
+/// harnesses: sets PSPL_BACKEND for this process before the first dispatch
+/// caches the selection, so one binary produces records for any backend of
+/// the matrix (`bench_table3 --backend threads --json out.json`). Must be
+/// consumed at the top of main(), before any parallel dispatch or
+/// concurrency query. Like --json / --trace, the flag is removed from argv
+/// before benchmark::Initialize.
+struct BackendChoice {
+    std::string name; ///< requested name; empty = build default
+
+    static BackendChoice from_args(int& argc, char** argv)
+    {
+        BackendChoice choice;
+        for (int i = 1; i < argc; ++i) {
+            const char* value = nullptr;
+            int consumed = 0;
+            if (std::strcmp(argv[i], "--backend") == 0 && i + 1 < argc) {
+                value = argv[i + 1];
+                consumed = 2;
+            } else if (std::strncmp(argv[i], "--backend=", 10) == 0) {
+                value = argv[i] + 10;
+                consumed = 1;
+            }
+            if (consumed == 0) {
+                continue;
+            }
+            choice.name = value;
+            for (int j = i; j + consumed < argc; ++j) {
+                argv[j] = argv[j + consumed];
+            }
+            argc -= consumed;
+            break;
+        }
+        if (!choice.name.empty()) {
+            ::setenv("PSPL_BACKEND", choice.name.c_str(), 1);
+            Backend parsed;
+            if (!parse_backend(choice.name.c_str(), parsed)) {
+                std::fprintf(stderr,
+                             "bench: unknown --backend '%s' "
+                             "(serial|openmp|threads)\n",
+                             choice.name.c_str());
+                std::exit(EXIT_FAILURE);
+            }
+        }
+        return choice;
+    }
+};
+
 /// Warmup-and-repeat control shared by the summary sweeps: `--repeats <n>`
 /// sets the minimum number of timed runs per case and `--min-time <sec>`
 /// keeps adding runs until their summed wall time reaches the floor, so
@@ -304,6 +352,11 @@ public:
         // self-describing about how it was run (schema v2 fields).
         rec += std::string(", \"pspl_check\": ")
                + (pspl::debug::check_enabled ? "true" : "false");
+        // v4: which execution space produced this record (the runtime
+        // PSPL_BACKEND / --backend selection); thread count comes from the
+        // same selected space, so it is correct for every backend, not
+        // just OpenMP.
+        rec += ", \"backend\": " + str(DefaultExecutionSpace::name());
         rec += ", \"threads\": "
                + std::to_string(DefaultExecutionSpace::concurrency());
         rec += std::string(", \"pinned\": ")

@@ -1,14 +1,20 @@
 #include "parallel/execution.hpp"
 
+#include "parallel/threadpool.hpp"
+
 #include <atomic>
+#include <cctype>
+#include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <string>
 
 #if defined(PSPL_ENABLE_OPENMP)
 #include <omp.h>
+#endif
 #if defined(__linux__)
 #include <pthread.h>
 #include <sched.h>
-#endif
 #endif
 
 namespace pspl {
@@ -23,6 +29,166 @@ bool threads_pinned()
 {
     return g_pinned.load(std::memory_order_relaxed);
 }
+
+namespace detail {
+
+void note_threads_pinned(bool pinned)
+{
+    if (pinned) {
+        g_pinned.store(true, std::memory_order_relaxed);
+    }
+}
+
+int allowed_cpus(int* cpus, int cap)
+{
+#if defined(__linux__)
+    cpu_set_t allowed;
+    CPU_ZERO(&allowed);
+    if (sched_getaffinity(0, sizeof(allowed), &allowed) != 0) {
+        return 0;
+    }
+    int ncpu = 0;
+    for (int c = 0; c < CPU_SETSIZE && ncpu < cap; ++c) {
+        if (CPU_ISSET(c, &allowed)) {
+            cpus[ncpu++] = c;
+        }
+    }
+    return ncpu;
+#else
+    (void)cpus;
+    (void)cap;
+    return 0;
+#endif
+}
+
+} // namespace detail
+
+// ---------------------------------------------------------------------------
+// Runtime backend selection (PSPL_BACKEND).
+// ---------------------------------------------------------------------------
+
+const char* backend_name(Backend b)
+{
+    switch (b) {
+    case Backend::Serial:
+        return "serial";
+    case Backend::OpenMP:
+        return "openmp";
+    case Backend::Threads:
+        return "threads";
+    }
+    return "serial";
+}
+
+bool parse_backend(const char* text, Backend& out)
+{
+    if (text == nullptr || text[0] == '\0') {
+        return false;
+    }
+    std::string s(text);
+    for (char& c : s) {
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    }
+    if (s == "serial") {
+        out = Backend::Serial;
+        return true;
+    }
+    if (s == "openmp" || s == "omp") {
+        out = Backend::OpenMP;
+        return true;
+    }
+    if (s == "threads" || s == "threadpool") {
+        out = Backend::Threads;
+        return true;
+    }
+    return false;
+}
+
+Backend default_backend()
+{
+    static const Backend selected = [] {
+#if defined(PSPL_ENABLE_OPENMP)
+        const Backend build_default = Backend::OpenMP;
+#else
+        const Backend build_default = Backend::Threads;
+#endif
+        const char* env = std::getenv("PSPL_BACKEND");
+        if (env == nullptr || env[0] == '\0') {
+            return build_default;
+        }
+        Backend parsed = build_default;
+        if (!parse_backend(env, parsed)) {
+            std::fprintf(stderr,
+                         "pspl: unknown PSPL_BACKEND '%s' "
+                         "(serial|openmp|threads); using %s\n",
+                         env, backend_name(build_default));
+            return build_default;
+        }
+#if !defined(PSPL_ENABLE_OPENMP)
+        if (parsed == Backend::OpenMP) {
+            std::fprintf(stderr,
+                         "pspl: PSPL_BACKEND=openmp requested but this "
+                         "build has no OpenMP; using %s\n",
+                         backend_name(build_default));
+            return build_default;
+        }
+#endif
+        return parsed;
+    }();
+    return selected;
+}
+
+const char* Host::name()
+{
+    switch (default_backend()) {
+    case Backend::Serial:
+        return Serial::name();
+#if defined(PSPL_ENABLE_OPENMP)
+    case Backend::OpenMP:
+        return OpenMP::name();
+#endif
+    case Backend::Threads:
+        return Threads::name();
+    default:
+        return Serial::name();
+    }
+}
+
+int Host::concurrency()
+{
+    switch (default_backend()) {
+    case Backend::Serial:
+        return Serial::concurrency();
+#if defined(PSPL_ENABLE_OPENMP)
+    case Backend::OpenMP:
+        return OpenMP::concurrency();
+#endif
+    case Backend::Threads:
+        return Threads::concurrency();
+    default:
+        return Serial::concurrency();
+    }
+}
+
+int Host::thread_rank()
+{
+    switch (default_backend()) {
+    case Backend::Serial:
+        return Serial::thread_rank();
+#if defined(PSPL_ENABLE_OPENMP)
+    case Backend::OpenMP:
+        return OpenMP::thread_rank();
+#endif
+    case Backend::Threads:
+        return Threads::thread_rank();
+    default:
+        return Serial::thread_rank();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// OpenMP backend.
+// ---------------------------------------------------------------------------
 
 #if defined(PSPL_ENABLE_OPENMP)
 
@@ -45,20 +211,10 @@ void pin_openmp_threads()
     if (env == nullptr || env[0] != '1') {
         return;
     }
-    // Enumerate the CPUs this process may run on; pinning round-robins the
-    // OpenMP workers over that set (respecting an outer taskset/cgroup).
-    cpu_set_t allowed;
-    CPU_ZERO(&allowed);
-    if (sched_getaffinity(0, sizeof(allowed), &allowed) != 0) {
-        return;
-    }
-    int cpus[CPU_SETSIZE];
-    int ncpu = 0;
-    for (int c = 0; c < CPU_SETSIZE; ++c) {
-        if (CPU_ISSET(c, &allowed)) {
-            cpus[ncpu++] = c;
-        }
-    }
+    // Round-robin the OpenMP workers over the process affinity mask
+    // (respecting an outer taskset/cgroup).
+    int cpus[detail::max_pin_cpus];
+    const int ncpu = detail::allowed_cpus(cpus, detail::max_pin_cpus);
     if (ncpu == 0) {
         return;
     }
@@ -70,7 +226,7 @@ void pin_openmp_threads()
         CPU_SET(cpus[omp_get_thread_num() % ncpu], &one);
         ok = pthread_setaffinity_np(pthread_self(), sizeof(one), &one) == 0;
     }
-    g_pinned.store(ok, std::memory_order_relaxed);
+    detail::note_threads_pinned(ok);
 #endif
 }
 
@@ -83,5 +239,67 @@ void OpenMP::ensure_pinned()
 }
 
 #endif // PSPL_ENABLE_OPENMP
+
+// ---------------------------------------------------------------------------
+// First-touch fill, routed through whichever backend will run the compute.
+// ---------------------------------------------------------------------------
+
+namespace detail {
+
+namespace {
+
+/// memset one partition chunk; the executing worker's first touch decides
+/// the page's NUMA home.
+struct FirstTouchTask final : ThreadPool::Task {
+    unsigned char* base;
+    explicit FirstTouchTask(unsigned char* p) : base(p) {}
+    void run_chunk(std::size_t begin, std::size_t end, std::size_t,
+                   int) const override
+    {
+        std::memset(base + begin, 0, end - begin);
+    }
+};
+
+} // namespace
+
+void first_touch_zero(void* data, std::size_t bytes)
+{
+    if (bytes == 0) {
+        return;
+    }
+    unsigned char* p = static_cast<unsigned char*>(data);
+    switch (default_backend()) {
+#if defined(PSPL_ENABLE_OPENMP)
+    case Backend::OpenMP: {
+        OpenMP::ensure_pinned();
+        // Same contiguous per-thread split as schedule(static) over the
+        // element range the kernels will use.
+#pragma omp parallel
+        {
+            const std::size_t nt
+                    = static_cast<std::size_t>(omp_get_num_threads());
+            const std::size_t r
+                    = static_cast<std::size_t>(omp_get_thread_num());
+            const std::size_t lo = bytes * r / nt;
+            const std::size_t hi = bytes * (r + 1) / nt;
+            std::memset(p + lo, 0, hi - lo);
+        }
+        break;
+    }
+#endif
+    case Backend::Threads: {
+        ThreadPool& pool = ThreadPool::instance();
+        const FirstTouchTask task(p);
+        const std::vector<std::size_t> bounds = pool.partition(0, bytes);
+        pool.run(bounds, task);
+        break;
+    }
+    default:
+        std::memset(p, 0, bytes);
+        break;
+    }
+}
+
+} // namespace detail
 
 } // namespace pspl

@@ -1,11 +1,15 @@
 // Execution spaces.
 //
-// Two host backends stand in for the paper's {OpenMP, CUDA, HIP} set: the
+// Three host backends stand in for the paper's {OpenMP, CUDA, HIP} set: the
 // user code is written once against the execution-space template parameter
-// and recompiles unchanged for either backend, which is the portability
-// property under study.
+// and recompiles unchanged for any backend, which is the portability
+// property under study. Serial is the single-threaded reference, OpenMP the
+// compiler-runtime-backed space, and Threads a from-scratch persistent
+// work-stealing pool (threadpool.hpp) that proves the dispatch layer does
+// not secretly depend on OpenMP semantics.
 #pragma once
 
+#include <cstddef>
 #include <string>
 
 namespace pspl {
@@ -22,10 +26,22 @@ struct Serial {
     static void fence() {}
 };
 
-/// True when PSPL_PIN=1 successfully pinned the OpenMP worker threads to
-/// distinct CPUs (always false for Serial-only builds or when pinning was
-/// not requested / failed). Recorded in perf reports for provenance.
+/// True when PSPL_PIN=1 successfully pinned the worker threads (OpenMP or
+/// pool) to distinct CPUs (always false when pinning was not requested or
+/// failed). Recorded in perf reports for provenance.
 bool threads_pinned();
+
+/// Work-stealing thread-pool backend: a process-wide persistent pool
+/// (threadpool.hpp) sized by PSPL_NUM_THREADS, scheduled by PSPL_SCHEDULE
+/// and pinned by PSPL_PIN. Always compiled -- it needs nothing beyond
+/// std::thread -- so every build has a parallel backend even without
+/// OpenMP.
+struct Threads {
+    static const char* name() { return "Threads"; }
+    static int concurrency();
+    static int thread_rank();
+    static void fence() {}
+};
 
 #if defined(PSPL_ENABLE_OPENMP)
 /// OpenMP thread-parallel backend.
@@ -40,16 +56,68 @@ struct OpenMP {
     /// Subsequent calls are a single static-initialization check.
     static void ensure_pinned();
 };
-
-using DefaultExecutionSpace = OpenMP;
-#else
-using DefaultExecutionSpace = Serial;
 #endif
+
+/// Runtime identity of a compiled-in backend, selectable per process with
+/// PSPL_BACKEND=serial|openmp|threads.
+enum class Backend { Serial, OpenMP, Threads };
+
+/// Canonical lower-case name as spelled in PSPL_BACKEND and perf reports.
+const char* backend_name(Backend b);
+
+/// Pure parser for a PSPL_BACKEND value (case-insensitive). Returns false
+/// and leaves `out` untouched on unrecognized text; availability of the
+/// parsed backend in this build is the caller's concern.
+bool parse_backend(const char* text, Backend& out);
+
+/// Process-wide default backend, resolved once on first use: PSPL_BACKEND
+/// when set, valid and compiled in; otherwise OpenMP when compiled,
+/// otherwise Threads. An unusable request falls back to the build default
+/// with a warning on stderr rather than aborting.
+Backend default_backend();
+
+/// Forwarding execution space: dispatches on default_backend() at run time,
+/// so one binary serves the whole backend matrix (`PSPL_BACKEND=threads
+/// ./test` reruns every default-space kernel on the pool). Satisfies the
+/// same ExecutionSpace concept and dispatch contracts as the concrete
+/// spaces; parallel.hpp routes its dispatch overloads to the selected
+/// concrete backend.
+struct Host {
+    static const char* name();
+    static int concurrency();
+    static int thread_rank();
+    static void fence() {}
+};
+
+using DefaultExecutionSpace = Host;
 
 template <class Exec>
 concept ExecutionSpace = requires {
     { Exec::name() };
     { Exec::concurrency() };
 };
+
+namespace detail {
+
+/// Zero `bytes` bytes of `data` from inside a parallel region of the
+/// selected default backend (its static split), so first-touched pages are
+/// distributed across NUMA nodes the same way the compute kernels will
+/// visit them. Serial memset when single-threaded. The View FirstTouch
+/// constructor is the only intended caller.
+void first_touch_zero(void* data, std::size_t bytes);
+
+/// Records the PSPL_PIN outcome reported by threads_pinned(); shared by the
+/// OpenMP pinning path and the pool's.
+void note_threads_pinned(bool pinned);
+
+/// Upper bound on the CPUs allowed_cpus() enumerates.
+inline constexpr int max_pin_cpus = 1024;
+
+/// Enumerate the CPUs of this process's affinity mask (the round-robin pin
+/// targets, respecting an outer taskset/cgroup) into `cpus`, up to `cap`.
+/// Returns the count; 0 when unavailable (non-Linux) or on error.
+int allowed_cpus(int* cpus, int cap);
+
+} // namespace detail
 
 } // namespace pspl

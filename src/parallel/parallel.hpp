@@ -11,12 +11,14 @@
 #include "parallel/execution.hpp"
 #include "parallel/macros.hpp"
 #include "parallel/profiling.hpp"
+#include "parallel/threadpool.hpp"
 
 #include <array>
 #include <cstddef>
 #include <limits>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace pspl {
 
@@ -139,6 +141,192 @@ void dispatch_reduce(OpenMP, std::size_t b, std::size_t e, const F& f, T& result
     result = combine(result, acc);
 }
 #endif
+
+// ---------------------------------------------------------------------------
+// Threads backend: trampolines from the templated dispatch onto the
+// type-erased ThreadPool::Task interface. One virtual call per chunk; the
+// user functor inlines into the chunk loop. Chunk boundaries come from the
+// pool's PSPL_SCHEDULE partition and depend only on (range, pool size), so
+// per-iteration arithmetic -- and therefore results -- are bitwise
+// identical to the Serial backend. A dispatch from inside a pool task runs
+// inline on the calling worker (nested parallelism is sequentialized, as
+// with nested OpenMP regions at default settings).
+// ---------------------------------------------------------------------------
+
+template <class F>
+void dispatch_range(Threads, std::size_t b, std::size_t e, const F& f)
+{
+    if (ThreadPool::in_task()) {
+        for (std::size_t i = b; i < e; ++i) {
+            f(i);
+        }
+        return;
+    }
+    ThreadPool& pool = ThreadPool::instance();
+    struct Body final : ThreadPool::Task {
+        const F& f;
+        explicit Body(const F& fn) : f(fn) {}
+        void run_chunk(std::size_t cb, std::size_t ce, std::size_t,
+                       int) const override
+        {
+            for (std::size_t i = cb; i < ce; ++i) {
+                f(i);
+            }
+        }
+    };
+    const Body body(f);
+    const std::vector<std::size_t> bounds = pool.partition(b, e);
+    pool.run(bounds, body);
+}
+
+template <class F>
+void dispatch_md2(Threads, std::size_t n0, std::size_t n1, const F& f)
+{
+    // Flattened like an OpenMP collapse(2): one index space, row-major
+    // unflattening per iteration.
+    dispatch_range(Threads{}, 0, n0 * n1, [&f, n1](std::size_t i) {
+        f(i / n1, i % n1);
+    });
+}
+
+template <class F>
+void dispatch_md3(Threads, std::size_t n0, std::size_t n1, std::size_t n2,
+                  const F& f)
+{
+    const std::size_t n12 = n1 * n2;
+    dispatch_range(Threads{}, 0, n0 * n12, [&f, n1, n2, n12](std::size_t i) {
+        const std::size_t j = i % n12;
+        f(i / n12, j / n2, j % n2);
+    });
+}
+
+template <class F, class T, class Combine>
+void dispatch_reduce(Threads, std::size_t b, std::size_t e, const F& f,
+                     T& result, T identity, Combine combine)
+{
+    if (ThreadPool::in_task()) {
+        T acc = identity;
+        for (std::size_t i = b; i < e; ++i) {
+            f(i, acc);
+        }
+        result = combine(result, acc);
+        return;
+    }
+    ThreadPool& pool = ThreadPool::instance();
+    const std::vector<std::size_t> bounds = pool.partition(b, e);
+    const std::size_t nchunks = bounds.empty() ? 0 : bounds.size() - 1;
+    // One partial per chunk, combined in chunk order on the dispatching
+    // thread: the combine tree is a function of the partition alone, so
+    // floating-point reductions are bitwise reproducible run-to-run (which
+    // the OpenMP backend's arrival-ordered critical section is not).
+    std::vector<T> partials(nchunks, identity);
+    struct Body final : ThreadPool::Task {
+        const F& f;
+        T* slots;
+        T init;
+        Body(const F& fn, T* s, T id) : f(fn), slots(s), init(id) {}
+        void run_chunk(std::size_t cb, std::size_t ce, std::size_t chunk,
+                       int) const override
+        {
+            T local = init;
+            for (std::size_t i = cb; i < ce; ++i) {
+                f(i, local);
+            }
+            slots[chunk] = local;
+        }
+    };
+    const Body body(f, partials.data(), identity);
+    pool.run(bounds, body);
+    T acc = identity;
+    for (std::size_t c = 0; c < nchunks; ++c) {
+        acc = combine(acc, partials[c]);
+    }
+    result = combine(result, acc);
+}
+
+// ---------------------------------------------------------------------------
+// Host backend: runtime forwarding to the PSPL_BACKEND-selected space.
+// Declared after every concrete backend so unqualified lookup from these
+// definitions sees them all.
+// ---------------------------------------------------------------------------
+
+template <class F>
+void dispatch_range(Host, std::size_t b, std::size_t e, const F& f)
+{
+    switch (default_backend()) {
+#if defined(PSPL_ENABLE_OPENMP)
+    case Backend::OpenMP:
+        dispatch_range(OpenMP{}, b, e, f);
+        return;
+#endif
+    case Backend::Threads:
+        dispatch_range(Threads{}, b, e, f);
+        return;
+    case Backend::Serial:
+    default:
+        dispatch_range(Serial{}, b, e, f);
+        return;
+    }
+}
+
+template <class F>
+void dispatch_md2(Host, std::size_t n0, std::size_t n1, const F& f)
+{
+    switch (default_backend()) {
+#if defined(PSPL_ENABLE_OPENMP)
+    case Backend::OpenMP:
+        dispatch_md2(OpenMP{}, n0, n1, f);
+        return;
+#endif
+    case Backend::Threads:
+        dispatch_md2(Threads{}, n0, n1, f);
+        return;
+    case Backend::Serial:
+    default:
+        dispatch_md2(Serial{}, n0, n1, f);
+        return;
+    }
+}
+
+template <class F>
+void dispatch_md3(Host, std::size_t n0, std::size_t n1, std::size_t n2,
+                  const F& f)
+{
+    switch (default_backend()) {
+#if defined(PSPL_ENABLE_OPENMP)
+    case Backend::OpenMP:
+        dispatch_md3(OpenMP{}, n0, n1, n2, f);
+        return;
+#endif
+    case Backend::Threads:
+        dispatch_md3(Threads{}, n0, n1, n2, f);
+        return;
+    case Backend::Serial:
+    default:
+        dispatch_md3(Serial{}, n0, n1, n2, f);
+        return;
+    }
+}
+
+template <class F, class T, class Combine>
+void dispatch_reduce(Host, std::size_t b, std::size_t e, const F& f,
+                     T& result, T identity, Combine combine)
+{
+    switch (default_backend()) {
+#if defined(PSPL_ENABLE_OPENMP)
+    case Backend::OpenMP:
+        dispatch_reduce(OpenMP{}, b, e, f, result, identity, combine);
+        return;
+#endif
+    case Backend::Threads:
+        dispatch_reduce(Threads{}, b, e, f, result, identity, combine);
+        return;
+    case Backend::Serial:
+    default:
+        dispatch_reduce(Serial{}, b, e, f, result, identity, combine);
+        return;
+    }
+}
 
 /// Reduce dispatch with the same region/iteration instrumentation as
 /// parallel_for (reduce functors may write Views besides the accumulator).

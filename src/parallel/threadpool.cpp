@@ -1,0 +1,375 @@
+#include "parallel/threadpool.hpp"
+
+#include "parallel/execution.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace pspl {
+
+namespace {
+
+// Worker identity of the calling thread. Non-pool threads keep rank 0 (they
+// are "worker 0" whenever they dispatch) and are never inside a task.
+thread_local int t_rank = 0;
+thread_local bool t_in_task = false;
+
+int pool_size_from_env()
+{
+    if (const char* env = std::getenv("PSPL_NUM_THREADS")) {
+        const long v = std::atol(env);
+        if (v > 0) {
+            return static_cast<int>(v);
+        }
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+#if defined(__linux__)
+void pin_to_cpu(int cpu)
+{
+    cpu_set_t one;
+    CPU_ZERO(&one);
+    CPU_SET(cpu, &one);
+    (void)pthread_setaffinity_np(pthread_self(), sizeof(one), &one);
+}
+#endif
+
+} // namespace
+
+namespace detail {
+
+ScheduleSpec ScheduleSpec::parse(const char* text)
+{
+    ScheduleSpec spec;
+    if (text == nullptr || text[0] == '\0') {
+        return spec;
+    }
+    std::string s(text);
+    for (char& c : s) {
+        c = static_cast<char>(
+                std::tolower(static_cast<unsigned char>(c)));
+    }
+    std::string kind = s;
+    if (const std::size_t comma = s.find(','); comma != std::string::npos) {
+        kind = s.substr(0, comma);
+        const long v = std::atol(s.c_str() + comma + 1);
+        if (v > 0) {
+            spec.chunk = static_cast<std::size_t>(v);
+        }
+    }
+    if (kind == "dynamic") {
+        spec.kind = ScheduleSpec::Kind::Dynamic;
+    } else if (kind == "guided") {
+        spec.kind = ScheduleSpec::Kind::Guided;
+    } else {
+        spec.kind = ScheduleSpec::Kind::Static;
+    }
+    return spec;
+}
+
+std::vector<std::size_t> partition_range(std::size_t begin, std::size_t end,
+                                         int nworkers, ScheduleSpec spec)
+{
+    std::vector<std::size_t> bounds;
+    if (end <= begin) {
+        return bounds;
+    }
+    const std::size_t total = end - begin;
+    const std::size_t p
+            = nworkers > 0 ? static_cast<std::size_t>(nworkers) : 1;
+
+    const auto fixed_chunks = [&](std::size_t chunk) {
+        bounds.reserve(total / chunk + 2);
+        bounds.push_back(begin);
+        for (std::size_t cur = begin; cur < end;) {
+            cur += std::min(chunk, end - cur);
+            bounds.push_back(cur);
+        }
+    };
+
+    switch (spec.kind) {
+    case ScheduleSpec::Kind::Static:
+        if (spec.chunk == 0) {
+            // One near-equal block per worker, remainder spread over the
+            // first blocks -- the same split OpenMP schedule(static) uses.
+            const std::size_t nchunks = std::min(total, p);
+            const std::size_t q = total / nchunks;
+            const std::size_t r = total % nchunks;
+            bounds.reserve(nchunks + 1);
+            bounds.push_back(begin);
+            std::size_t cur = begin;
+            for (std::size_t c = 0; c < nchunks; ++c) {
+                cur += q + (c < r ? 1 : 0);
+                bounds.push_back(cur);
+            }
+        } else {
+            fixed_chunks(spec.chunk);
+        }
+        break;
+    case ScheduleSpec::Kind::Dynamic: {
+        // Default chunk: 8 chunks per worker balances steal traffic
+        // against tail imbalance, like common OMP dynamic defaults.
+        const std::size_t chunk
+                = spec.chunk != 0
+                          ? spec.chunk
+                          : std::max<std::size_t>(1, total / (p * 8));
+        fixed_chunks(chunk);
+        break;
+    }
+    case ScheduleSpec::Kind::Guided: {
+        // Decreasing chunks: half the remaining work spread over the
+        // workers, floored at the requested minimum chunk.
+        const std::size_t minc = std::max<std::size_t>(1, spec.chunk);
+        bounds.reserve(p * 4 + 2);
+        bounds.push_back(begin);
+        std::size_t cur = begin;
+        while (cur < end) {
+            const std::size_t remaining = end - cur;
+            std::size_t c = std::max(minc, remaining / (2 * p));
+            c = std::min(c, remaining);
+            cur += c;
+            bounds.push_back(cur);
+        }
+        break;
+    }
+    }
+    return bounds;
+}
+
+} // namespace detail
+
+ThreadPool& ThreadPool::instance()
+{
+    static ThreadPool pool;
+    return pool;
+}
+
+int ThreadPool::worker_rank() noexcept
+{
+    return t_rank;
+}
+
+bool ThreadPool::in_task() noexcept
+{
+    return t_in_task;
+}
+
+ThreadPool::ThreadPool()
+    : m_size(pool_size_from_env())
+    , m_schedule(detail::ScheduleSpec::parse(std::getenv("PSPL_SCHEDULE")))
+    , m_deques(static_cast<std::size_t>(m_size))
+{
+
+    // PSPL_PIN=1: round-robin the workers over the process affinity mask,
+    // same contract as the OpenMP backend. The dispatching thread is
+    // worker 0 and gets the first CPU of the mask.
+    int cpus[detail::max_pin_cpus];
+    int ncpu = 0;
+    const char* pin_env = std::getenv("PSPL_PIN");
+    const bool want_pin = pin_env != nullptr && pin_env[0] == '1';
+    if (want_pin) {
+        ncpu = detail::allowed_cpus(cpus, detail::max_pin_cpus);
+    }
+#if defined(__linux__)
+    if (want_pin && ncpu > 0) {
+        pin_to_cpu(cpus[0]);
+        detail::note_threads_pinned(true);
+    }
+#endif
+
+    m_threads.reserve(static_cast<std::size_t>(m_size - 1));
+    for (int r = 1; r < m_size; ++r) {
+        // Capture the worker's pin target by value: the thread may only
+        // start after this constructor's stack frame is gone.
+        const int cpu = (want_pin && ncpu > 0) ? cpus[r % ncpu] : -1;
+        m_threads.emplace_back([this, r, cpu] {
+#if defined(__linux__)
+            if (cpu >= 0) {
+                pin_to_cpu(cpu);
+            }
+#else
+            (void)cpu;
+#endif
+            worker_loop(r);
+        });
+    }
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lk(m_mutex);
+        m_shutdown = true;
+    }
+    m_cv.notify_all();
+    for (std::thread& t : m_threads) {
+        t.join();
+    }
+}
+
+void ThreadPool::record_exception()
+{
+    std::lock_guard<std::mutex> lk(m_exc_mutex);
+    if (!m_exception) {
+        m_exception = std::current_exception();
+    }
+}
+
+void ThreadPool::run_inline(const std::vector<std::size_t>& bounds,
+                            const Task& task)
+{
+    // Nested (or single-worker) execution on the calling thread: chunks in
+    // ascending order, exceptions propagate directly.
+    const bool was_in_task = t_in_task;
+    t_in_task = true;
+    const std::size_t nchunks = bounds.size() - 1;
+    try {
+        for (std::size_t c = 0; c < nchunks; ++c) {
+            task.run_chunk(bounds[c], bounds[c + 1], c, t_rank);
+        }
+    } catch (...) {
+        t_in_task = was_in_task;
+        throw;
+    }
+    t_in_task = was_in_task;
+}
+
+void ThreadPool::run(const std::vector<std::size_t>& bounds, const Task& task)
+{
+    if (bounds.size() < 2) {
+        return; // empty range
+    }
+    if (m_size == 1 || t_in_task) {
+        run_inline(bounds, task);
+        return;
+    }
+
+    std::lock_guard<std::mutex> run_lock(m_run_mutex);
+    {
+        // Quiescent refill: the previous epoch has fully drained (run()
+        // waited for m_in_epoch == 0) and no new epoch can start while we
+        // hold m_run_mutex, so plain writes here are safe. They become
+        // visible to workers through the m_remaining release store (late
+        // spinners) or the m_mutex handover (sleepers).
+        std::lock_guard<std::mutex> lk(m_mutex);
+        const std::size_t nchunks = bounds.size() - 1;
+        m_bounds = bounds.data();
+        m_task = &task;
+        m_exception = nullptr;
+        const std::size_t p = static_cast<std::size_t>(m_size);
+        for (std::size_t w = 0; w < p; ++w) {
+            // Worker w owns chunks w, w+P, w+2P, ... (round-robin, the
+            // schedule(static, chunk) assignment); listed in descending
+            // order so the owner's bottom-first pops walk them ascending.
+            m_fill.clear();
+            for (std::size_t c = w; c < nchunks; c += p) {
+                m_fill.push_back(c);
+            }
+            std::reverse(m_fill.begin(), m_fill.end());
+            m_deques[w].reset(m_fill.data(), m_fill.size());
+        }
+        m_remaining.store(static_cast<std::int64_t>(nchunks),
+                          std::memory_order_release);
+        ++m_epoch;
+        m_epochs_started.fetch_add(1, std::memory_order_relaxed);
+    }
+    m_cv.notify_all();
+
+    work(0);
+
+    // All chunks have executed; wait for workers to check out so the next
+    // refill is quiescent and `task`/`bounds` can safely go out of scope.
+    while (m_in_epoch.load(std::memory_order_acquire) != 0) {
+        std::this_thread::yield();
+    }
+
+    std::exception_ptr ex;
+    {
+        std::lock_guard<std::mutex> lk(m_exc_mutex);
+        ex = m_exception;
+        m_exception = nullptr;
+    }
+    if (ex) {
+        std::rethrow_exception(ex);
+    }
+}
+
+bool ThreadPool::steal_any(int rank, std::size_t& chunk)
+{
+    const int p = m_size;
+    for (int k = 1; k < p; ++k) {
+        const int victim = (rank + k) % p;
+        if (m_deques[static_cast<std::size_t>(victim)].steal(chunk)) {
+            return true;
+        }
+    }
+    return false;
+}
+
+void ThreadPool::work(int rank)
+{
+    while (m_remaining.load(std::memory_order_acquire) > 0) {
+        std::size_t chunk;
+        if (m_deques[static_cast<std::size_t>(rank)].pop(chunk)
+            || steal_any(rank, chunk)) {
+            // The acquire load above that observed remaining > 0 ordered
+            // these plain reads after the epoch's refill.
+            const Task* task = m_task;
+            const std::size_t* bounds = m_bounds;
+            t_in_task = true;
+            try {
+                task->run_chunk(bounds[chunk], bounds[chunk + 1], chunk,
+                                rank);
+            } catch (...) {
+                record_exception();
+            }
+            t_in_task = false;
+            m_remaining.fetch_sub(1, std::memory_order_acq_rel);
+        } else {
+            std::this_thread::yield();
+        }
+    }
+}
+
+void ThreadPool::worker_loop(int rank)
+{
+    t_rank = rank;
+    std::uint64_t seen = 0;
+    std::unique_lock<std::mutex> lk(m_mutex);
+    for (;;) {
+        m_cv.wait(lk, [&] { return m_shutdown || m_epoch != seen; });
+        if (m_shutdown) {
+            return;
+        }
+        seen = m_epoch;
+        m_in_epoch.fetch_add(1, std::memory_order_acq_rel);
+        lk.unlock();
+        work(rank);
+        m_in_epoch.fetch_sub(1, std::memory_order_release);
+        lk.lock();
+    }
+}
+
+// --- pspl::Threads execution-space surface (declared in execution.hpp) ---
+
+int Threads::concurrency()
+{
+    return ThreadPool::instance().concurrency();
+}
+
+int Threads::thread_rank()
+{
+    return ThreadPool::worker_rank();
+}
+
+} // namespace pspl

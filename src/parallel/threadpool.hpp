@@ -1,0 +1,228 @@
+// Persistent work-stealing thread pool backing the pspl::Threads execution
+// space.
+//
+// One process-wide pool is created lazily on first dispatch, sized by
+// PSPL_NUM_THREADS (default: hardware concurrency) and optionally pinned by
+// PSPL_PIN=1 exactly like the OpenMP backend. Dispatch carves the iteration
+// range into chunks under the PSPL_SCHEDULE policy (static / dynamic /
+// guided, mirroring the OpenMP schedule kinds), deals the chunks round-robin
+// onto per-worker Chase-Lev deques, and publishes an epoch: workers drain
+// their own deque bottom-first and steal from the top of their neighbours'
+// when empty. The dispatching thread participates as worker 0 and the epoch
+// completes when every chunk has executed, so a dispatch can finish even if
+// no worker thread ever wakes (this is what keeps fork-based death tests
+// safe: the child re-runs all chunks on its only thread).
+//
+// Epoch protocol, and why it is data-race-free: deques are refilled by the
+// dispatching thread while the pool is quiescent -- after the previous
+// epoch's chunks have all executed and every worker has checked out -- and
+// the new epoch is published with one release store of the remaining-chunk
+// counter. A worker only touches deque buffers or the bounds table after an
+// acquire load of that counter observes the new epoch, so every plain access
+// is ordered by the release/acquire pair (or by the wakeup mutex). Unlike
+// the general Chase-Lev algorithm there are no owner pushes or buffer grows
+// during an epoch; the buffers are immutable until the next refill.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pspl {
+
+namespace detail {
+
+/// Parsed PSPL_SCHEDULE value: "static[,chunk]", "dynamic[,chunk]" or
+/// "guided[,min_chunk]" (case-insensitive), mirroring OMP_SCHEDULE. chunk=0
+/// means the policy default (static: one chunk per worker; dynamic:
+/// total/(8*workers); guided: minimum chunk of 1).
+struct ScheduleSpec {
+    enum class Kind { Static, Dynamic, Guided };
+    Kind kind = Kind::Static;
+    std::size_t chunk = 0;
+
+    /// Pure parser (testable without env juggling); nullptr, empty or
+    /// unrecognized text yields the default static spec.
+    static ScheduleSpec parse(const char* text);
+};
+
+/// Chunk boundaries for [begin, end): bounds[c] .. bounds[c+1] is chunk c.
+/// Empty when the range is empty. Depends only on (range, nworkers, spec) --
+/// never on timing -- which is what makes reductions over the chunks
+/// bitwise deterministic.
+std::vector<std::size_t> partition_range(std::size_t begin, std::size_t end,
+                                         int nworkers, ScheduleSpec spec);
+
+/// Single-owner work-stealing deque (Chase-Lev), specialized for the epoch
+/// protocol above: reset() is only called while the pool is quiescent, so
+/// there are no concurrent pushes or grows and the buffer is immutable for
+/// the whole epoch. The owner pops from the bottom (its chunks in ascending
+/// order), thieves take from the top. seq_cst on the contended operations:
+/// chunk granularity makes the barrier cost irrelevant and it avoids the
+/// standalone-fence formulation that ThreadSanitizer models poorly.
+class ChaseLevDeque
+{
+public:
+    /// Quiescent refill; chunks[count-1] is popped first by the owner,
+    /// chunks[0] is stolen first. Not safe against concurrent pop/steal.
+    void reset(const std::size_t* chunks, std::size_t count)
+    {
+        m_buf.assign(chunks, chunks + count);
+        m_top.store(0, std::memory_order_relaxed);
+        m_bottom.store(static_cast<std::int64_t>(count),
+                       std::memory_order_relaxed);
+    }
+
+    /// Owner-only take from the bottom.
+    bool pop(std::size_t& out)
+    {
+        const std::int64_t b
+                = m_bottom.load(std::memory_order_relaxed) - 1;
+        m_bottom.store(b, std::memory_order_seq_cst);
+        std::int64_t t = m_top.load(std::memory_order_seq_cst);
+        if (t <= b) {
+            out = m_buf[static_cast<std::size_t>(b)];
+            if (t == b) {
+                // Last element: race the thieves for it, then restore the
+                // canonical empty state either way.
+                const bool won = m_top.compare_exchange_strong(
+                        t, t + 1, std::memory_order_seq_cst,
+                        std::memory_order_relaxed);
+                m_bottom.store(b + 1, std::memory_order_relaxed);
+                return won;
+            }
+            return true;
+        }
+        m_bottom.store(b + 1, std::memory_order_relaxed);
+        return false;
+    }
+
+    /// Thief-side take from the top.
+    bool steal(std::size_t& out)
+    {
+        std::int64_t t = m_top.load(std::memory_order_seq_cst);
+        const std::int64_t b = m_bottom.load(std::memory_order_seq_cst);
+        if (t < b) {
+            out = m_buf[static_cast<std::size_t>(t)];
+            return m_top.compare_exchange_strong(t, t + 1,
+                                                 std::memory_order_seq_cst,
+                                                 std::memory_order_relaxed);
+        }
+        return false;
+    }
+
+private:
+    alignas(64) std::atomic<std::int64_t> m_top{0};
+    alignas(64) std::atomic<std::int64_t> m_bottom{0};
+    std::vector<std::size_t> m_buf;
+};
+
+} // namespace detail
+
+/// The process-wide pool. User code never talks to it directly -- the
+/// pspl::Threads execution space and the dispatch layer in parallel.hpp do.
+class ThreadPool
+{
+public:
+    /// One chunk of a dispatched range. Implementations are stateless
+    /// trampolines over the user functor; `chunk` is the chunk's index in
+    /// the epoch's partition (reductions key their partial slots on it) and
+    /// `worker` the executing worker rank in [0, concurrency()).
+    struct Task {
+        virtual void run_chunk(std::size_t begin, std::size_t end,
+                               std::size_t chunk, int worker) const = 0;
+
+    protected:
+        ~Task() = default;
+    };
+
+    /// Lazily created singleton; the first call spawns the workers.
+    static ThreadPool& instance();
+
+    /// Rank of the calling thread: its worker id while executing a pool
+    /// task, 0 otherwise (the dispatching thread is worker 0).
+    static int worker_rank() noexcept;
+
+    /// True while the calling thread is executing a pool task; nested
+    /// dispatches test this and run inline instead of re-entering the pool.
+    static bool in_task() noexcept;
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+    ~ThreadPool();
+
+    int concurrency() const noexcept { return m_size; }
+
+    /// Worker threads actually spawned (concurrency() - 1; the dispatching
+    /// thread is the remaining worker). Exposed for tests.
+    int workers_spawned() const noexcept
+    {
+        return static_cast<int>(m_threads.size());
+    }
+
+    /// Dispatch epochs started so far; a reused pool keeps counting up.
+    std::uint64_t epochs() const noexcept
+    {
+        return m_epochs_started.load(std::memory_order_relaxed);
+    }
+
+    detail::ScheduleSpec schedule() const noexcept { return m_schedule; }
+
+    /// Chunk boundaries for [begin, end) under this pool's PSPL_SCHEDULE.
+    std::vector<std::size_t> partition(std::size_t begin,
+                                       std::size_t end) const
+    {
+        return detail::partition_range(begin, end, m_size, m_schedule);
+    }
+
+    /// Execute `task` over every chunk of `bounds` (a partition() result,
+    /// which the caller keeps alive for the duration). The calling thread
+    /// participates as worker 0; returns once all chunks have executed and
+    /// every worker has left the epoch. Concurrent run() calls from
+    /// different host threads serialize; a call from inside a pool task
+    /// executes inline on the calling worker. The first exception thrown by
+    /// a chunk is rethrown here after the epoch completes (remaining chunks
+    /// still execute).
+    void run(const std::vector<std::size_t>& bounds, const Task& task);
+
+private:
+    ThreadPool();
+
+    void worker_loop(int rank);
+    void work(int rank);
+    bool steal_any(int rank, std::size_t& chunk);
+    void record_exception();
+    void run_inline(const std::vector<std::size_t>& bounds, const Task& task);
+
+    int m_size = 1;
+    detail::ScheduleSpec m_schedule;
+
+    std::mutex m_run_mutex; ///< serializes epochs across host threads
+
+    std::mutex m_mutex; ///< guards m_epoch / m_shutdown and the wakeup cv
+    std::condition_variable m_cv;
+    std::uint64_t m_epoch = 0;
+    bool m_shutdown = false;
+
+    std::vector<std::thread> m_threads;
+    std::vector<detail::ChaseLevDeque> m_deques;
+    std::vector<std::size_t> m_fill; ///< per-worker refill scratch
+
+    // Epoch state, written during the quiescent refill and published by the
+    // release store of m_remaining (see the file comment for the protocol).
+    const std::size_t* m_bounds = nullptr;
+    const Task* m_task = nullptr;
+    std::atomic<std::int64_t> m_remaining{0};
+    std::atomic<int> m_in_epoch{0};
+    std::atomic<std::uint64_t> m_epochs_started{0};
+
+    std::mutex m_exc_mutex;
+    std::exception_ptr m_exception;
+};
+
+} // namespace pspl

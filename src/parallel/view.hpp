@@ -9,6 +9,7 @@
 
 #include "core/concepts.hpp"
 #include "debug/instrument.hpp"
+#include "parallel/execution.hpp"
 #include "parallel/layout.hpp"
 #include "parallel/macros.hpp"
 #include "parallel/profiling.hpp"
@@ -93,10 +94,12 @@ public:
 
     /// NUMA-aware allocating constructor: same contract as the allocating
     /// constructor (zero-initialized elements), but the zero fill runs
-    /// under the OpenMP static schedule the compute kernels use, so the
-    /// first touch distributes pages across NUMA nodes to match them.
-    /// Under PSPL_CHECK the serial registered/poisoned path is kept --
-    /// placement fidelity is a performance property, not a semantic one.
+    /// inside a parallel region of the selected default backend (OpenMP or
+    /// the thread pool, whichever PSPL_BACKEND resolves to) under its
+    /// static split, so the first touch distributes pages across NUMA
+    /// nodes to match the compute kernels. Under PSPL_CHECK the serial
+    /// registered/poisoned path is kept -- placement fidelity is a
+    /// performance property, not a semantic one.
     template <class... Extents>
         requires(sizeof...(Extents) == Rank
                  && detail::all_integral_v<Extents...>
@@ -122,12 +125,11 @@ public:
             });
         } else {
             T* p = new T[n]; // uninitialized: the parallel fill touches it
-#if defined(PSPL_ENABLE_OPENMP)
-#pragma omp parallel for schedule(static)
-#endif
-            for (long long i = 0; i < static_cast<long long>(n); ++i) {
-                p[i] = T{};
-            }
+            // T is trivially default constructible, so T{} per element is
+            // zero-initialization: a byte-wise zero fill is the same
+            // initialization, parallelized by whichever backend will run
+            // the compute.
+            detail::first_touch_zero(p, n * sizeof(T));
             m_alloc = std::shared_ptr<T[]>(p, [n](T* q) {
                 profiling::note_free(n * sizeof(T));
                 delete[] q;

@@ -91,8 +91,11 @@ std::string report_json()
     const auto spans = profiling::snapshot_tree();
 
     std::string out = "{";
-    out += "\"schema\": \"pspl-perf-report-v3\"";
+    out += "\"schema\": \"pspl-perf-report-v4\"";
     out += ", \"isa\": " + json_str(compiled_isa_name());
+    // v4: which execution space ran the kernels (the runtime PSPL_BACKEND
+    // selection) -- the thread count below is meaningless without it.
+    out += ", \"backend\": " + json_str(DefaultExecutionSpace::name());
     // v3: working precision of the solve pipeline and the mixed path's
     // refinement iteration count (0 when the FP64 ladder ran).
     const std::string& prec = run_precision_storage();

@@ -15,7 +15,7 @@ std::string fmt(double value, int precision = 2);
 /// Seconds rendered with an adaptive unit (ns/us/ms/s), paper-style.
 std::string fmt_time(double seconds);
 
-/// Machine-readable performance report ("pspl-perf-report-v3"): host spec,
+/// Machine-readable performance report ("pspl-perf-report-v4"): host spec,
 /// View-allocator memory stats and every profiling span recorded so far
 /// (path-keyed, with derived achieved bandwidth / flop rate against the
 /// host peak model). Returns one stable JSON object; the bench harnesses
@@ -24,6 +24,8 @@ std::string fmt_time(double seconds);
 /// v3 adds the run's working precision ("double" / "single" / "mixed") and
 /// the refinement iteration count of the mixed-precision pipeline --
 /// provenance for every span's bandwidth, exactly like threads/tile_policy.
+/// v4 adds the executing backend (the runtime PSPL_BACKEND selection:
+/// "Serial" / "OpenMP" / "Threads"), which the thread count is relative to.
 std::string report_json();
 
 /// Set the schema-v3 run attributes embedded in report_json(). The bench

@@ -210,13 +210,13 @@ TEST_F(ProfilingFixture, ReportJsonSchemaRoundTrip)
     }
     const std::string report = pspl::perf::report_json();
     // Stable schema markers the CI diff tooling keys on.
-    EXPECT_NE(report.find("\"schema\": \"pspl-perf-report-v3\""),
+    EXPECT_NE(report.find("\"schema\": \"pspl-perf-report-v4\""),
               std::string::npos);
     for (const char* key :
          {"\"isa\"", "\"host\"", "\"peak_gflops\"", "\"peak_bw_gbs\"",
           "\"memory\"", "\"peak_bytes\"", "\"spans\"", "\"path\"",
           "\"count\"", "\"seconds\"", "\"bytes\"", "\"flops\"",
-          "\"precision\"", "\"refine_iters\"",
+          "\"precision\"", "\"refine_iters\"", "\"backend\"",
           "\"achieved_bw_gbs\"", "\"achieved_gflops\"",
           "\"bw_percent_of_peak\""}) {
         EXPECT_NE(report.find(key), std::string::npos) << key;

@@ -135,9 +135,9 @@ class CsrBlockTyped : public ::testing::Test
 };
 
 #if defined(PSPL_ENABLE_OPENMP)
-using ExecSpaces = ::testing::Types<pspl::Serial, pspl::OpenMP>;
+using ExecSpaces = ::testing::Types<pspl::Serial, pspl::OpenMP, pspl::Threads>;
 #else
-using ExecSpaces = ::testing::Types<pspl::Serial>;
+using ExecSpaces = ::testing::Types<pspl::Serial, pspl::Threads>;
 #endif
 TYPED_TEST_SUITE(CsrBlockTyped, ExecSpaces);
 

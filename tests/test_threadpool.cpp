@@ -1,0 +1,300 @@
+// Tests for the persistent work-stealing thread pool behind pspl::Threads:
+// schedule parsing, deterministic range partitioning, pool reuse across
+// dispatches, nested-dispatch inlining, exception propagation, worker-rank
+// stability (the arena-slot contract), reduction determinism and bitwise
+// cross-backend identity on a full builder solve.
+#include "core/spline_builder.hpp"
+#include "parallel/deep_copy.hpp"
+#include "parallel/parallel.hpp"
+#include "parallel/threadpool.hpp"
+#include "parallel/view.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <numbers>
+#include <stdexcept>
+#include <vector>
+
+namespace {
+
+using namespace pspl;
+using detail::partition_range;
+using detail::ScheduleSpec;
+
+// The CI container may expose a single CPU; force a real multi-worker pool
+// before the lazily created singleton first reads the environment. setenv
+// with overwrite=0 keeps an explicit PSPL_NUM_THREADS usable for debugging.
+const int g_env_init = [] {
+    ::setenv("PSPL_NUM_THREADS", "4", 0);
+    return 0;
+}();
+
+TEST(ScheduleSpecParse, DefaultsAndKinds)
+{
+    EXPECT_EQ(ScheduleSpec::parse(nullptr).kind, ScheduleSpec::Kind::Static);
+    EXPECT_EQ(ScheduleSpec::parse(nullptr).chunk, 0u);
+    EXPECT_EQ(ScheduleSpec::parse("").kind, ScheduleSpec::Kind::Static);
+    EXPECT_EQ(ScheduleSpec::parse("static").kind, ScheduleSpec::Kind::Static);
+    EXPECT_EQ(ScheduleSpec::parse("dynamic").kind,
+              ScheduleSpec::Kind::Dynamic);
+    EXPECT_EQ(ScheduleSpec::parse("guided").kind, ScheduleSpec::Kind::Guided);
+}
+
+TEST(ScheduleSpecParse, ChunkSuffixAndCase)
+{
+    const auto s = ScheduleSpec::parse("STATIC,8");
+    EXPECT_EQ(s.kind, ScheduleSpec::Kind::Static);
+    EXPECT_EQ(s.chunk, 8u);
+    const auto d = ScheduleSpec::parse("Dynamic,64");
+    EXPECT_EQ(d.kind, ScheduleSpec::Kind::Dynamic);
+    EXPECT_EQ(d.chunk, 64u);
+    // Unrecognized text degrades to the default static spec, like OMP_SCHEDULE.
+    EXPECT_EQ(ScheduleSpec::parse("bogus,3").kind, ScheduleSpec::Kind::Static);
+}
+
+void expect_exact_cover(const std::vector<std::size_t>& bounds,
+                        std::size_t begin, std::size_t end)
+{
+    ASSERT_GE(bounds.size(), 2u);
+    EXPECT_EQ(bounds.front(), begin);
+    EXPECT_EQ(bounds.back(), end);
+    for (std::size_t c = 0; c + 1 < bounds.size(); ++c) {
+        EXPECT_LT(bounds[c], bounds[c + 1]) << "empty or reversed chunk " << c;
+    }
+}
+
+TEST(PartitionRange, StaticCoversExactlyOncePerWorkerChunk)
+{
+    const auto bounds = partition_range(10, 110, 4, {});
+    expect_exact_cover(bounds, 10, 110);
+    EXPECT_EQ(bounds.size(), 5u); // 4 near-equal chunks
+}
+
+TEST(PartitionRange, StaticFixedChunk)
+{
+    ScheduleSpec spec;
+    spec.chunk = 16;
+    const auto bounds = partition_range(0, 100, 4, spec);
+    expect_exact_cover(bounds, 0, 100);
+    EXPECT_EQ(bounds.size(), 8u); // ceil(100/16) = 7 chunks
+    for (std::size_t c = 0; c + 2 < bounds.size(); ++c) {
+        EXPECT_EQ(bounds[c + 1] - bounds[c], 16u);
+    }
+}
+
+TEST(PartitionRange, DynamicAndGuidedCoverAndGuidedDecreases)
+{
+    ScheduleSpec dyn;
+    dyn.kind = ScheduleSpec::Kind::Dynamic;
+    expect_exact_cover(partition_range(0, 10000, 8, dyn), 0, 10000);
+
+    ScheduleSpec gui;
+    gui.kind = ScheduleSpec::Kind::Guided;
+    const auto bounds = partition_range(0, 10000, 8, gui);
+    expect_exact_cover(bounds, 0, 10000);
+    for (std::size_t c = 0; c + 2 < bounds.size(); ++c) {
+        EXPECT_GE(bounds[c + 1] - bounds[c], bounds[c + 2] - bounds[c + 1])
+                << "guided chunks must not grow";
+    }
+}
+
+TEST(PartitionRange, DegenerateRanges)
+{
+    EXPECT_TRUE(partition_range(5, 5, 4, {}).empty());
+    const auto one = partition_range(7, 8, 16, {});
+    expect_exact_cover(one, 7, 8);
+    EXPECT_EQ(one.size(), 2u); // never more chunks than iterations
+}
+
+TEST(PartitionRange, DependsOnlyOnInputs)
+{
+    const auto a = partition_range(0, 12345, 4, {});
+    const auto b = partition_range(0, 12345, 4, {});
+    EXPECT_EQ(a, b);
+}
+
+TEST(BackendParse, NamesAndAliases)
+{
+    Backend b{};
+    EXPECT_TRUE(parse_backend("serial", b));
+    EXPECT_EQ(b, Backend::Serial);
+    EXPECT_TRUE(parse_backend("openmp", b));
+    EXPECT_EQ(b, Backend::OpenMP);
+    EXPECT_TRUE(parse_backend("omp", b));
+    EXPECT_EQ(b, Backend::OpenMP);
+    EXPECT_TRUE(parse_backend("threads", b));
+    EXPECT_EQ(b, Backend::Threads);
+    EXPECT_TRUE(parse_backend("threadpool", b));
+    EXPECT_EQ(b, Backend::Threads);
+    EXPECT_FALSE(parse_backend("cuda", b));
+    EXPECT_FALSE(parse_backend(nullptr, b));
+}
+
+TEST(ThreadPoolTest, SingletonIsReusedAcrossDispatches)
+{
+    auto& pool = ThreadPool::instance();
+    EXPECT_GE(pool.concurrency(), 1);
+    EXPECT_EQ(pool.workers_spawned(), pool.concurrency() - 1);
+
+    const auto epochs_before = pool.epochs();
+    const int conc_before = pool.concurrency();
+    for (int rep = 0; rep < 3; ++rep) {
+        View1D<int> hits("hits", 1000);
+        parallel_for("pool_reuse", RangePolicy<Threads>(1000),
+                     [=](std::size_t i) { hits(i) += 1; });
+        for (std::size_t i = 0; i < 1000; ++i) {
+            ASSERT_EQ(hits(i), 1);
+        }
+    }
+    EXPECT_EQ(&pool, &ThreadPool::instance()) << "pool must be persistent";
+    EXPECT_EQ(pool.concurrency(), conc_before);
+    if (pool.concurrency() > 1) {
+        EXPECT_EQ(pool.epochs(), epochs_before + 3)
+                << "each dispatch is exactly one epoch on the same pool";
+    }
+}
+
+TEST(ThreadPoolTest, ThreadsSpaceMatchesPool)
+{
+    EXPECT_EQ(Threads::concurrency(), ThreadPool::instance().concurrency());
+    EXPECT_STREQ(Threads::name(), "Threads");
+    // Outside any dispatch the caller is worker 0 and not in a task.
+    EXPECT_EQ(Threads::thread_rank(), 0);
+    EXPECT_FALSE(ThreadPool::in_task());
+}
+
+TEST(ThreadPoolTest, NestedDispatchRunsInline)
+{
+    const std::size_t outer_n = 8;
+    const std::size_t inner_n = 64;
+    View2D<int> hits("hits", outer_n, inner_n);
+    View1D<int> nested_flag("nested_flag", outer_n);
+    parallel_for("nested_outer", RangePolicy<Threads>(outer_n),
+                 [=](std::size_t i) {
+                     nested_flag(i) = ThreadPool::in_task() ? 1 : 0;
+                     // Must not deadlock on the pool's run mutex: nested
+                     // dispatches execute inline on the calling worker.
+                     parallel_for("nested_inner", RangePolicy<Threads>(inner_n),
+                                  [=](std::size_t j) { hits(i, j) += 1; });
+                 });
+    for (std::size_t i = 0; i < outer_n; ++i) {
+        if (ThreadPool::instance().concurrency() > 1) {
+            EXPECT_EQ(nested_flag(i), 1);
+        }
+        for (std::size_t j = 0; j < inner_n; ++j) {
+            ASSERT_EQ(hits(i, j), 1) << i << "," << j;
+        }
+    }
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesToDispatcher)
+{
+    EXPECT_THROW(
+            parallel_for("throwing_body", RangePolicy<Threads>(1000),
+                         [](std::size_t i) {
+                             if (i == 617) {
+                                 throw std::runtime_error("chunk failure");
+                             }
+                         }),
+            std::runtime_error);
+    // The pool must remain usable after a failed epoch.
+    std::size_t sum = 0;
+    parallel_reduce(
+            "after_throw", RangePolicy<Threads>(100),
+            [](std::size_t i, std::size_t& acc) { acc += i; },
+            Sum<std::size_t>(sum));
+    EXPECT_EQ(sum, 4950u);
+}
+
+TEST(ThreadPoolTest, WorkerRanksAreStableAndInRange)
+{
+    // The arena-slot contract: while executing, every iteration sees a rank
+    // in [0, concurrency()), and concurrently executing workers never share
+    // one. Non-atomic per-rank counters (cache-line padded) would be a data
+    // race -- caught by the TSan CI leg -- if ranks could collide.
+    const int conc = Threads::concurrency();
+    constexpr std::size_t kStride = 64 / sizeof(long);
+    const std::size_t n = 100000;
+    std::vector<long> per_rank(static_cast<std::size_t>(conc) * kStride, 0);
+    long* slots = per_rank.data();
+    std::atomic<int> out_of_range{0};
+    parallel_for("rank_slots", RangePolicy<Threads>(n),
+                 [slots, conc, &out_of_range](std::size_t) {
+                     const int r = Threads::thread_rank();
+                     if (r < 0 || r >= conc) {
+                         out_of_range.fetch_add(1,
+                                                std::memory_order_relaxed);
+                         return;
+                     }
+                     slots[static_cast<std::size_t>(r) * kStride] += 1;
+                 });
+    EXPECT_EQ(out_of_range.load(), 0);
+    long total = 0;
+    for (int r = 0; r < conc; ++r) {
+        total += slots[static_cast<std::size_t>(r) * kStride];
+    }
+    EXPECT_EQ(total, static_cast<long>(n));
+}
+
+TEST(ThreadPoolTest, ReduceIsBitwiseDeterministic)
+{
+    // Partials are combined in chunk order on the dispatching thread, so
+    // two runs of the same reduction agree to the last bit even though the
+    // chunk->worker assignment is timing dependent.
+    auto run = [] {
+        double sum = 0.0;
+        parallel_reduce(
+                "det_reduce", RangePolicy<Threads>(200000),
+                [](std::size_t i, double& acc) {
+                    acc += std::sin(1e-4 * static_cast<double>(i)) * 1e-3;
+                },
+                Sum<double>(sum));
+        return sum;
+    };
+    const double a = run();
+    const double b = run();
+    EXPECT_EQ(std::memcmp(&a, &b, sizeof a), 0)
+            << "reduction must be bitwise reproducible";
+}
+
+double phase_sample(double x, std::size_t j)
+{
+    return std::sin(2.0 * std::numbers::pi * x)
+           + 0.5 * std::cos(4.0 * std::numbers::pi * x
+                            + 0.01 * static_cast<double>(j));
+}
+
+TEST(ThreadPoolTest, BuilderSolveIsBitwiseIdenticalToSerial)
+{
+    // The acceptance bar of the backend: a full Schur-complement solve on
+    // the fused SpMV path must produce coefficients bitwise identical
+    // (0 ULP) to the Serial backend, because chunking never changes
+    // per-column arithmetic.
+    const auto basis = bsplines::BSplineBasis::uniform(3, 64, 0.0, 1.0);
+    const std::size_t n = basis.nbasis();
+    const std::size_t batch = 257; // odd: exercises remainder chunks
+    core::SplineBuilder builder(basis, core::BuilderVersion::FusedSpmvSimd);
+    const auto pts = basis.interpolation_points();
+    View2D<double> ref("ref", n, batch);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < batch; ++j) {
+            ref(i, j) = phase_sample(pts[i], j);
+        }
+    }
+    auto out = clone(ref);
+    builder.build_inplace<Serial>(ref);
+    builder.build_inplace<Threads>(out);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < batch; ++j) {
+            ASSERT_EQ(std::memcmp(&ref(i, j), &out(i, j), sizeof(double)), 0)
+                    << "coefficient (" << i << ", " << j
+                    << ") differs bitwise";
+        }
+    }
+}
+
+} // namespace

@@ -47,12 +47,17 @@ SIZE_FIELDS = {"n", "batch"}
 
 # Informational provenance: reported on mismatch, never an error. The
 # execution-configuration fields (threads, pinned, tile, numa_nodes; bench
-# schema v2) and the timing-harness repeat count (repeats; schema v3) vary
-# legitimately between the committed full-scale runs and the CI smoke
-# runner.
+# schema v2), the timing-harness repeat count (repeats; schema v3) and the
+# executing backend (backend; schema v4) vary legitimately between the
+# committed full-scale runs and the CI smoke / nightly matrix runners --
+# the nightly compares every PSPL_BACKEND leg against one committed
+# baseline, so the backend stamp must not split record identity. (The
+# per-backend rows bench_table3 emits carry their own `space` identity
+# field instead, which does gate.)
 INFO_FIELDS = {
     "isa",
     "pspl_check",
+    "backend",
     "threads",
     "pinned",
     "tile",

@@ -218,6 +218,35 @@ def test_v3_repeats_change_never_fails():
     assert report.errors == [] and report.warnings == []
 
 
+def test_v4_backend_stamp_is_informational():
+    # Schema v4: every record carries the executing backend. The nightly
+    # matrix compares each PSPL_BACKEND leg against the one committed
+    # baseline, so a backend change must pair records cleanly (info note
+    # at most), and gaining the stamp over a v3 baseline is additive.
+    baseline = [rec(backend="OpenMP", threads=32)]
+    current = [rec(backend="Threads", threads=8)]
+    report = compare(baseline, current)
+    assert report.errors == [] and report.warnings == []
+    assert report.matched_records == 1
+    assert any("backend" in line for line in report.infos)
+
+    v3_baseline = [rec(tile_request="off")]
+    v4_current = [rec(tile_request="off", backend="Threads")]
+    report = compare(v3_baseline, v4_current)
+    assert report.errors == [] and report.warnings == []
+    assert report.matched_records == 1
+
+
+def test_v4_space_identity_field_gates():
+    # The per-backend rows bench_table3 emits key on `space`: dropping a
+    # backend from the matrix is a structural regression, not jitter.
+    baseline = [rec(space="Serial"), rec(space="Threads")]
+    current = [rec(space="Serial")]
+    report = compare(baseline, current)
+    assert report.exit_code() == 1
+    assert any("missing from current" in e for e in report.errors)
+
+
 def test_signature_superset_helper():
     assert signature_is_additive_superset("number", "number")
     assert not signature_is_additive_superset("number", "string")
