@@ -28,6 +28,10 @@ advection::BatchedAdvection1D make_advection(std::size_t nv, bool fused)
     const auto v = advection::uniform_velocities(nv, -1.0, 1.0);
     advection::BatchedAdvection1D::Config cfg;
     cfg.fuse_transpose = fused;
+    // This harness ablates *transpose* fusion in isolation: the fused
+    // build->evaluate pipeline (bench_ablation_fused_advection) bypasses
+    // the transposes altogether and would blank both rows.
+    cfg.fuse_build_eval = advection::BatchedAdvection1D::Config::Fuse::Off;
     return advection::BatchedAdvection1D(basis, v, 1e-3, cfg);
 }
 
@@ -66,20 +70,23 @@ BENCHMARK(bm_step)
 
 int main(int argc, char** argv)
 {
+    const auto backend = pspl::bench::BackendChoice::from_args(argc, argv);
+    (void)backend;
+    const auto timing = pspl::bench::TimingControl::from_args(argc, argv);
     ::benchmark::Initialize(&argc, argv);
     ::benchmark::RunSpecifiedBenchmarks();
 
     const std::size_t nv = bench::env_size("PSPL_BENCH_BATCH", 4000);
     std::printf("\nTranspose-fusion ablation -- 1D advection step, (Nx, Nv) "
-                "= (%zu, %zu), degree 3 uniform\n\n",
-                kNx, nv);
+                "= (%zu, %zu), degree 3 uniform, backend %s\n\n",
+                kNx, nv, DefaultExecutionSpace::name());
     perf::Table table({"path", "time/step", "GLUPS", "solve time",
                        "transpose+copy time"});
     for (const bool fused : {false, true}) {
         auto adv = make_advection(nv, fused);
         auto f = make_f(adv);
-        adv.step(f); // warm-up
-        const double t = bench::median_seconds(5, [&] { adv.step(f); });
+        const double t =
+                bench::stable_seconds(timing, [&] { adv.step(f); }).seconds;
         // Per-kernel breakdown of exactly one step.
         profiling::clear();
         profiling::set_enabled(true);

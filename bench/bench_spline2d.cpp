@@ -63,21 +63,26 @@ BENCHMARK(bm_build2d)
 
 int main(int argc, char** argv)
 {
+    const auto backend = pspl::bench::BackendChoice::from_args(argc, argv);
+    (void)backend;
+    const auto timing = pspl::bench::TimingControl::from_args(argc, argv);
     ::benchmark::Initialize(&argc, argv);
     ::benchmark::RunSpecifiedBenchmarks();
 
     const std::size_t n = bench::env_size("PSPL_BENCH_N", 512);
-    std::printf("\n2D tensor-product spline build, (nx, ny) = (%zu, %zu)\n\n",
-                n, n);
+    std::printf("\n2D tensor-product spline build, (nx, ny) = (%zu, %zu), "
+                "backend %s\n\n",
+                n, n, DefaultExecutionSpace::name());
     perf::Table table({"degree", "time/build", "GLUPS", "x-solve", "y-solve",
                        "transposes"});
     for (const int degree : {3, 4, 5}) {
         auto builder = make_builder(degree, n);
         View2D<double> v("v", n, n);
         fill_plane(builder, v);
-        builder.build_inplace(v); // warm-up
-        const double t = bench::median_seconds(
-                3, [&] { builder.build_inplace(v); });
+        const double t =
+                bench::stable_seconds(timing,
+                                      [&] { builder.build_inplace(v); })
+                        .seconds;
         profiling::clear();
         profiling::set_enabled(true);
         builder.build_inplace(v);

@@ -31,12 +31,41 @@ BatchedAdvection1D::BatchedAdvection1D(bsplines::BSplineBasis basis_x,
     for (std::size_t i = 0; i < nx_; ++i) {
         m_points(i) = pts[i];
     }
-    // Persistent scratch for every step(): first-touched from a parallel
-    // region so on NUMA systems the pages of each batch slice land on the
-    // node of the thread that processes it (the transposes and the batched
-    // solve all use static schedules over the same index spaces).
-    m_ft = View2D<double>(FirstTouch, "advection_ft", nx_, nv_);
-    m_eta = View2D<double>(FirstTouch, "advection_eta", nv_, nx_);
+
+    // Resolve the fused build->evaluate pipeline: Auto defers to the
+    // PSPL_ADVECT_FUSED toggle (unset -> on) and yields to an explicit
+    // fuse_transpose ablation request; On must find a fusable builder.
+    if (m_config.method == Method::Direct
+        && m_config.fuse_build_eval != Config::Fuse::Off) {
+        const bool wanted =
+                m_config.fuse_build_eval == Config::Fuse::On
+                || (!m_config.fuse_transpose && fused_advect_env());
+        if (wanted) {
+            AdvectionPlan plan(*m_builder, m_evaluator, m_points,
+                               m_velocities, m_dt);
+            if (plan.fusable()) {
+                m_plan.emplace(std::move(plan));
+                m_fused = true;
+            } else {
+                PSPL_EXPECT(m_config.fuse_build_eval != Config::Fuse::On,
+                            "BatchedAdvection1D: fuse_build_eval = On "
+                            "requires a fusable configuration (Direct "
+                            "method, non-Baseline version, "
+                            "Precision::Double)");
+            }
+        }
+    }
+
+    if (!m_fused) {
+        // Persistent scratch for every unfused step(): first-touched from
+        // a parallel region so on NUMA systems the pages of each batch
+        // slice land on the node of the thread that processes it (the
+        // transposes and the batched solve all use static schedules over
+        // the same index spaces). The fused pipeline never materializes
+        // either array and skips the allocation entirely.
+        m_ft = View2D<double>(FirstTouch, "advection_ft", nx_, nv_);
+        m_eta = View2D<double>(FirstTouch, "advection_eta", nv_, nx_);
+    }
 }
 
 View1D<double> uniform_velocities(std::size_t nv, double vmin, double vmax)

@@ -10,6 +10,7 @@
 // whole calls to step().
 #pragma once
 
+#include "advection/advection_plan.hpp"
 #include "advection/transpose.hpp"
 #include "bsplines/basis.hpp"
 #include "core/iterative_spline_builder.hpp"
@@ -39,6 +40,16 @@ public:
         /// buffer and run the batched solve through a zero-copy transposed
         /// view, so each RHS is a contiguous row. Direct method only.
         bool fuse_transpose = false;
+        /// Fused build->evaluate pipeline (AdvectionPlan): build each tile
+        /// of spline coefficients in the workspace arena and evaluate at
+        /// the feet straight from the L2-resident strip, never writing the
+        /// coefficient array to memory. Auto consults PSPL_ADVECT_FUSED
+        /// (unset -> on) but yields to an explicit fuse_transpose request;
+        /// On forces the fused path (requires a fusable configuration:
+        /// Direct method, non-Baseline version, Precision::Double); Off
+        /// keeps the unfused Algorithm 2 pipeline.
+        enum class Fuse { Auto, On, Off };
+        Fuse fuse_build_eval = Fuse::Auto;
     };
 
     /// `velocities(j)` is the constant advection speed of row j; `dt` the
@@ -56,15 +67,44 @@ public:
     const View1D<double>& velocities() const { return m_velocities; }
     double dt() const { return m_dt; }
 
+    /// Whether the fused build->evaluate pipeline (AdvectionPlan) is
+    /// driving step(): resolved once at construction from the config, the
+    /// PSPL_ADVECT_FUSED environment toggle and the builder's coverage.
+    bool fused_active() const { return m_fused; }
+    /// The cached fused-pipeline plan, when fused_active().
+    const std::optional<AdvectionPlan>& plan() const { return m_plan; }
+
     /// Advance f (shape (Nv, Nx), x contiguous) by one time step in place.
     /// Returns iteration statistics when the iterative method is active.
     template <class Exec = DefaultExecutionSpace>
     iterative::SolveStats step(const View2D<double>& f) const
     {
+        return step_to<Exec>(f, f);
+    }
+
+    /// General form: read values from f (Nv, Nx), write the advected
+    /// values to `out` -- f itself (in place), or a zero-copy
+    /// transposed_view of an (Nx, Nv) block so the 2-D Strang chain can
+    /// hand the next dimension its layout with no physical transpose.
+    template <class Exec = DefaultExecutionSpace, class OutView>
+    iterative::SolveStats step_to(const View2D<double>& f,
+                                  const OutView& out) const
+    {
         PSPL_EXPECT(f.extent(0) == nv() && f.extent(1) == nx(),
                     "step: f must be (Nv, Nx)");
+        PSPL_EXPECT(out.extent(0) == nv() && out.extent(1) == nx(),
+                    "step: out must be (Nv, Nx)");
         profiling::ScopedRegion region("pspl_advection_step");
         iterative::SolveStats stats;
+
+        if (m_fused) {
+            // Fused build->evaluate pipeline: per batch tile, stage the
+            // RHS strip in the workspace arena, solve, evaluate at the
+            // feet from the L2-resident coefficients. No transposes, no
+            // full-size coefficient array.
+            m_plan->template advect_to<Exec>(f, out);
+            return stats;
+        }
 
         if (m_config.fuse_transpose
             && m_config.method == Method::Direct) {
@@ -81,6 +121,14 @@ public:
                                  eta(j, i) = f_src(j, i);
                              }
                          });
+            if (profiling::enabled()) {
+                profiling::add_counters(
+                        "pspl::advection::copy_f",
+                        2.0 * static_cast<double>(nv())
+                                * static_cast<double>(nx())
+                                * static_cast<double>(sizeof(double)),
+                        0.0);
+            }
             m_builder->template build_inplace<Exec>(transposed_view(m_eta));
         } else {
             // 1. Transpose so the batch (v) index is contiguous.
@@ -104,15 +152,36 @@ public:
         const double dt = m_dt;
         const auto evaluator = m_evaluator;
         const std::size_t nx_ = nx();
+        // Feet go through evaluate_shifted -- the same entry point the
+        // fused AdvectionPlan uses -- so the foot arithmetic (shift
+        // rounded once, then subtracted) is identical code on both paths
+        // and cannot drift apart under FMA contraction.
+        const bool rows_contiguous = out.stride(1) == 1;
         parallel_for("pspl::advection::interpolate",
                      RangePolicy<Exec>(nv()), [=](std::size_t j) {
                          const auto coeffs = subview(eta, j, ALL);
-                         const double v = velocities(j);
+                         const double shift = velocities(j) * dt;
+                         if (rows_contiguous) {
+                             evaluator.evaluate_shifted(points, shift, coeffs,
+                                                        &out(j, 0));
+                             return;
+                         }
                          for (std::size_t i = 0; i < nx_; ++i) {
-                             const double foot = points(i) - v * dt;
-                             f(j, i) = evaluator(foot, coeffs);
+                             out(j, i) = evaluator(points(i) - shift, coeffs);
                          }
                      });
+        if (profiling::enabled()) {
+            // Unfused interpolate traffic: the coefficient array streams
+            // back in from DRAM and the advected values stream out --
+            // exactly the round-trip the fused pipeline removes.
+            const double rows = static_cast<double>(nv());
+            profiling::add_counters(
+                    "pspl::advection::interpolate",
+                    rows * 2.0 * static_cast<double>(nx_)
+                            * static_cast<double>(sizeof(double)),
+                    rows * static_cast<double>(nx_)
+                            * eval_point_flops(m_basis.degree()));
+        }
         return stats;
     }
 
@@ -124,6 +193,8 @@ private:
     std::optional<core::SplineBuilder> m_builder;
     std::optional<core::IterativeSplineBuilder> m_iterative_builder;
     core::SplineEvaluator m_evaluator;
+    std::optional<AdvectionPlan> m_plan; ///< fused pipeline, when active
+    bool m_fused = false;
     View1D<double> m_points;
     // Scratch blocks reused across steps (allocated once, like the paper's
     // persistent device buffers).

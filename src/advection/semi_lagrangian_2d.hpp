@@ -23,6 +23,12 @@ public:
     struct Config {
         core::BuilderVersion version = core::BuilderVersion::FusedSpmv;
         bool fuse_transpose = false;
+        /// Forwarded to both 1-D passes. When the fused build->evaluate
+        /// pipeline is active on both, step() chains the passes through
+        /// zero-copy transposed views and the whole Strang step runs with
+        /// no physical transpose at all.
+        BatchedAdvection1D::Config::Fuse fuse_build_eval =
+                BatchedAdvection1D::Config::Fuse::Auto;
     };
 
     /// `vx_of_y(j)` is the x-speed on row y_j; `vy_of_x(i)` the y-speed on
@@ -40,12 +46,30 @@ public:
     const View1D<double>& points_x() const { return m_adv_x->points(); }
     const View1D<double>& points_y() const { return m_adv_y->points(); }
 
+    /// Whether both 1-D passes run the fused build->evaluate pipeline
+    /// (and step() therefore needs no physical transpose).
+    bool fused_active() const
+    {
+        return m_adv_x->fused_active() && m_adv_y->fused_active();
+    }
+
     /// Advance f (shape (ny, nx), x contiguous) by one Strang-split step.
     template <class Exec = DefaultExecutionSpace>
     void step(const View2D<double>& f) const
     {
         PSPL_EXPECT(f.extent(0) == ny() && f.extent(1) == nx(),
                     "step: f must be (Ny, Nx)");
+        if (fused_active()) {
+            // Transpose-free chain: each fused pass scatters its advected
+            // tile straight into the next dimension's layout through a
+            // zero-copy transposed view, so the inter-dimension
+            // permutations ride inside the tile pipeline and no full-size
+            // intermediate is ever streamed.
+            m_adv_x->template step_to<Exec>(f, transposed_view(m_ft));
+            m_adv_y->template step_to<Exec>(m_ft, transposed_view(f));
+            m_adv_x->template step<Exec>(f); // x half step, in place
+            return;
+        }
         m_adv_x->template step<Exec>(f); // x half step, batch over y
         transpose<Exec>("pspl::advection2d::transpose_fwd", f, m_ft);
         m_adv_y->template step<Exec>(m_ft); // y full step, batch over x

@@ -7,8 +7,10 @@
 #include "debug/registry.hpp"
 #include "parallel/arena.hpp"
 #include "parallel/parallel.hpp"
+#include "parallel/profiling.hpp"
 #include "parallel/view.hpp"
 
+#include <cstddef>
 #include <string_view>
 
 namespace pspl::advection {
@@ -61,6 +63,16 @@ void transpose(std::string_view label, const InView& in, const OutView& out)
             }
         }
     });
+    if (profiling::enabled()) {
+        // Modeled DRAM traffic of the permutation (read + write every
+        // element once): lands on the timed span so the perf report can
+        // put the transposes' byte cost next to the solve/evaluate stages
+        // -- the traffic the fused advection pipeline eliminates.
+        const double moved = 2.0 * static_cast<double>(n0)
+                             * static_cast<double>(n1)
+                             * static_cast<double>(sizeof(T));
+        profiling::add_counters(label, moved, 0.0);
+    }
 }
 
 /// Rank-3 permutation of the two leading dimensions, keeping the batch
@@ -81,6 +93,60 @@ void transpose_01(std::string_view label, const InView& in,
                          out(j, i, k) = in(i, j, k);
                      }
                  });
+    if (profiling::enabled()) {
+        using T = std::remove_cv_t<typename InView::value_type>;
+        const double moved = 2.0 * static_cast<double>(n0)
+                             * static_cast<double>(n1)
+                             * static_cast<double>(nb)
+                             * static_cast<double>(sizeof(T));
+        profiling::add_counters(label, moved, 0.0);
+    }
+}
+
+/// Stage one batch tile of row-contiguous values into the row-major strip
+/// layout the tile-resident solvers consume: strip element (r, c) lands at
+/// strip[r * row_stride + c] and holds in(col0 + c, r). The reads sweep
+/// whole contiguous rows of `in` (DRAM-friendly); the strided writes stay
+/// inside the L2-resident strip. Lanes [cols, row_stride) of every row are
+/// zero-filled so tail packs match the untiled SIMD drivers' zero-filled
+/// dead lanes. Kernel-callable: runs inside one tile task of the fused
+/// advection dispatch.
+template <class InView>
+PSPL_INLINE_FUNCTION void
+gather_strip_from_rows(const InView& in, std::size_t col0, std::size_t cols,
+                       std::size_t rows, std::size_t row_stride,
+                       double* PSPL_RESTRICT strip)
+{
+    for (std::size_t c = 0; c < cols; ++c) {
+        for (std::size_t r = 0; r < rows; ++r) {
+            strip[r * row_stride + c] = in(col0 + c, r);
+        }
+    }
+    for (std::size_t l = cols; l < row_stride; ++l) {
+        for (std::size_t r = 0; r < rows; ++r) {
+            strip[r * row_stride + l] = 0.0;
+        }
+    }
+}
+
+/// Inverse side of the fused pipeline for transposed destinations: scatter
+/// one evaluated output strip (`cols` columns of `npts` contiguous values
+/// each) into `out(col0 + c, i)` with the point index innermost in the
+/// strip but the column index innermost in the writes -- for a destination
+/// that is a transposed_view of an (npts, nv) block, every i-iteration
+/// writes one contiguous tile-wide run, so the 2-D Strang chain gets its
+/// inter-dimension transpose for free out of the tile. Kernel-callable.
+template <class OutView>
+PSPL_INLINE_FUNCTION void
+scatter_strip_transposed(const double* PSPL_RESTRICT strip, std::size_t col0,
+                         std::size_t cols, std::size_t npts,
+                         const OutView& out)
+{
+    for (std::size_t i = 0; i < npts; ++i) {
+        for (std::size_t c = 0; c < cols; ++c) {
+            out(col0 + c, i) = strip[c * npts + i];
+        }
+    }
 }
 
 /// Concrete host instantiation used by tools and tests.

@@ -514,6 +514,46 @@ void schur_solve_batched_simd(const SchurDeviceData& s, const BView& b,
     }
 }
 
+/// Public face of the per-stage cost attribution for pipelines that embed
+/// the fused Schur chain in a larger timed span (the fused advection
+/// driver): decomposes one whole batched solve onto the pttrs/gemv/
+/// spmv_coo/getrs counter children and merges the total onto `label`.
+inline void attribute_schur_solve_cost(const SchurDeviceData& s,
+                                       std::string_view label,
+                                       std::size_t batch, bool use_spmv)
+{
+    detail::attribute_solve_cost(s, label, batch, use_spmv);
+}
+
+/// Run the fused Schur chain in place on an arena-staged row-major pack
+/// strip: `buf` holds s.n rows of `packs` packs each (the gather layout of
+/// the tile-resident drivers), and every pack column is sent through the
+/// same solve_pack_column chain those drivers use -- per-column arithmetic,
+/// and therefore results, are bitwise identical to schur_solve_batched on
+/// the equivalent (n, batch) block. Exposed for pipelines that stage their
+/// own tiles and keep consuming the coefficients while they are L2-resident
+/// (the fused advection driver evaluates splines straight from the strip).
+template <int W>
+PSPL_INLINE_FUNCTION void
+schur_solve_staged_strip(const SchurDeviceData& s,
+                         simd<double, W>* PSPL_RESTRICT buf,
+                         std::size_t packs, bool use_spmv)
+{
+    static_assert(SimdLaneCount<W>,
+                  "schur_solve_staged_strip pack width must be a positive "
+                  "power of two (W = 1 is the scalar fused chain)");
+    for (std::size_t c = 0; c < packs; ++c) {
+        const detail::PackSpan<double, W> b0{buf + c, s.n0, packs};
+        const detail::PackSpan<double, W> b1{
+                s.k > 0 ? buf + s.n0 * packs + c : buf, s.k, packs};
+        if (use_spmv) {
+            detail::solve_pack_column<W, true>(s, b0, b1);
+        } else {
+            detail::solve_pack_column<W, false>(s, b0, b1);
+        }
+    }
+}
+
 /// Solve A x = b in place for every column of `b` (shape (n, batch)) with
 /// the requested kernel version. The SIMD versions use the native pack
 /// width of the ISA this translation unit was compiled for. The fused

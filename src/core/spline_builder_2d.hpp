@@ -27,8 +27,6 @@ public:
                     BuilderVersion version = BuilderVersion::FusedSpmv)
         : m_builder_x(std::move(basis_x), version)
         , m_builder_y(std::move(basis_y), version)
-        , m_scratch("spline2d_scratch", m_builder_y.basis().nbasis(),
-                    m_builder_x.basis().nbasis())
     {
     }
 
@@ -55,7 +53,14 @@ public:
                     "SplineBuilder2D: values must be (nx, ny)");
         // Solve along x, batched over y (rows are already the x index).
         m_builder_x.template build_inplace<Exec>(values);
-        // Solve along y, batched over x.
+        // Solve along y, batched over x. The transpose scratch is sized
+        // lazily: consumers on the fused advection path never run a full
+        // 2-D plane build, so the plane-sized buffer is only paid for by
+        // callers that actually use it (mirrors m_scratch3).
+        if (!m_scratch.is_allocated() || m_scratch.extent(0) != ny
+            || m_scratch.extent(1) != nx) {
+            m_scratch = View2D<double>("spline2d_scratch", ny, nx);
+        }
         advection::transpose<Exec>("pspl::core::spline2d_transpose_fwd",
                                    values, m_scratch);
         m_builder_y.template build_inplace<Exec>(m_scratch);
@@ -89,7 +94,7 @@ public:
 private:
     SplineBuilder m_builder_x;
     SplineBuilder m_builder_y;
-    mutable View2D<double> m_scratch;  ///< (ny, nx)
+    mutable View2D<double> m_scratch;  ///< (ny, nx), lazily sized
     mutable View3D<double> m_scratch3; ///< (ny, nx, batch), lazily sized
 };
 

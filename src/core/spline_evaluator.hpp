@@ -28,6 +28,36 @@ enum class EvaluatorVersion {
 
 const char* to_string(EvaluatorVersion v);
 
+/// Rank-1 accessor over one coefficient column of an arena-staged row-major
+/// strip (the layout the tile-resident solve drivers leave behind): element
+/// r of the column lives at ptr[r * step]. Models the coefficient-view
+/// shape the evaluator entry points consume, so the fused advection driver
+/// can evaluate splines straight out of the staged tile without scattering
+/// the coefficients to a full-size View first.
+struct StripColumn {
+    using value_type = double;
+    static constexpr std::size_t rank = 1;
+
+    const double* PSPL_RESTRICT ptr = nullptr;
+    std::size_t len = 0;
+    std::size_t step = 1; ///< elements between consecutive rows
+
+    PSPL_FORCEINLINE_FUNCTION double operator()(std::size_t i) const
+    {
+        PSPL_DEBUG_ASSERT(i < len, "StripColumn: index out of bounds");
+        return ptr[i * step];
+    }
+    PSPL_FORCEINLINE_FUNCTION std::size_t extent(std::size_t) const
+    {
+        return len;
+    }
+    PSPL_FORCEINLINE_FUNCTION const double* data() const { return ptr; }
+    PSPL_FORCEINLINE_FUNCTION std::size_t stride(std::size_t) const
+    {
+        return step;
+    }
+};
+
 class SplineEvaluator
 {
 public:
@@ -85,6 +115,106 @@ public:
     /// Host convenience: evaluate at many points for one coefficient column.
     std::vector<double> evaluate_many(const std::vector<double>& points,
                                       const View1D<double>& coeffs) const;
+
+    /// Whether evaluate_shifted() may take the uniform-knot SIMD fast path:
+    /// a uniform periodic basis evaluates every point in cell-local units
+    /// (eval_basis' cell_units branch), so the Cox-de Boor recursion can
+    /// advance W feet per vector instruction with lane-wise arithmetic that
+    /// is bit-for-bit the scalar recursion. Clamped bases fall outside the
+    /// guarantee near the repeated end knots and stay on the scalar path.
+    bool shifted_simd_supported() const
+    {
+        return m_basis.is_uniform() && m_basis.is_periodic();
+    }
+
+    /// Strip evaluation (kernel-callable): out[i] = s(points(i) - shift)
+    /// for i in [0, points.extent(0)), one coefficient column. `shift` is
+    /// the backward-characteristic displacement v*dt of semi-Lagrangian
+    /// advection; `out` is a contiguous row (an output strip row or a row
+    /// of the distribution function itself). Dispatches on the configured
+    /// EvaluatorVersion and on shifted_simd_supported(); every path
+    /// performs the exact FP operations of the scalar reference, in the
+    /// same order, so the results are bitwise identical across paths.
+    template <class CView>
+    void evaluate_shifted(const View1D<double>& points, double shift,
+                          const CView& coeffs,
+                          double* PSPL_RESTRICT out) const
+    {
+        if (m_version == EvaluatorVersion::Simd && shifted_simd_supported()) {
+            evaluate_shifted_simd<simd_preferred_width<double>>(points, shift,
+                                                                coeffs, out);
+            return;
+        }
+        const std::size_t npts = points.extent(0);
+        for (std::size_t i = 0; i < npts; ++i) {
+            out[i] = (*this)(points(i) - shift, coeffs);
+        }
+    }
+
+    /// Explicit-width uniform-knot SIMD fast path of evaluate_shifted: the
+    /// feet land in per-lane cells (scalar wrap/find_cell, they are integer
+    /// searches), then one pack-wide Cox-de Boor recursion advances the W
+    /// basis evaluations together in cell-local units -- per lane the same
+    /// multiply/divide/add sequence as bsplines::BSplineBasis::eval_basis,
+    /// so each lane's basis values are bitwise those of the scalar path.
+    /// The (degree+1)-tap coefficient combination is lane-serial (every
+    /// lane gathers a different support window). Caller must ensure
+    /// shifted_simd_supported().
+    template <int W, class CView>
+    void evaluate_shifted_simd(const View1D<double>& points, double shift,
+                               const CView& coeffs,
+                               double* PSPL_RESTRICT out) const
+    {
+        PSPL_DEBUG_ASSERT(shifted_simd_supported(),
+                          "evaluate_shifted_simd: uniform periodic bases "
+                          "only (clamped end cells leave cell-local units)");
+        using Pack = simd<double, W>;
+        const int p = m_basis.degree();
+        const std::size_t npts = points.extent(0);
+        std::size_t i = 0;
+        for (; i + static_cast<std::size_t>(W) <= npts; i += W) {
+            Pack u(0.0);
+            long jmin[W];
+            for (int l = 0; l < W; ++l) {
+                const double xw = m_basis.wrap(points(i + l) - shift);
+                const auto icell =
+                        static_cast<long>(m_basis.find_cell(xw));
+                const double b0 = m_basis.break_point(
+                        static_cast<std::size_t>(icell));
+                const double h = m_basis.break_point(
+                                         static_cast<std::size_t>(icell) + 1)
+                                 - b0;
+                u.set(l, (xw - b0) / h);
+                jmin[l] = icell - p;
+            }
+            Pack vals[bsplines::BSplineBasis::max_degree + 1];
+            Pack left[bsplines::BSplineBasis::max_degree + 1];
+            Pack right[bsplines::BSplineBasis::max_degree + 1];
+            vals[0] = Pack(1.0);
+            for (int j = 0; j < p; ++j) {
+                left[j] = u + static_cast<double>(j);
+                right[j] = (1.0 - u) + static_cast<double>(j);
+                Pack saved(0.0);
+                for (int r = 0; r <= j; ++r) {
+                    const Pack temp = vals[r] / (right[r] + left[j - r]);
+                    vals[r] = saved + right[r] * temp;
+                    saved = left[j - r] * temp;
+                }
+                vals[j + 1] = saved;
+            }
+            for (int l = 0; l < W; ++l) {
+                double acc = 0.0;
+                for (int r = 0; r <= p; ++r) {
+                    acc += vals[r][l]
+                           * coeffs(m_basis.basis_index(jmin[l] + r));
+                }
+                out[i + l] = acc;
+            }
+        }
+        for (; i < npts; ++i) { // scalar tail, same arithmetic per point
+            out[i] = (*this)(points(i) - shift, coeffs);
+        }
+    }
 
     /// Batched evaluation: out(p, i) = s_i(points(p)) where column i of
     /// `coeffs` (n, batch) holds one spline. Parallel over the batch;

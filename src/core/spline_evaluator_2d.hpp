@@ -57,6 +57,24 @@ public:
         return contract(jx, vx, jy, vy, coeffs);
     }
 
+    /// Strip evaluation: out[k] = s(xs(k), ys(k)) for npts paired points.
+    /// Boundary handling is per point and per axis -- periodic axes wrap
+    /// (the seam x = xmax lands on xmin's cell), clamped axes clamp feet
+    /// outside the domain onto the boundary cell -- so semi-Lagrangian
+    /// feet may lie anywhere. The companion of the 1-D evaluator's
+    /// evaluate_shifted for tensor-product advection paths.
+    template <class CView>
+    void evaluate_many(const View1D<double>& xs, const View1D<double>& ys,
+                       const CView& coeffs, double* PSPL_RESTRICT out) const
+    {
+        PSPL_EXPECT(xs.extent(0) == ys.extent(0),
+                    "SplineEvaluator2D::evaluate_many: xs and ys must pair");
+        const std::size_t npts = xs.extent(0);
+        for (std::size_t k = 0; k < npts; ++k) {
+            out[k] = (*this)(xs(k), ys(k), coeffs);
+        }
+    }
+
     /// Exact integral over the 2-D domain (tensor product of the 1-D basis
     /// integrals).
     template <class CView>

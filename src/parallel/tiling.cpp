@@ -184,6 +184,44 @@ std::size_t TilePolicy::staged_tile_cols(std::size_t rows,
     return cols;
 }
 
+std::size_t TilePolicy::fused_advect_tile_cols(std::size_t rows,
+                                               std::size_t npts,
+                                               std::size_t batch_cols,
+                                               std::size_t pack_width,
+                                               std::size_t fixed_bytes) const
+{
+    const std::size_t w = pack_width > 0 ? pack_width : 1;
+    std::size_t cols = 0;
+    if (mode == Mode::Explicit && tile > 0) {
+        cols = (tile + w - 1) / w * w;
+    } else {
+        // Strip budget: half of L2 minus the fixed working set (factors +
+        // points), the carve-out capped at a quarter of L2 so oversized
+        // factor models cannot starve the strips entirely.
+        const std::size_t l2 = l2_cache_bytes();
+        const std::size_t carve =
+                fixed_bytes < l2 / 4 ? fixed_bytes : l2 / 4;
+        const std::size_t budget = l2 / 2 - carve / 2;
+        const std::size_t per_col = (rows + npts) * sizeof(double);
+        cols = per_col > 0 ? budget / per_col : max_tile_cols;
+        cols = cols / w * w;
+    }
+    if (cols < w) {
+        cols = w;
+    }
+    const std::size_t batch_rounded = (batch_cols + w - 1) / w * w;
+    if (batch_rounded > 0 && cols > batch_rounded) {
+        cols = batch_rounded;
+    }
+    const std::size_t cap = max_tile_cols / w * w > 0
+                                    ? max_tile_cols / w * w
+                                    : w;
+    if (cols > cap) {
+        cols = cap;
+    }
+    return cols;
+}
+
 std::string TilePolicy::describe() const
 {
     switch (mode) {

@@ -88,6 +88,23 @@ struct TilePolicy {
                                  std::size_t staging_bytes,
                                  std::size_t pack_width) const;
 
+    /// Tile width for the fused build->evaluate advection pipeline, whose
+    /// per-thread slot must hold *two* strips per batch column -- the
+    /// staged RHS/coefficient strip (rows values) and the evaluated output
+    /// strip (npts values) -- while the Schur factors plus the
+    /// interpolation-point array (`fixed_bytes`, swept once per column by
+    /// the solve and the basis evaluation) stay resident next to them.
+    /// The L2 model budgets half the cache for the strips after carving
+    /// out the fixed working set (capped at a quarter of L2 so degenerate
+    /// factor sizes cannot zero the budget). Like staged_tile_cols, there
+    /// is no streaming guard and Off still yields a usable width: the
+    /// fused pipeline must stage (evaluation needs the whole coefficient
+    /// column), so the only question is how wide a tile fits.
+    std::size_t fused_advect_tile_cols(std::size_t rows, std::size_t npts,
+                                       std::size_t batch_cols,
+                                       std::size_t pack_width,
+                                       std::size_t fixed_bytes) const;
+
     /// Human/JSON form: "auto", "off", or the explicit width.
     std::string describe() const;
 };

@@ -91,7 +91,7 @@ std::string report_json()
     const auto spans = profiling::snapshot_tree();
 
     std::string out = "{";
-    out += "\"schema\": \"pspl-perf-report-v4\"";
+    out += "\"schema\": \"pspl-perf-report-v5\"";
     out += ", \"isa\": " + json_str(compiled_isa_name());
     // v4: which execution space ran the kernels (the runtime PSPL_BACKEND
     // selection) -- the thread count below is meaningless without it.
@@ -125,11 +125,21 @@ std::string report_json()
         }
         first = false;
         const double bw = stats.achieved_bw_gbs();
+        // v5: attribution-only counter children (cost models added onto a
+        // parent's child label without ever being timed) carry bytes/flops
+        // but no samples; their derived rates are structurally zero, not
+        // measured zeros. The flag is emitted on every span (uniform array
+        // signature) so consumers can filter without re-deriving the rule.
+        const bool counter_only = stats.count == 0
+                                  && stats.total_seconds == 0.0
+                                  && (stats.bytes > 0.0 || stats.flops > 0.0);
         out += "{\"path\": " + json_str(path);
         out += ", \"count\": " + std::to_string(stats.count);
         out += ", \"seconds\": " + json_num(stats.total_seconds);
         out += ", \"bytes\": " + json_num(stats.bytes);
         out += ", \"flops\": " + json_num(stats.flops);
+        out += std::string(", \"counter_only\": ")
+               + (counter_only ? "true" : "false");
         out += ", \"achieved_bw_gbs\": " + json_num(bw);
         out += ", \"achieved_gflops\": " + json_num(stats.achieved_gflops());
         out += ", \"bw_percent_of_peak\": "

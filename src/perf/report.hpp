@@ -15,7 +15,7 @@ std::string fmt(double value, int precision = 2);
 /// Seconds rendered with an adaptive unit (ns/us/ms/s), paper-style.
 std::string fmt_time(double seconds);
 
-/// Machine-readable performance report ("pspl-perf-report-v4"): host spec,
+/// Machine-readable performance report ("pspl-perf-report-v5"): host spec,
 /// View-allocator memory stats and every profiling span recorded so far
 /// (path-keyed, with derived achieved bandwidth / flop rate against the
 /// host peak model). Returns one stable JSON object; the bench harnesses
@@ -26,6 +26,11 @@ std::string fmt_time(double seconds);
 /// provenance for every span's bandwidth, exactly like threads/tile_policy.
 /// v4 adds the executing backend (the runtime PSPL_BACKEND selection:
 /// "Serial" / "OpenMP" / "Threads"), which the thread count is relative to.
+/// v5 adds "counter_only" to every span: true marks attribution-only
+/// counter children (cost models booked under a parent's child label with
+/// no timed samples -- count == 0, seconds == 0, bytes or flops > 0).
+/// Their achieved_bw_gbs / achieved_gflops are structurally zero and must
+/// not be read as measured rates.
 std::string report_json();
 
 /// Set the schema-v3 run attributes embedded in report_json(). The bench

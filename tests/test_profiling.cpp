@@ -210,14 +210,14 @@ TEST_F(ProfilingFixture, ReportJsonSchemaRoundTrip)
     }
     const std::string report = pspl::perf::report_json();
     // Stable schema markers the CI diff tooling keys on.
-    EXPECT_NE(report.find("\"schema\": \"pspl-perf-report-v4\""),
+    EXPECT_NE(report.find("\"schema\": \"pspl-perf-report-v5\""),
               std::string::npos);
     for (const char* key :
          {"\"isa\"", "\"host\"", "\"peak_gflops\"", "\"peak_bw_gbs\"",
           "\"memory\"", "\"peak_bytes\"", "\"spans\"", "\"path\"",
           "\"count\"", "\"seconds\"", "\"bytes\"", "\"flops\"",
           "\"precision\"", "\"refine_iters\"", "\"backend\"",
-          "\"achieved_bw_gbs\"", "\"achieved_gflops\"",
+          "\"counter_only\"", "\"achieved_bw_gbs\"", "\"achieved_gflops\"",
           "\"bw_percent_of_peak\""}) {
         EXPECT_NE(report.find(key), std::string::npos) << key;
     }
@@ -233,6 +233,30 @@ TEST_F(ProfilingFixture, ReportJsonSchemaRoundTrip)
     EXPECT_EQ(depth, 0);
     EXPECT_EQ(report.front(), '{');
     EXPECT_EQ(report.back(), '}');
+}
+
+TEST_F(ProfilingFixture, ReportMarksCounterOnlySpans)
+{
+    // A timed span with attributed counters is a measurement...
+    {
+        prof::ScopedSpan span("timed_with_counters");
+        span.add_counters(4.0e6, 8.0e6);
+    }
+    // ...an attribution-only counter child (cost model booked without a
+    // sample) is not, and its zero achieved_bw_gbs must be flagged as
+    // structural rather than read as a measured 0 GB/s.
+    prof::add_counters("attribution_only_child", 1.0e6, 2.0e6);
+    const std::string report = pspl::perf::report_json();
+    const auto flag_for = [&](const std::string& path) {
+        const auto at = report.find("\"path\": \"" + path + "\"");
+        EXPECT_NE(at, std::string::npos) << path;
+        const auto key = report.find("\"counter_only\": ", at);
+        EXPECT_NE(key, std::string::npos) << path;
+        const auto end = report.find(',', key);
+        return report.substr(key, end - key);
+    };
+    EXPECT_EQ(flag_for("timed_with_counters"), "\"counter_only\": false");
+    EXPECT_EQ(flag_for("attribution_only_child"), "\"counter_only\": true");
 }
 
 TEST_F(ProfilingFixture, ChromeTraceWritesLoadableFile)

@@ -12,6 +12,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <iterator>
 #include <numbers>
 #include <tuple>
 
@@ -281,6 +282,121 @@ TEST(Transpose01, PermutesLeadingDims)
         }
     }
 }
+
+// Boundary handling of the 2-D evaluator across degrees 2-5: feet exactly
+// on the last knot, feet clamped from outside the domain (clamped bases)
+// and feet wrapped around the period (periodic bases). These are exactly
+// the feet a semi-Lagrangian step produces near the domain edges.
+class Spline2DBoundary : public ::testing::TestWithParam<int>
+{
+protected:
+    int degree() const { return GetParam(); }
+};
+
+TEST_P(Spline2DBoundary, FootExactlyOnLastKnot)
+{
+    // Periodic x, clamped y: the last y knot is a genuine domain edge. An
+    // evaluation exactly at it must land in a valid cell (no past-the-end
+    // support window) and reproduce the interpolated sample there.
+    const auto bx = BSplineBasis::uniform(degree(), 24, 0.0, 1.0);
+    const auto by = BSplineBasis::clamped_uniform(degree(), 20, 0.0, 1.0);
+    SplineBuilder2D builder(bx, by);
+    auto v = sample_2d(bx, by, f2);
+    const auto values = clone(v);
+    builder.build_inplace(v);
+
+    SplineEvaluator2D eval(bx, by);
+    const auto px = bx.interpolation_points();
+    const auto py = by.interpolation_points();
+    ASSERT_DOUBLE_EQ(py.back(), 1.0);
+    for (std::size_t i = 0; i < bx.nbasis(); i += 3) {
+        const double s = eval(px[i], 1.0, v);
+        EXPECT_TRUE(std::isfinite(s));
+        EXPECT_NEAR(s, values(i, by.nbasis() - 1), 1e-10) << "i=" << i;
+    }
+    // Periodic direction: x = 1.0 is the wrap point, identified with 0.0.
+    for (std::size_t j = 0; j < by.nbasis(); j += 2) {
+        EXPECT_NEAR(eval(1.0, py[j], v), eval(0.0, py[j], v), 1e-12)
+                << "j=" << j;
+    }
+}
+
+TEST_P(Spline2DBoundary, ClampedFeetOutsideDomainClampToEdge)
+{
+    const auto bx = BSplineBasis::clamped_uniform(degree(), 18, 0.0, 1.0);
+    const auto by = BSplineBasis::clamped_uniform(degree(), 22, 0.0, 1.0);
+    SplineBuilder2D builder(bx, by);
+    auto v = sample_2d(bx, by, f2);
+    builder.build_inplace(v);
+
+    SplineEvaluator2D eval(bx, by);
+    // A foot outside a clamped domain clamps to the edge: the same basis
+    // arithmetic runs at the clamped coordinate, so the values agree
+    // bitwise, not just approximately.
+    for (const double y : {0.15, 0.5, 0.85}) {
+        EXPECT_EQ(eval(-0.3, y, v), eval(0.0, y, v));
+        EXPECT_EQ(eval(1.7, y, v), eval(1.0, y, v));
+    }
+    for (const double x : {0.2, 0.65}) {
+        EXPECT_EQ(eval(x, -2.0, v), eval(x, 0.0, v));
+        EXPECT_EQ(eval(x, 1.0 + 1e-9, v), eval(x, 1.0, v));
+    }
+    EXPECT_EQ(eval(-1.0, 2.0, v), eval(0.0, 1.0, v));
+}
+
+TEST_P(Spline2DBoundary, PeriodicFeetWrapAroundThePeriod)
+{
+    const auto bx = BSplineBasis::uniform(degree(), 26, 0.0, 1.0);
+    const auto by = BSplineBasis::uniform(degree(), 30, 0.0, 1.0);
+    SplineBuilder2D builder(bx, by);
+    auto v = sample_2d(bx, by, f2);
+    builder.build_inplace(v);
+
+    SplineEvaluator2D eval(bx, by);
+    for (const double x : {0.03, 0.5, 0.97}) {
+        for (const double y : {0.02, 0.48, 0.99}) {
+            const double ref = eval(x, y, v);
+            EXPECT_NEAR(eval(x + 1.0, y, v), ref, 1e-12);
+            EXPECT_NEAR(eval(x - 1.0, y, v), ref, 1e-12);
+            EXPECT_NEAR(eval(x, y + 2.0, v), ref, 1e-12);
+            EXPECT_NEAR(eval(x + 3.0, y - 1.0, v), ref, 1e-12);
+        }
+    }
+}
+
+TEST_P(Spline2DBoundary, EvaluateManyMatchesPointwiseAtBoundaryFeet)
+{
+    // evaluate_many is the strip entry point the fused advection driver
+    // consumes; at boundary feet it must agree bitwise with the scalar
+    // operator() since it runs the same per-point arithmetic.
+    const auto bx = BSplineBasis::uniform(degree(), 24, 0.0, 1.0);
+    const auto by = BSplineBasis::clamped_uniform(degree(), 20, 0.0, 1.0);
+    SplineBuilder2D builder(bx, by);
+    auto v = sample_2d(bx, by, f2);
+    builder.build_inplace(v);
+
+    SplineEvaluator2D eval(bx, by);
+    const double xs_raw[] = {0.0, 1.0, 1.25, -0.5, 0.999999, 0.37};
+    const double ys_raw[] = {1.0, 0.0, -0.2, 1.6, 1.0, 0.42};
+    constexpr std::size_t npts = std::size(xs_raw);
+    View1D<double> xs("xs", npts);
+    View1D<double> ys("ys", npts);
+    for (std::size_t k = 0; k < npts; ++k) {
+        xs(k) = xs_raw[k];
+        ys(k) = ys_raw[k];
+    }
+    double out[npts];
+    eval.evaluate_many(xs, ys, v, out);
+    for (std::size_t k = 0; k < npts; ++k) {
+        EXPECT_EQ(out[k], eval(xs(k), ys(k), v)) << "k=" << k;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, Spline2DBoundary,
+                         ::testing::Values(2, 3, 4, 5),
+                         [](const auto& info) {
+                             return "d" + std::to_string(info.param);
+                         });
 
 TEST(Spline2D, RejectsWrongShape)
 {

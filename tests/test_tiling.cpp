@@ -142,6 +142,54 @@ TEST(TilePolicy, AutoStreamingGuardFallsBackToUntiledBeyondL3)
               128u);
 }
 
+TEST(TilePolicy, FusedAdvectModelBudgetsStripsPlusFixedSet)
+{
+    const TilePolicy p = TilePolicy::automatic();
+    const std::size_t rows = 1000;
+    const std::size_t npts = 1000;
+    const std::size_t l2 = pspl::l2_cache_bytes();
+
+    // Pack multiple, at least one pack, and the two strips (rows + npts
+    // doubles per column) fit the modeled half-L2 budget.
+    const std::size_t w = p.fused_advect_tile_cols(rows, npts, 100000, 8, 0);
+    EXPECT_GE(w, 8u);
+    EXPECT_EQ(w % 8, 0u);
+    EXPECT_LE(w * (rows + npts) * sizeof(double), l2 / 2);
+
+    // A larger fixed working set (Schur factors + points) can only shrink
+    // the strip tile, and the quarter-L2 carve cap keeps even absurd
+    // factor footprints from starving it below one pack.
+    const std::size_t w_fixed =
+            p.fused_advect_tile_cols(rows, npts, 100000, 8, l2 / 8);
+    EXPECT_LE(w_fixed, w);
+    EXPECT_GE(p.fused_advect_tile_cols(rows, npts, 100000, 8, 16 * l2), 8u);
+
+    // No streaming guard: unlike tile_cols, batches way past L3 still get
+    // a nonzero width (the fused pipeline must stage).
+    EXPECT_GT(p.fused_advect_tile_cols(rows, npts, 1u << 24, 8, 0), 0u);
+}
+
+TEST(TilePolicy, FusedAdvectModelRoundsAndClamps)
+{
+    // Explicit requests round up to a pack multiple.
+    EXPECT_EQ(TilePolicy::explicit_width(13).fused_advect_tile_cols(
+                      1000, 1000, 100000, 8, 0),
+              16u);
+    EXPECT_EQ(TilePolicy::explicit_width(13).fused_advect_tile_cols(
+                      1000, 1000, 100000, 1, 0),
+              13u);
+    // The tile never exceeds the batch rounded up to a whole pack...
+    EXPECT_EQ(TilePolicy::explicit_width(4096).fused_advect_tile_cols(
+                      1000, 1000, 37, 8, 0),
+              40u);
+    // ...and tiny strips are still bounded by the staging cap.
+    const std::size_t cap_w =
+            TilePolicy::automatic().fused_advect_tile_cols(1, 1, 1u << 24, 8,
+                                                           0);
+    EXPECT_LE(cap_w, 4096u);
+    EXPECT_EQ(cap_w % 8, 0u);
+}
+
 // ---------------------------------------------------------------------------
 // for_each_batch_tile: exact index coverage
 // ---------------------------------------------------------------------------

@@ -144,6 +144,57 @@ def signature_is_additive_superset(old, new):
     return False
 
 
+def check_counter_only(records, side):
+    """Validate the v5 counter-only contract inside embedded perf reports.
+
+    Schema v5 marks attribution-only counter children -- spans whose
+    bytes/flops were booked by a cost model but never timed (count == 0,
+    seconds == 0) -- with `counter_only: true`, because their derived
+    achieved_bw_gbs / achieved_gflops are structurally zero, not measured
+    zeros. Three inconsistencies are structural errors: a v5 span missing
+    the flag, a flag that contradicts the count/seconds/bytes/flops rule,
+    and a counter-only span claiming a nonzero achieved rate. Pre-v5
+    reports (no flag) are skipped: old committed baselines must not fail a
+    newer checker."""
+    errors = []
+    for record in records:
+        report = record.get("report")
+        if not isinstance(report, dict):
+            continue
+        if report.get("schema") != "pspl-perf-report-v5":
+            continue
+        for span in report.get("spans", []):
+            if not isinstance(span, dict):
+                continue
+            path = span.get("path", "<unnamed>")
+            if "counter_only" not in span:
+                errors.append(
+                    f"{side}: v5 span missing counter_only flag: {path}"
+                )
+                continue
+            flag = span["counter_only"]
+            expected = (
+                span.get("count", 0) == 0
+                and span.get("seconds", 0.0) == 0.0
+                and (span.get("bytes", 0.0) > 0.0
+                     or span.get("flops", 0.0) > 0.0)
+            )
+            if bool(flag) != expected:
+                errors.append(
+                    f"{side}: counter_only={flag} contradicts "
+                    f"count/seconds/bytes/flops: {path}"
+                )
+            if bool(flag) and (
+                span.get("achieved_bw_gbs", 0.0) != 0.0
+                or span.get("achieved_gflops", 0.0) != 0.0
+            ):
+                errors.append(
+                    f"{side}: counter-only span reports a nonzero "
+                    f"achieved rate: {path}"
+                )
+    return errors
+
+
 def record_identity(record):
     """Hashable identity: every field that is not a metric, a size, or
     informational. Nested values contribute their schema signature so two
@@ -303,6 +354,11 @@ def compare(baseline, current, tolerance=0.25, fail_on_timing=False,
     """Compare two record lists; returns a Report. Pure function of its
     inputs (no I/O), so the self-test drives it with literal records."""
     report = Report()
+
+    # Internal-consistency gate on both artifacts before any matching: a
+    # malformed counter_only flag is a producer bug, not drift.
+    report.errors.extend(check_counter_only(baseline, "baseline"))
+    report.errors.extend(check_counter_only(current, "current"))
 
     base_by_id = {}
     for rec in baseline:

@@ -22,6 +22,7 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 
 from compare_bench import (  # noqa: E402
+    check_counter_only,
     compare,
     identity_extends,
     record_identity,
@@ -245,6 +246,83 @@ def test_v4_space_identity_field_gates():
     report = compare(baseline, current)
     assert report.exit_code() == 1
     assert any("missing from current" in e for e in report.errors)
+
+
+def span(path, count, seconds, bytes_, flops, counter_only, bw=0.0):
+    return {
+        "path": path,
+        "count": count,
+        "seconds": seconds,
+        "bytes": bytes_,
+        "flops": flops,
+        "counter_only": counter_only,
+        "achieved_bw_gbs": bw,
+        "achieved_gflops": 0.0,
+        "bw_percent_of_peak": 0.0,
+    }
+
+
+def perf_report_rec(spans, schema="pspl-perf-report-v5"):
+    return {"bench": "perf_report", "report": {"schema": schema,
+                                               "spans": spans}}
+
+
+def test_v5_counter_only_flag_is_validated():
+    # A well-formed v5 report: a timed span with counters and an
+    # attribution-only child (count 0, seconds 0, bytes > 0) -> clean.
+    good = [perf_report_rec([
+        span("pspl::advection::advect_fused", 3, 0.2, 4.0e9, 1.0e9, False,
+             bw=20.0),
+        span("pspl::advection::advect_fused/pttrs", 0, 0.0, 2.0e9, 5.0e8,
+             True),
+    ])]
+    assert check_counter_only(good, "current") == []
+    report = compare(copy.deepcopy(good), copy.deepcopy(good))
+    assert report.errors == []
+
+    # An attribution-only child mislabelled as measured: producer bug.
+    mislabelled = [perf_report_rec([
+        span("pttrs_child", 0, 0.0, 2.0e9, 0.0, False),
+    ])]
+    errors = check_counter_only(mislabelled, "current")
+    assert any("contradicts" in e for e in errors)
+    assert compare(copy.deepcopy(good), mislabelled).exit_code() == 1
+
+    # A timed span flagged counter-only is equally inconsistent.
+    inverted = [perf_report_rec([
+        span("timed", 5, 0.1, 1.0e9, 0.0, True),
+    ])]
+    assert any(
+        "contradicts" in e for e in check_counter_only(inverted, "baseline")
+    )
+
+    # A counter-only span must not claim a measured bandwidth.
+    phantom = [perf_report_rec([
+        span("ghost_bw", 0, 0.0, 1.0e9, 0.0, True, bw=12.5),
+    ])]
+    assert any(
+        "nonzero achieved rate" in e
+        for e in check_counter_only(phantom, "current")
+    )
+
+    # The flag is mandatory on every v5 span (uniform array signature).
+    missing = [perf_report_rec([{"path": "bare", "count": 0, "seconds": 0.0,
+                                 "bytes": 1.0, "flops": 0.0}])]
+    assert any(
+        "missing counter_only" in e
+        for e in check_counter_only(missing, "current")
+    )
+
+
+def test_pre_v5_reports_skip_counter_only_validation():
+    # v4 baselines carry no flag; the checker must not retro-fail them --
+    # including the bare zero-duration counter children that motivated v5.
+    v4 = [perf_report_rec(
+        [{"path": "pttrs", "count": 0, "seconds": 0.0, "bytes": 2.0e9,
+          "flops": 0.0, "achieved_bw_gbs": 0.0}],
+        schema="pspl-perf-report-v4",
+    )]
+    assert check_counter_only(v4, "baseline") == []
 
 
 def test_signature_superset_helper():

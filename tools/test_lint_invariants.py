@@ -186,6 +186,37 @@ def test_rule8_arena_staging_outside_body_is_clean():
     assert run_check(lint.check_dispatch_allocation, fixture) == []
 
 
+def test_rule8_tile_dispatch_allocation_fires():
+    # The fused advection driver's dispatch shape: a per-tile body staging
+    # RHS + output strips. Scratch must come from the pre-reserved arena
+    # slot, never a per-tile allocation.
+    fixture = ('for_each_batch_tile("pspl::advection::advect_fused", policy,\n'
+               "                    tile, [=](const BatchTile& t) {\n"
+               "    double* strip = new double[rows * t.cols()];\n"
+               "    solve_tile(t, strip);\n"
+               "});\n")
+    errors = run_check(lint.check_dispatch_allocation, fixture)
+    assert len(errors) == 1
+    assert "heap allocation" in errors[0]
+
+
+def test_rule8_fused_advection_arena_strips_are_clean():
+    # The real driver: strips reserved from the WorkspaceArena before the
+    # dispatch, the tile body only indexes into its rank's slot.
+    fixture = (
+        "auto& arena = host_workspace_arena();\n"
+        "arena.reserve(Exec::concurrency() * slot_bytes, label);\n"
+        'for_each_batch_tile("pspl::advection::advect_fused", policy,\n'
+        "                    tile, [=](const BatchTile& t) {\n"
+        "    double* strip = slot_for(t.thread_rank);\n"
+        "    gather_strip_from_rows(f, t.begin, t.cols(), rows, stride,\n"
+        "                           strip);\n"
+        "    core::schur_solve_staged_strip<W>(s, strip, packs, use_spmv);\n"
+        "    evaluator.evaluate_shifted(points, shift, col, out_row);\n"
+        "});\n")
+    assert run_check(lint.check_dispatch_allocation, fixture) == []
+
+
 # ---------------------------------------------------------------------------
 # Rule 9: no implicit double promotion in batched kernel bodies.
 # ---------------------------------------------------------------------------
