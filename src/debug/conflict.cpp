@@ -2,7 +2,7 @@
 
 #include "debug/registry.hpp"
 
-#include <atomic>
+#include "parallel/sync_policy.hpp"
 #include <cstring>
 #include <mutex>
 #include <string>
@@ -42,8 +42,8 @@ Detector& detector()
     return d;
 }
 
-std::atomic<int> g_depth{0};
-std::atomic<bool> g_active{false};
+pspl::sync::atomic<int> g_depth{0};
+pspl::sync::atomic<bool> g_active{false};
 
 thread_local std::size_t t_iteration = 0;
 
@@ -51,7 +51,7 @@ thread_local std::size_t t_iteration = 0;
 
 bool region_begin(const char* label)
 {
-    if (g_depth.fetch_add(1, std::memory_order_acq_rel) != 0) {
+    if (g_depth.fetch_add(1, pspl::sync::acq_rel) != 0) {
         return false; // nested dispatch: outer region keeps ownership
     }
     auto& d = detector();
@@ -59,20 +59,20 @@ bool region_begin(const char* label)
     d.touched.clear();
     d.label = label != nullptr ? label : "";
     d.saturated = false;
-    g_active.store(true, std::memory_order_release);
+    g_active.store(true, pspl::sync::release);
     return true;
 }
 
 void region_end(bool owner)
 {
     if (!owner) {
-        g_depth.fetch_sub(1, std::memory_order_acq_rel);
+        g_depth.fetch_sub(1, pspl::sync::acq_rel);
         return;
     }
     auto& d = detector();
     {
         std::lock_guard lock(d.mutex);
-        g_active.store(false, std::memory_order_release);
+        g_active.store(false, pspl::sync::release);
         if (d.saturated) {
             std::fprintf(stderr,
                          "pspl: warning: write-conflict detector saturated "
@@ -95,7 +95,7 @@ void region_end(bool owner)
         }
         d.touched.clear();
     }
-    g_depth.fetch_sub(1, std::memory_order_acq_rel);
+    g_depth.fetch_sub(1, pspl::sync::acq_rel);
 }
 
 void set_iteration(std::size_t iter)
@@ -105,12 +105,12 @@ void set_iteration(std::size_t iter)
 
 bool region_active()
 {
-    return g_active.load(std::memory_order_acquire);
+    return g_active.load(pspl::sync::acquire);
 }
 
 void record_access(const void* p, std::size_t bytes, const char* label)
 {
-    if (!g_active.load(std::memory_order_acquire)) {
+    if (!g_active.load(pspl::sync::acquire)) {
         return;
     }
     if (in_scratch(p)) {
@@ -118,7 +118,7 @@ void record_access(const void* p, std::size_t bytes, const char* label)
     }
     auto& d = detector();
     std::lock_guard lock(d.mutex);
-    if (!g_active.load(std::memory_order_acquire)) {
+    if (!g_active.load(pspl::sync::acquire)) {
         return; // region closed while we waited on the lock
     }
     if (d.saturated) {

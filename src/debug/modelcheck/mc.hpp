@@ -1,0 +1,502 @@
+// In-tree concurrency model checker: systematic exploration of every
+// interleaving of a small concurrent program under (an operational subset
+// of) the C++ memory model, in the spirit of CDSChecker / relacy.
+//
+// The checker runs a *litmus program* -- a deterministic setup callback
+// that builds shared state out of `mc::atomic<T>` / `mc::plain<T>` cells
+// and registers a handful of thread bodies -- over and over, each run
+// forced down a different schedule / reads-from branch by a DFS over a
+// choice stack. Threads are real std::threads from a small reusable pool,
+// but exactly one is ever runnable: each visible operation (atomic access,
+// mutex op, yield) is a scheduling point where control returns to the
+// explorer. Between visible operations threads run uninstrumented code
+// atomically.
+//
+// What a run checks:
+//   - MC_ASSERT conditions in thread bodies and on_exit callbacks,
+//   - data races on mc::plain cells (vector-clock happens-before),
+//   - loads of an atomic whose *initialization* does not happen-before
+//     the access (publication bugs: reaching an object through a racy
+//     pointer),
+//   - deadlocks (every live thread blocked) and step-bound livelocks,
+//   - mutex misuse (unlock by non-owner).
+//
+// The memory model, honestly stated (docs/STATIC_ANALYSIS.md has the long
+// version): stores to a location form a history in execution order; a load
+// may read any store between "newest store that happens-before the load /
+// newest the thread has already observed / newest seq_cst store if the
+// load is seq_cst" and the latest -- each admissible choice is explored.
+// Acquire loads join the release clock of the store they read; RMWs always
+// read the latest store (so the model under-approximates: weakening the
+// *order on a CAS* is not observable here, which the mutation matrix
+// documents as a survivor row rather than pretending otherwise).
+//
+// Exploration is exhaustive at the litmus bounds, pruned soundly by sleep
+// sets (Godefroid-style partial-order reduction); an optional preemption
+// bound (CHESS-style) gives a cheaper CI leg. Spin loops must call
+// mc::yield(): a yielded thread is not rescheduled until some store
+// changes the global state, and when nothing else can run, spinners are
+// resumed in a deterministic "fresh read" mode that models eventual
+// visibility -- so stale-read branches terminate and real deadlocks are
+// still reported.
+//
+// This header and mc.cpp are, with parallel/sync_policy.hpp, the only
+// legal homes of raw std::atomic / std::memory_order in src/ (lint rule
+// 11).
+#pragma once
+
+#include "parallel/sync_policy.hpp"
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace pspl::mc {
+
+/// Thrown through thread bodies to unwind them when exploration of the
+/// current execution stops (failure found, or a sleep-set-pruned branch).
+/// Deliberately not derived from std::exception: litmus code that catches
+/// std::exception (the exception-recovery litmus) does not swallow it.
+struct AbortExecution {
+};
+
+namespace detail {
+
+// Engine hooks (implemented in mc.cpp). All take effect only while an
+// exploration is active on this thread family; otherwise the mc:: types
+// fall back to plain single-threaded behaviour so they can be constructed
+// and poked in ordinary test scaffolding.
+bool engine_active() noexcept;
+std::uint64_t engine_generation() noexcept;
+
+int register_atomic(std::uint64_t init, const char* name);
+std::uint64_t atomic_load(int loc, std::memory_order mo);
+void atomic_store(int loc, std::uint64_t v, std::memory_order mo);
+std::uint64_t atomic_rmw(int loc, std::uint64_t (*f)(std::uint64_t, void*),
+                         void* ctx, std::memory_order mo);
+bool atomic_cas(int loc, std::uint64_t& expected, std::uint64_t desired,
+                std::memory_order mo);
+
+int register_plain(const char* name);
+void plain_read(int loc);
+void plain_write(int loc);
+
+int register_mutex();
+void mutex_lock(int id);
+void mutex_unlock(int id);
+
+struct SimAccess; // engine-side view of Sim's registrations (mc.cpp)
+
+void yield_point();
+void fence_point(std::memory_order mo);
+void assert_failed(const char* expr, const char* file, int line);
+std::memory_order site_order(sync::Site site, std::memory_order dflt);
+
+/// Encode the value types the protocols store atomically (integers, bool,
+/// pointers) into the engine's uint64 value domain and back.
+template <class T>
+std::uint64_t to_u64(T v)
+{
+    if constexpr (std::is_pointer_v<T>) {
+        return reinterpret_cast<std::uintptr_t>(v);
+    } else {
+        return static_cast<std::uint64_t>(v);
+    }
+}
+
+template <class T>
+T from_u64(std::uint64_t v)
+{
+    if constexpr (std::is_pointer_v<T>) {
+        return reinterpret_cast<T>(static_cast<std::uintptr_t>(v));
+    } else if constexpr (std::is_same_v<T, bool>) {
+        return v != 0;
+    } else {
+        return static_cast<T>(v);
+    }
+}
+
+} // namespace detail
+
+/// Model-checked stand-in for std::atomic<T>. The value history lives in
+/// the engine (per-location store list with vector clocks); outside an
+/// exploration the cell degrades to a plain value.
+template <class T>
+class atomic
+{
+public:
+    explicit atomic(T init = T{}, const char* name = nullptr) noexcept
+        : m_fallback(init)
+    {
+        if (detail::engine_active()) {
+            m_gen = detail::engine_generation();
+            m_loc = detail::register_atomic(detail::to_u64(init), name);
+        }
+    }
+
+    atomic(const atomic&) = delete;
+    atomic& operator=(const atomic&) = delete;
+
+    T load(std::memory_order mo = std::memory_order_seq_cst) const
+    {
+        if (!live()) {
+            return m_fallback;
+        }
+        return detail::from_u64<T>(detail::atomic_load(m_loc, mo));
+    }
+
+    void store(T v, std::memory_order mo = std::memory_order_seq_cst)
+    {
+        if (!live()) {
+            m_fallback = v;
+            return;
+        }
+        detail::atomic_store(m_loc, detail::to_u64(v), mo);
+    }
+
+    T exchange(T v, std::memory_order mo = std::memory_order_seq_cst)
+    {
+        if (!live()) {
+            return std::exchange(m_fallback, v);
+        }
+        auto f = [](std::uint64_t, void* ctx) {
+            return *static_cast<std::uint64_t*>(ctx);
+        };
+        std::uint64_t desired = detail::to_u64(v);
+        return detail::from_u64<T>(
+                detail::atomic_rmw(m_loc, +f, &desired, mo));
+    }
+
+    T fetch_add(T d, std::memory_order mo = std::memory_order_seq_cst)
+    {
+        if (!live()) {
+            return std::exchange(m_fallback, static_cast<T>(m_fallback + d));
+        }
+        auto f = [](std::uint64_t old, void* ctx) {
+            // Wraparound addition in the value domain, truncated back to
+            // T's width on decode; matches two's-complement fetch_add.
+            return detail::to_u64(static_cast<T>(
+                    detail::from_u64<T>(old)
+                    + *static_cast<T*>(ctx)));
+        };
+        return detail::from_u64<T>(detail::atomic_rmw(m_loc, +f, &d, mo));
+    }
+
+    T fetch_sub(T d, std::memory_order mo = std::memory_order_seq_cst)
+    {
+        if (!live()) {
+            return std::exchange(m_fallback, static_cast<T>(m_fallback - d));
+        }
+        auto f = [](std::uint64_t old, void* ctx) {
+            return detail::to_u64(static_cast<T>(
+                    detail::from_u64<T>(old)
+                    - *static_cast<T*>(ctx)));
+        };
+        return detail::from_u64<T>(detail::atomic_rmw(m_loc, +f, &d, mo));
+    }
+
+    bool compare_exchange_strong(
+            T& expected, T desired,
+            std::memory_order mo = std::memory_order_seq_cst,
+            std::memory_order = std::memory_order_relaxed)
+    {
+        if (!live()) {
+            if (m_fallback == expected) {
+                m_fallback = desired;
+                return true;
+            }
+            expected = m_fallback;
+            return false;
+        }
+        std::uint64_t exp = detail::to_u64(expected);
+        const bool ok = detail::atomic_cas(m_loc, exp,
+                                           detail::to_u64(desired), mo);
+        expected = detail::from_u64<T>(exp);
+        return ok;
+    }
+
+    bool compare_exchange_weak(
+            T& expected, T desired,
+            std::memory_order mo = std::memory_order_seq_cst,
+            std::memory_order fmo = std::memory_order_relaxed)
+    {
+        // No spurious failure in the model: strong semantics are a subset.
+        return compare_exchange_strong(expected, desired, mo, fmo);
+    }
+
+private:
+    bool live() const noexcept
+    {
+        return m_loc >= 0 && detail::engine_active()
+               && m_gen == detail::engine_generation();
+    }
+
+    T m_fallback;
+    int m_loc = -1;
+    std::uint64_t m_gen = 0;
+};
+
+/// Model-checked stand-in for Sync::plain<T>: a non-atomic cell whose
+/// every access is race-checked against the happens-before relation. The
+/// value itself lives in the object (accesses are serialized by the
+/// scheduler, so plain reads always see real data even in racy runs; the
+/// race is reported at the next scheduling point).
+template <class T>
+class plain
+{
+public:
+    plain() noexcept(std::is_nothrow_default_constructible_v<T>)
+        : m_v{}
+    {
+        reg();
+    }
+
+    plain(const T& v) // NOLINT(google-explicit-constructor)
+        : m_v(v)
+    {
+        reg();
+    }
+
+    plain(const plain& o)
+        : m_v(o.checked_read())
+    {
+        reg();
+    }
+
+    plain(plain&& o) noexcept
+        : m_v(std::move(o.m_v))
+    {
+        // Moved-from access still counts as a read of the source.
+        o.note_read();
+        reg();
+    }
+
+    plain& operator=(const plain& o)
+    {
+        const T v = o.checked_read();
+        note_write();
+        m_v = v;
+        return *this;
+    }
+
+    plain& operator=(plain&& o) noexcept
+    {
+        o.note_read();
+        note_write();
+        m_v = std::move(o.m_v);
+        return *this;
+    }
+
+    plain& operator=(const T& v)
+    {
+        note_write();
+        m_v = v;
+        return *this;
+    }
+
+    operator T() const { return checked_read(); } // NOLINT
+
+    ~plain() = default;
+
+private:
+    void reg() noexcept
+    {
+        if (detail::engine_active()) {
+            m_gen = detail::engine_generation();
+            m_loc = detail::register_plain(nullptr);
+        }
+    }
+
+    bool live() const noexcept
+    {
+        return m_loc >= 0 && detail::engine_active()
+               && m_gen == detail::engine_generation();
+    }
+
+    void note_read() const noexcept
+    {
+        if (live()) {
+            detail::plain_read(m_loc);
+        }
+    }
+
+    void note_write() noexcept
+    {
+        if (live()) {
+            detail::plain_write(m_loc);
+        }
+    }
+
+    T checked_read() const
+    {
+        note_read();
+        return m_v;
+    }
+
+    T m_v;
+    int m_loc = -1;
+    std::uint64_t m_gen = 0;
+};
+
+/// Model-checked mutex: blocking lock is a scheduling point, unlock hands
+/// its release clock to the next owner. Compatible with std::lock_guard.
+class mutex
+{
+public:
+    mutex() noexcept
+    {
+        if (detail::engine_active()) {
+            m_gen = detail::engine_generation();
+            m_id = detail::register_mutex();
+        }
+    }
+
+    mutex(const mutex&) = delete;
+    mutex& operator=(const mutex&) = delete;
+
+    void lock()
+    {
+        if (live()) {
+            detail::mutex_lock(m_id);
+        }
+    }
+
+    void unlock()
+    {
+        if (live()) {
+            detail::mutex_unlock(m_id);
+        }
+    }
+
+private:
+    bool live() const noexcept
+    {
+        return m_id >= 0 && detail::engine_active()
+               && m_gen == detail::engine_generation();
+    }
+
+    int m_id = -1;
+    std::uint64_t m_gen = 0;
+};
+
+/// Spin-loop backoff point. Required in every unbounded polling loop of a
+/// litmus program: a yielded thread is descheduled until a store changes
+/// global state (see the file comment), which is what keeps stale-read
+/// exploration finite without masking real livelocks.
+inline void yield()
+{
+    if (detail::engine_active()) {
+        detail::yield_point();
+    }
+}
+
+inline void fence(std::memory_order mo)
+{
+    if (detail::engine_active()) {
+        detail::fence_point(mo);
+    }
+}
+
+/// The mutation matrix: overrides applied by ModelSync::order at the
+/// annotated sites. One weakening at a time is the intended use.
+struct Mutation {
+    sync::Site site;
+    std::memory_order order;
+};
+
+struct Options {
+    /// Stop after this many completed executions (0 = run to exhaustion).
+    std::uint64_t max_executions = 0;
+    /// Abort an execution that exceeds this many visible operations; a
+    /// litmus at model-checking bounds finishing this slowly is a livelock
+    /// or a runaway loop either way.
+    std::uint64_t max_steps_per_exec = 200000;
+    /// CHESS-style preemption bound (-1 = unbounded / exhaustive). At k,
+    /// only schedules with at most k preemptive context switches are
+    /// explored -- a cheap CI leg, not a proof.
+    int preemption_bound = -1;
+    /// Disable sleep-set pruning (paranoia switch; exploration is then a
+    /// plain exhaustive DFS and execution counts are directly comparable
+    /// across checker versions).
+    bool sleep_sets = true;
+    /// Memory-order overrides for the annotated sites (mutation matrix).
+    std::vector<Mutation> mutations;
+
+    /// PSPL_MC_MAX_EXECUTIONS / PSPL_MC_PREEMPTION_BOUND /
+    /// PSPL_MC_NO_SLEEP_SETS / PSPL_MC_MAX_STEPS applied on top of the
+    /// defaults, so CI legs can rescale every litmus at once.
+    static Options from_env();
+};
+
+struct Result {
+    std::uint64_t executions = 0;  ///< completed interleavings explored
+    std::uint64_t pruned = 0;      ///< sleep-set-redundant branches cut
+    std::uint64_t transitions = 0; ///< total visible operations executed
+    bool hit_execution_bound = false;
+    bool failed = false;
+    std::string failure_kind; ///< assert | race | unpublished-init |
+                              ///< deadlock | lock-error | step-bound |
+                              ///< thread-exception | nondeterminism
+    std::string failure;      ///< human-readable report with event trace
+};
+
+/// Litmus-program registration surface passed to the setup callback. The
+/// callback runs once per execution and must be deterministic: create the
+/// shared state (normally one shared_ptr the bodies capture by value),
+/// then register thread bodies and end-of-execution checks.
+class Sim
+{
+public:
+    /// Register a thread body. At most 7 threads per litmus.
+    void thread(std::function<void()> body);
+
+    /// Register a check that runs after every thread has finished, with
+    /// full visibility of all effects (no races are possible here).
+    void on_exit(std::function<void()> check);
+
+private:
+    friend struct detail::SimAccess;
+    std::vector<std::function<void()>> m_bodies;
+    std::vector<std::function<void()>> m_checks;
+};
+
+/// Explore every admissible execution of the litmus program `setup`
+/// builds. Returns after exhausting the schedule space, hitting a bound,
+/// or recording the first failure. Not reentrant; one exploration at a
+/// time per process.
+Result explore(const std::function<void(Sim&)>& setup, Options opts = {});
+
+/// Model-check sync policy: drop-in for sync::StdSync that routes the
+/// protocol templates (BasicChaseLevDeque, EpochGate, BasicEventChunkList)
+/// through the checker's instrumented types, with order() consulting the
+/// active mutation table.
+struct ModelSync {
+    template <class T>
+    using atomic = mc::atomic<T>;
+
+    template <class T>
+    using plain = mc::plain<T>;
+
+    using mutex = mc::mutex;
+
+    static std::memory_order order(sync::Site site, std::memory_order dflt)
+    {
+        return detail::site_order(site, dflt);
+    }
+
+    static void fence(std::memory_order mo) { mc::fence(mo); }
+};
+
+} // namespace pspl::mc
+
+/// Litmus assertion: a failure stops exploration and reports the trace of
+/// the execution that broke it.
+#define MC_ASSERT(cond)                                                      \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            ::pspl::mc::detail::assert_failed(#cond, __FILE__, __LINE__);    \
+        }                                                                    \
+    } while (0)

@@ -1,6 +1,6 @@
 #include "debug/registry.hpp"
 
-#include <atomic>
+#include "parallel/sync_policy.hpp"
 #include <deque>
 #include <map>
 #include <mutex>
@@ -40,7 +40,7 @@ Registry& registry()
 
 // Fast-path gate: check_live only takes the lock while something has
 // actually been freed since the last overlap-erase.
-std::atomic<std::size_t> g_tombstone_count{0};
+pspl::sync::atomic<std::size_t> g_tombstone_count{0};
 
 struct ScratchRanges {
     std::shared_mutex mutex;
@@ -53,7 +53,7 @@ ScratchRanges& scratch()
     return s;
 }
 
-std::atomic<std::size_t> g_scratch_count{0};
+pspl::sync::atomic<std::size_t> g_scratch_count{0};
 
 std::uintptr_t addr(const void* p)
 {
@@ -89,7 +89,7 @@ void register_allocation(const void* base, std::size_t bytes,
             ++it;
         }
     }
-    g_tombstone_count.store(r.tombstones.size(), std::memory_order_relaxed);
+    g_tombstone_count.store(r.tombstones.size(), pspl::sync::relaxed);
     r.live[b] = Range{b, bytes, label != nullptr ? label : ""};
 }
 
@@ -106,12 +106,12 @@ void release_allocation(const void* base)
     if (r.tombstones.size() > max_tombstones) {
         r.tombstones.pop_back();
     }
-    g_tombstone_count.store(r.tombstones.size(), std::memory_order_relaxed);
+    g_tombstone_count.store(r.tombstones.size(), pspl::sync::relaxed);
 }
 
 void check_live(const void* p, const char* accessor_label)
 {
-    if (g_tombstone_count.load(std::memory_order_relaxed) == 0) {
+    if (g_tombstone_count.load(pspl::sync::relaxed) == 0) {
         return;
     }
     auto& r = registry();
@@ -138,7 +138,7 @@ void mark_scratch(const void* base, std::size_t bytes)
     auto& s = scratch();
     std::unique_lock lock(s.mutex);
     s.ranges[addr(base)] = bytes;
-    g_scratch_count.store(s.ranges.size(), std::memory_order_relaxed);
+    g_scratch_count.store(s.ranges.size(), pspl::sync::relaxed);
 }
 
 void unmark_scratch(const void* base)
@@ -146,12 +146,12 @@ void unmark_scratch(const void* base)
     auto& s = scratch();
     std::unique_lock lock(s.mutex);
     s.ranges.erase(addr(base));
-    g_scratch_count.store(s.ranges.size(), std::memory_order_relaxed);
+    g_scratch_count.store(s.ranges.size(), pspl::sync::relaxed);
 }
 
 bool in_scratch(const void* p)
 {
-    if (g_scratch_count.load(std::memory_order_relaxed) == 0) {
+    if (g_scratch_count.load(pspl::sync::relaxed) == 0) {
         return false;
     }
     auto& s = scratch();
@@ -169,7 +169,7 @@ std::size_t live_allocation_count()
 
 std::size_t tombstone_count()
 {
-    return g_tombstone_count.load(std::memory_order_relaxed);
+    return g_tombstone_count.load(pspl::sync::relaxed);
 }
 
 } // namespace pspl::debug

@@ -1,0 +1,90 @@
+// Chase-Lev work-stealing deque, templated on the sync policy
+// (parallel/sync_policy.hpp) so the exact production algorithm is also the
+// litmus program the model checker explores.
+//
+// Specialized for the thread pool's epoch protocol: reset() is only called
+// while the pool is quiescent, so there are no concurrent pushes or buffer
+// grows and the buffer is immutable for the whole epoch. The owner pops
+// from the bottom (its chunks in ascending order), thieves take from the
+// top. seq_cst on the contended operations: chunk granularity makes the
+// barrier cost irrelevant and it avoids the standalone-fence formulation
+// that ThreadSanitizer models poorly. Which of those seq_cst annotations
+// is load-bearing -- and which survive weakening because the epoch
+// specialization removed the owner-push races they guard in the general
+// algorithm -- is established by the mutation matrix
+// (tests/test_modelcheck_mutations.cpp, docs/STATIC_ANALYSIS.md).
+#pragma once
+
+#include "parallel/sync_policy.hpp"
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace pspl::detail {
+
+template <class Sync>
+class BasicChaseLevDeque
+{
+    using Site = sync::Site;
+
+public:
+    /// Quiescent refill; chunks[count-1] is popped first by the owner,
+    /// chunks[0] is stolen first. Not safe against concurrent pop/steal.
+    void reset(const std::size_t* chunks, std::size_t count)
+    {
+        m_buf.assign(chunks, chunks + count);
+        m_top.store(0, sync::relaxed);
+        m_bottom.store(static_cast<std::int64_t>(count), sync::relaxed);
+    }
+
+    /// Owner-only take from the bottom.
+    bool pop(std::size_t& out)
+    {
+        const std::int64_t b = m_bottom.load(sync::relaxed) - 1;
+        m_bottom.store(b, Sync::order(Site::deque_pop_bottom_store,
+                                      sync::seq_cst));
+        std::int64_t t = m_top.load(Sync::order(Site::deque_pop_top_load,
+                                                sync::seq_cst));
+        if (t <= b) {
+            out = m_buf[static_cast<std::size_t>(b)];
+            if (t == b) {
+                // Last element: race the thieves for it, then restore the
+                // canonical empty state either way.
+                const bool won = m_top.compare_exchange_strong(
+                        t, t + 1,
+                        Sync::order(Site::deque_pop_cas, sync::seq_cst),
+                        sync::relaxed);
+                m_bottom.store(b + 1, sync::relaxed);
+                return won;
+            }
+            return true;
+        }
+        m_bottom.store(b + 1, sync::relaxed);
+        return false;
+    }
+
+    /// Thief-side take from the top.
+    bool steal(std::size_t& out)
+    {
+        std::int64_t t = m_top.load(Sync::order(Site::deque_steal_top_load,
+                                                sync::seq_cst));
+        const std::int64_t b = m_bottom.load(
+                Sync::order(Site::deque_steal_bottom_load, sync::seq_cst));
+        if (t < b) {
+            out = m_buf[static_cast<std::size_t>(t)];
+            return m_top.compare_exchange_strong(
+                    t, t + 1,
+                    Sync::order(Site::deque_steal_cas, sync::seq_cst),
+                    sync::relaxed);
+        }
+        return false;
+    }
+
+private:
+    alignas(64) typename Sync::template atomic<std::int64_t> m_top{0};
+    alignas(64) typename Sync::template atomic<std::int64_t> m_bottom{0};
+    std::vector<typename Sync::template plain<std::size_t>> m_buf;
+};
+
+} // namespace pspl::detail

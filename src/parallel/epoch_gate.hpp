@@ -1,0 +1,96 @@
+// Epoch gate: the release/acquire protocol that publishes a quiescently
+// refilled epoch of work to the pool's workers, templated on the sync
+// policy so the production instantiation and the model-checked litmus
+// programs share one implementation.
+//
+// Protocol (see parallel/threadpool.hpp for the surrounding pool):
+//
+//   dispatcher                         worker
+//   ----------                        ------
+//   refill deques (plain writes)
+//   publish(nchunks)   [release] --->  active()  [acquire]  > 0
+//                                      ... pop/steal, run chunk ...
+//                                      chunk_done()          [acq_rel]
+//   active() == false  [acquire] <---
+//                                      leave()               [release]
+//   quiescent()        [acquire] <---
+//   next refill's plain writes are now ordered after every worker access.
+//
+// Every plain access to the deque buffers, bounds table and task pointer
+// is ordered by one of these edges (or by the wakeup mutex); the model
+// checker verifies exactly that, and the mutation matrix proves each
+// annotation is load-bearing by weakening it and asserting the checker
+// reports the resulting race (docs/STATIC_ANALYSIS.md).
+#pragma once
+
+#include "parallel/sync_policy.hpp"
+
+#include <cstdint>
+
+namespace pspl::detail {
+
+template <class Sync>
+class EpochGate
+{
+    using Site = sync::Site;
+
+public:
+    /// Publish a refilled epoch of `nchunks` chunks. The one release store
+    /// that makes every plain write of the quiescent refill visible to
+    /// workers whose acquire poll observes it.
+    void publish(std::int64_t nchunks)
+    {
+        m_remaining.store(nchunks,
+                          Sync::order(Site::epoch_publish, sync::release));
+    }
+
+    /// True while the current epoch still has unexecuted chunks. The
+    /// acquire half of the publish edge: a worker that observes the epoch
+    /// here may touch the deque buffers and bounds table.
+    bool active() const
+    {
+        return m_remaining.load(Sync::order(Site::epoch_poll, sync::acquire))
+               > 0;
+    }
+
+    /// Retire one executed chunk. acq_rel: the release half orders the
+    /// chunk's writes (results, recorded exceptions) before the dispatcher
+    /// observing remaining == 0; the acquire half keeps the counter's
+    /// modification order a synchronization chain across workers.
+    void chunk_done()
+    {
+        m_remaining.fetch_sub(1,
+                              Sync::order(Site::epoch_chunk_done,
+                                          sync::acq_rel));
+    }
+
+    /// Worker checks into the epoch before touching any epoch state.
+    void enter()
+    {
+        m_in_epoch.fetch_add(1,
+                             Sync::order(Site::epoch_enter, sync::acq_rel));
+    }
+
+    /// Worker checks out after its last access to epoch state. The release
+    /// half is what licenses the dispatcher's next quiescent refill.
+    void leave()
+    {
+        m_in_epoch.fetch_sub(1,
+                             Sync::order(Site::epoch_leave, sync::release));
+    }
+
+    /// True once every worker has checked out: the dispatcher may mutate
+    /// deque buffers and retire the epoch's task/bounds storage.
+    bool quiescent() const
+    {
+        return m_in_epoch.load(Sync::order(Site::epoch_quiescent_poll,
+                                           sync::acquire))
+               == 0;
+    }
+
+private:
+    typename Sync::template atomic<std::int64_t> m_remaining{0};
+    typename Sync::template atomic<int> m_in_epoch{0};
+};
+
+} // namespace pspl::detail

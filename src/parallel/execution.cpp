@@ -2,7 +2,7 @@
 
 #include "parallel/threadpool.hpp"
 
-#include <atomic>
+#include "parallel/sync_policy.hpp"
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
@@ -21,13 +21,13 @@ namespace pspl {
 
 namespace {
 
-std::atomic<bool> g_pinned{false};
+pspl::sync::atomic<bool> g_pinned{false};
 
 } // namespace
 
 bool threads_pinned()
 {
-    return g_pinned.load(std::memory_order_relaxed);
+    return g_pinned.load(pspl::sync::relaxed);
 }
 
 namespace detail {
@@ -35,7 +35,7 @@ namespace detail {
 void note_threads_pinned(bool pinned)
 {
     if (pinned) {
-        g_pinned.store(true, std::memory_order_relaxed);
+        g_pinned.store(true, pspl::sync::relaxed);
     }
 }
 

@@ -1,7 +1,8 @@
 #include "parallel/profiling.hpp"
 
-#include <array>
-#include <atomic>
+#include "parallel/event_chunks.hpp"
+#include "parallel/sync_policy.hpp"
+
 #include <cstdio>
 #include <deque>
 #include <memory>
@@ -13,12 +14,12 @@ namespace pspl::profiling {
 
 namespace {
 
-std::atomic<bool> g_enabled{false};
-std::atomic<std::uint32_t> g_epoch{0};
+pspl::sync::atomic<bool> g_enabled{false};
+pspl::sync::atomic<std::uint32_t> g_epoch{0};
 
-std::atomic<std::uint64_t> g_mem_live{0};
-std::atomic<std::uint64_t> g_mem_peak{0};
-std::atomic<std::uint64_t> g_mem_allocs{0};
+pspl::sync::atomic<std::uint64_t> g_mem_live{0};
+pspl::sync::atomic<std::uint64_t> g_mem_peak{0};
+pspl::sync::atomic<std::uint64_t> g_mem_allocs{0};
 
 double now_seconds()
 {
@@ -143,7 +144,10 @@ std::string path_string(std::uint32_t path)
 // Per-thread event buffers: single-producer chunk lists. The owning thread
 // appends an event and publishes it with a release store of the chunk
 // counter; snapshot readers acquire the counter and read only published
-// events, so merging never blocks or races the writers.
+// events, so merging never blocks or races the writers. The lock-free
+// structure itself lives in parallel/event_chunks.hpp, templated on the
+// sync policy: this TU instantiates std::atomic, the model checker
+// (src/debug/modelcheck/) explores the same template exhaustively.
 // ---------------------------------------------------------------------------
 
 enum class EventKind : std::uint32_t { Span = 0, Counter = 1 };
@@ -158,48 +162,16 @@ struct Event {
     EventKind kind = EventKind::Span;
 };
 
-struct Chunk {
-    static constexpr std::size_t capacity = 1024;
-    std::array<Event, capacity> events;
-    std::atomic<std::size_t> count{0};
-    std::atomic<Chunk*> next{nullptr};
-    std::unique_ptr<Chunk> next_owner; // written by the producer only
-};
-
 struct ThreadBuffer {
-    std::unique_ptr<Chunk> head = std::make_unique<Chunk>();
-    Chunk* tail = head.get(); // producer-private cursor
+    pspl::detail::BasicEventChunkList<Event, 1024, sync::StdSync> chunks;
     int tid = 0;
 
-    void push(const Event& e)
-    {
-        Chunk* c = tail;
-        const std::size_t n = c->count.load(std::memory_order_relaxed);
-        if (n == Chunk::capacity) {
-            auto fresh = std::make_unique<Chunk>();
-            Chunk* raw = fresh.get();
-            c->next_owner = std::move(fresh);
-            c->next.store(raw, std::memory_order_release);
-            tail = raw;
-            c = raw;
-            c->events[0] = e;
-            c->count.store(1, std::memory_order_release);
-            return;
-        }
-        c->events[n] = e;
-        c->count.store(n + 1, std::memory_order_release);
-    }
+    void push(const Event& e) { chunks.push(e); }
 
     template <class F>
     void for_each(const F& f) const
     {
-        for (const Chunk* c = head.get(); c != nullptr;
-             c = c->next.load(std::memory_order_acquire)) {
-            const std::size_t n = c->count.load(std::memory_order_acquire);
-            for (std::size_t i = 0; i < n; ++i) {
-                f(c->events[i]);
-            }
-        }
+        chunks.for_each(f);
     }
 };
 
@@ -249,7 +221,7 @@ void emit(std::uint32_t path, double t0, double dur, double bytes,
     e.bytes = bytes;
     e.flops = flops;
     e.path = path;
-    e.epoch = g_epoch.load(std::memory_order_relaxed);
+    e.epoch = g_epoch.load(pspl::sync::relaxed);
     e.kind = kind;
     thread_buffer().push(e);
 }
@@ -258,7 +230,7 @@ template <class KeyOf>
 std::map<std::string, RecordStats> aggregate(const KeyOf& key_of)
 {
     std::map<std::string, RecordStats> out;
-    const std::uint32_t epoch = g_epoch.load(std::memory_order_acquire);
+    const std::uint32_t epoch = g_epoch.load(pspl::sync::acquire);
     std::vector<std::shared_ptr<ThreadBuffer>> buffers;
     {
         auto& reg = buffer_registry();
@@ -296,12 +268,12 @@ void json_escape_into(std::string& out, const std::string& s)
 
 void set_enabled(bool on)
 {
-    g_enabled.store(on, std::memory_order_relaxed);
+    g_enabled.store(on, pspl::sync::relaxed);
 }
 
 bool enabled()
 {
-    return g_enabled.load(std::memory_order_relaxed);
+    return g_enabled.load(pspl::sync::relaxed);
 }
 
 void clear()
@@ -309,7 +281,7 @@ void clear()
     // Events carry the epoch they were recorded under; bumping it hides
     // everything already published without touching the (possibly still
     // live) producer buffers.
-    g_epoch.fetch_add(1, std::memory_order_acq_rel);
+    g_epoch.fetch_add(1, pspl::sync::acq_rel);
 }
 
 void record(std::string_view label, double seconds)
@@ -363,7 +335,7 @@ double total_seconds_matching(std::string_view needle)
 std::size_t event_count()
 {
     std::size_t n = 0;
-    const std::uint32_t epoch = g_epoch.load(std::memory_order_acquire);
+    const std::uint32_t epoch = g_epoch.load(pspl::sync::acquire);
     std::vector<std::shared_ptr<ThreadBuffer>> buffers;
     {
         auto& reg = buffer_registry();
@@ -384,7 +356,7 @@ bool write_chrome_trace(const std::string& path)
                      path.c_str());
         return false;
     }
-    const std::uint32_t epoch = g_epoch.load(std::memory_order_acquire);
+    const std::uint32_t epoch = g_epoch.load(pspl::sync::acquire);
     std::vector<std::shared_ptr<ThreadBuffer>> buffers;
     {
         auto& reg = buffer_registry();
@@ -432,34 +404,34 @@ bool write_chrome_trace(const std::string& path)
 
 void note_alloc(std::size_t bytes)
 {
-    g_mem_allocs.fetch_add(1, std::memory_order_relaxed);
+    g_mem_allocs.fetch_add(1, pspl::sync::relaxed);
     const std::uint64_t live =
-            g_mem_live.fetch_add(bytes, std::memory_order_relaxed) + bytes;
-    std::uint64_t peak = g_mem_peak.load(std::memory_order_relaxed);
+            g_mem_live.fetch_add(bytes, pspl::sync::relaxed) + bytes;
+    std::uint64_t peak = g_mem_peak.load(pspl::sync::relaxed);
     while (live > peak
            && !g_mem_peak.compare_exchange_weak(peak, live,
-                                                std::memory_order_relaxed)) {
+                                                pspl::sync::relaxed)) {
     }
 }
 
 void note_free(std::size_t bytes)
 {
-    g_mem_live.fetch_sub(bytes, std::memory_order_relaxed);
+    g_mem_live.fetch_sub(bytes, pspl::sync::relaxed);
 }
 
 MemoryStats memory_stats()
 {
     MemoryStats s;
-    s.live_bytes = g_mem_live.load(std::memory_order_relaxed);
-    s.peak_bytes = g_mem_peak.load(std::memory_order_relaxed);
-    s.allocations = g_mem_allocs.load(std::memory_order_relaxed);
+    s.live_bytes = g_mem_live.load(pspl::sync::relaxed);
+    s.peak_bytes = g_mem_peak.load(pspl::sync::relaxed);
+    s.allocations = g_mem_allocs.load(pspl::sync::relaxed);
     return s;
 }
 
 void reset_memory_peak()
 {
-    g_mem_peak.store(g_mem_live.load(std::memory_order_relaxed),
-                     std::memory_order_relaxed);
+    g_mem_peak.store(g_mem_live.load(pspl::sync::relaxed),
+                     pspl::sync::relaxed);
 }
 
 ScopedSpan::ScopedSpan(std::string_view name) : m_active(enabled())

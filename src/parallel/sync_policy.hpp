@@ -1,0 +1,104 @@
+// Sync policy: the one seam between the lock-free protocol code and the
+// memory model it runs against.
+//
+// Every atomic operation in the concurrency runtime (the Chase-Lev deques
+// and epoch protocol behind the Threads backend, the profiler's per-thread
+// event chunks) is expressed against a *policy* type instead of std::atomic
+// directly:
+//
+//   - `sync::StdSync` (this header) maps `Sync::atomic<T>` to std::atomic,
+//     `Sync::plain<T>` to plain T, and `Sync::order(site, dflt)` to the
+//     constexpr passthrough of `dflt` -- production instantiations are
+//     bitwise identical to writing std::atomic by hand (the 0-ULP suites
+//     assert the behaviour, the generated code has no extra indirection).
+//   - `mc::ModelSync` (src/debug/modelcheck/mc.hpp) maps the same aliases
+//     to the model checker's instrumented types, so the *same template
+//     code* is explored exhaustively under the C++ memory model, and
+//     `order()` consults a mutation table so each annotation can be
+//     deliberately weakened one site at a time (the mutation matrix).
+//
+// Every memory_order decision in the protocols is annotated with a
+// `sync::Site` enumerator. That is what makes the annotations auditable:
+// the mutation matrix in tests/test_modelcheck_mutations.cpp enumerates,
+// per site, the weakenings the checker must catch -- see
+// docs/STATIC_ANALYSIS.md ("Dynamic verification vs model checking").
+//
+// This header (and the modelcheck implementation) are the only places raw
+// std::atomic / std::memory_order may appear in src/ -- enforced by
+// tools/lint_invariants.py rule 11.
+#pragma once
+
+#include <atomic>
+#include <mutex>
+
+namespace pspl::sync {
+
+// Named order constants so protocol code never spells std::memory_order_*
+// (the raw tokens are lint-banned outside the sync-policy headers).
+inline constexpr std::memory_order relaxed = std::memory_order_relaxed;
+inline constexpr std::memory_order acquire = std::memory_order_acquire;
+inline constexpr std::memory_order release = std::memory_order_release;
+inline constexpr std::memory_order acq_rel = std::memory_order_acq_rel;
+inline constexpr std::memory_order seq_cst = std::memory_order_seq_cst;
+
+/// Every annotated memory-order decision in the lock-free protocols. One
+/// enumerator per *site* (a specific operation in a specific algorithm),
+/// not per location: the mutation matrix weakens exactly one site at a
+/// time and asserts the model checker catches it.
+enum class Site : int {
+    // Epoch protocol (parallel/epoch_gate.hpp): quiescent refill published
+    // by one release store, consumed by acquire polls.
+    epoch_publish = 0,   ///< release store of the remaining-chunk counter
+    epoch_poll,          ///< acquire load of remaining (workers + drain wait)
+    epoch_chunk_done,    ///< acq_rel fetch_sub after executing a chunk
+    epoch_enter,         ///< acq_rel fetch_add of the in-epoch worker count
+    epoch_leave,         ///< release fetch_sub checking a worker out
+    epoch_quiescent_poll, ///< acquire load waiting for in-epoch == 0
+    // Chase-Lev deque (parallel/chase_lev.hpp), specialized for the epoch
+    // protocol: no owner pushes or grows during an epoch.
+    deque_pop_bottom_store, ///< seq_cst store reserving the bottom slot
+    deque_pop_top_load,     ///< seq_cst load sizing the deque after reserve
+    deque_pop_cas,          ///< seq_cst CAS racing thieves for the last slot
+    deque_steal_top_load,   ///< seq_cst load of top starting a steal
+    deque_steal_bottom_load, ///< seq_cst load of bottom sizing the steal
+    deque_steal_cas,        ///< seq_cst CAS claiming the top slot
+    // Profiler event chunks (parallel/event_chunks.hpp): single-producer
+    // chunk lists published by release stores of the count / next link.
+    chunk_count_publish, ///< release store publishing an appended event
+    chunk_count_read,    ///< acquire load of the published count (readers)
+    chunk_link_publish,  ///< release store linking a freshly filled chunk
+    chunk_link_read,     ///< acquire load following the chunk link
+    site_count
+};
+
+/// Production policy: std::atomic, plain data stays plain, annotated
+/// orders compile to their defaults. Zero codegen difference from writing
+/// the std:: types by hand.
+struct StdSync {
+    template <class T>
+    using atomic = std::atomic<T>;
+
+    /// Non-atomic payload ordered by the protocol's release/acquire pairs
+    /// (deque buffers, event payloads). The model policy wraps these in
+    /// race-checked cells; production keeps the bare type.
+    template <class T>
+    using plain = T;
+
+    using mutex = std::mutex;
+
+    static constexpr std::memory_order order(Site /*site*/,
+                                             std::memory_order dflt)
+    {
+        return dflt;
+    }
+
+    static void fence(std::memory_order mo) { std::atomic_thread_fence(mo); }
+};
+
+/// Convenience aliases for non-templated runtime code (profiling counters,
+/// debug registry, backend bookkeeping): same std::atomic, routed through
+/// the policy header so lint rule 11 has a single choke point.
+template <class T>
+using atomic = StdSync::atomic<T>;
+
+} // namespace pspl::sync

@@ -257,9 +257,9 @@ void ThreadPool::run(const std::vector<std::size_t>& bounds, const Task& task)
     std::lock_guard<std::mutex> run_lock(m_run_mutex);
     {
         // Quiescent refill: the previous epoch has fully drained (run()
-        // waited for m_in_epoch == 0) and no new epoch can start while we
-        // hold m_run_mutex, so plain writes here are safe. They become
-        // visible to workers through the m_remaining release store (late
+        // waited for the gate to go quiescent) and no new epoch can start
+        // while we hold m_run_mutex, so plain writes here are safe. They
+        // become visible to workers through the gate's release publish (late
         // spinners) or the m_mutex handover (sleepers).
         std::lock_guard<std::mutex> lk(m_mutex);
         const std::size_t nchunks = bounds.size() - 1;
@@ -278,10 +278,9 @@ void ThreadPool::run(const std::vector<std::size_t>& bounds, const Task& task)
             std::reverse(m_fill.begin(), m_fill.end());
             m_deques[w].reset(m_fill.data(), m_fill.size());
         }
-        m_remaining.store(static_cast<std::int64_t>(nchunks),
-                          std::memory_order_release);
+        m_gate.publish(static_cast<std::int64_t>(nchunks));
         ++m_epoch;
-        m_epochs_started.fetch_add(1, std::memory_order_relaxed);
+        m_epochs_started.fetch_add(1, sync::relaxed);
     }
     m_cv.notify_all();
 
@@ -289,7 +288,7 @@ void ThreadPool::run(const std::vector<std::size_t>& bounds, const Task& task)
 
     // All chunks have executed; wait for workers to check out so the next
     // refill is quiescent and `task`/`bounds` can safely go out of scope.
-    while (m_in_epoch.load(std::memory_order_acquire) != 0) {
+    while (!m_gate.quiescent()) {
         std::this_thread::yield();
     }
 
@@ -318,12 +317,12 @@ bool ThreadPool::steal_any(int rank, std::size_t& chunk)
 
 void ThreadPool::work(int rank)
 {
-    while (m_remaining.load(std::memory_order_acquire) > 0) {
+    while (m_gate.active()) {
         std::size_t chunk;
         if (m_deques[static_cast<std::size_t>(rank)].pop(chunk)
             || steal_any(rank, chunk)) {
-            // The acquire load above that observed remaining > 0 ordered
-            // these plain reads after the epoch's refill.
+            // The acquire poll above that observed the epoch ordered these
+            // plain reads after the epoch's refill.
             const Task* task = m_task;
             const std::size_t* bounds = m_bounds;
             t_in_task = true;
@@ -334,7 +333,7 @@ void ThreadPool::work(int rank)
                 record_exception();
             }
             t_in_task = false;
-            m_remaining.fetch_sub(1, std::memory_order_acq_rel);
+            m_gate.chunk_done();
         } else {
             std::this_thread::yield();
         }
@@ -352,10 +351,10 @@ void ThreadPool::worker_loop(int rank)
             return;
         }
         seen = m_epoch;
-        m_in_epoch.fetch_add(1, std::memory_order_acq_rel);
+        m_gate.enter();
         lk.unlock();
         work(rank);
-        m_in_epoch.fetch_sub(1, std::memory_order_release);
+        m_gate.leave();
         lk.lock();
     }
 }

@@ -22,9 +22,21 @@
 // is ordered by the release/acquire pair (or by the wakeup mutex). Unlike
 // the general Chase-Lev algorithm there are no owner pushes or buffer grows
 // during an epoch; the buffers are immutable until the next refill.
+//
+// The lock-free pieces -- the deque (parallel/chase_lev.hpp) and the epoch
+// gate (parallel/epoch_gate.hpp) -- are templated on the sync policy
+// (parallel/sync_policy.hpp): this pool instantiates sync::StdSync
+// (std::atomic, bitwise identical to the hand-written version), while the
+// model checker (src/debug/modelcheck/) instantiates the same templates
+// with mc::ModelSync and explores every interleaving of the protocol at
+// small bounds. TSan stress runs sample schedules; the checker proves the
+// annotations -- see docs/STATIC_ANALYSIS.md.
 #pragma once
 
-#include <atomic>
+#include "parallel/chase_lev.hpp"
+#include "parallel/epoch_gate.hpp"
+#include "parallel/sync_policy.hpp"
+
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -58,69 +70,8 @@ struct ScheduleSpec {
 std::vector<std::size_t> partition_range(std::size_t begin, std::size_t end,
                                          int nworkers, ScheduleSpec spec);
 
-/// Single-owner work-stealing deque (Chase-Lev), specialized for the epoch
-/// protocol above: reset() is only called while the pool is quiescent, so
-/// there are no concurrent pushes or grows and the buffer is immutable for
-/// the whole epoch. The owner pops from the bottom (its chunks in ascending
-/// order), thieves take from the top. seq_cst on the contended operations:
-/// chunk granularity makes the barrier cost irrelevant and it avoids the
-/// standalone-fence formulation that ThreadSanitizer models poorly.
-class ChaseLevDeque
-{
-public:
-    /// Quiescent refill; chunks[count-1] is popped first by the owner,
-    /// chunks[0] is stolen first. Not safe against concurrent pop/steal.
-    void reset(const std::size_t* chunks, std::size_t count)
-    {
-        m_buf.assign(chunks, chunks + count);
-        m_top.store(0, std::memory_order_relaxed);
-        m_bottom.store(static_cast<std::int64_t>(count),
-                       std::memory_order_relaxed);
-    }
-
-    /// Owner-only take from the bottom.
-    bool pop(std::size_t& out)
-    {
-        const std::int64_t b
-                = m_bottom.load(std::memory_order_relaxed) - 1;
-        m_bottom.store(b, std::memory_order_seq_cst);
-        std::int64_t t = m_top.load(std::memory_order_seq_cst);
-        if (t <= b) {
-            out = m_buf[static_cast<std::size_t>(b)];
-            if (t == b) {
-                // Last element: race the thieves for it, then restore the
-                // canonical empty state either way.
-                const bool won = m_top.compare_exchange_strong(
-                        t, t + 1, std::memory_order_seq_cst,
-                        std::memory_order_relaxed);
-                m_bottom.store(b + 1, std::memory_order_relaxed);
-                return won;
-            }
-            return true;
-        }
-        m_bottom.store(b + 1, std::memory_order_relaxed);
-        return false;
-    }
-
-    /// Thief-side take from the top.
-    bool steal(std::size_t& out)
-    {
-        std::int64_t t = m_top.load(std::memory_order_seq_cst);
-        const std::int64_t b = m_bottom.load(std::memory_order_seq_cst);
-        if (t < b) {
-            out = m_buf[static_cast<std::size_t>(t)];
-            return m_top.compare_exchange_strong(t, t + 1,
-                                                 std::memory_order_seq_cst,
-                                                 std::memory_order_relaxed);
-        }
-        return false;
-    }
-
-private:
-    alignas(64) std::atomic<std::int64_t> m_top{0};
-    alignas(64) std::atomic<std::int64_t> m_bottom{0};
-    std::vector<std::size_t> m_buf;
-};
+/// Production instantiation of the policy-templated work-stealing deque.
+using ChaseLevDeque = BasicChaseLevDeque<sync::StdSync>;
 
 } // namespace detail
 
@@ -168,7 +119,7 @@ public:
     /// Dispatch epochs started so far; a reused pool keeps counting up.
     std::uint64_t epochs() const noexcept
     {
-        return m_epochs_started.load(std::memory_order_relaxed);
+        return m_epochs_started.load(sync::relaxed);
     }
 
     detail::ScheduleSpec schedule() const noexcept { return m_schedule; }
@@ -214,12 +165,11 @@ private:
     std::vector<std::size_t> m_fill; ///< per-worker refill scratch
 
     // Epoch state, written during the quiescent refill and published by the
-    // release store of m_remaining (see the file comment for the protocol).
+    // gate's release store (see the file comment for the protocol).
     const std::size_t* m_bounds = nullptr;
     const Task* m_task = nullptr;
-    std::atomic<std::int64_t> m_remaining{0};
-    std::atomic<int> m_in_epoch{0};
-    std::atomic<std::uint64_t> m_epochs_started{0};
+    detail::EpochGate<sync::StdSync> m_gate;
+    sync::atomic<std::uint64_t> m_epochs_started{0};
 
     std::mutex m_exc_mutex;
     std::exception_ptr m_exception;

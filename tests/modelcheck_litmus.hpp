@@ -1,0 +1,423 @@
+// Litmus programs for the concurrency model checker: each function builds
+// one small, deterministic concurrent program out of the *production*
+// protocol templates (EpochGate, BasicChaseLevDeque, BasicEventChunkList)
+// instantiated with mc::ModelSync, so the code being verified is the code
+// the thread pool and profiler actually run.
+//
+// Shared between tests/test_modelcheck.cpp (every litmus must pass
+// exhaustive exploration) and tests/test_modelcheck_mutations.cpp (each
+// deliberately weakened memory order must make at least one litmus fail).
+// The protocol -> property -> killing-mutation table lives in
+// docs/STATIC_ANALYSIS.md.
+//
+// These programs are the model-checked ports of the pool scenarios that
+// previously only TSan audited (the threads-backend leg of the CI tsan
+// job, tests/test_threadpool.cpp): a TSan pass covers the schedules the
+// OS happened to produce on one run; here the same protocol code is
+// proven over EVERY schedule and EVERY C++-allowed reads-from choice.
+//   SingletonIsReusedAcrossDispatches -> L2/L7 (drain + epoch reuse)
+//   NestedDispatchRunsInline          -> L6
+//   ExceptionPropagatesToDispatcher   -> L7
+//   WorkerRanksAreStableAndInRange    -> L4/L5 (steal exactly-once)
+//   epoch refill between dispatches   -> L3
+//   profiler span merge               -> L9
+#pragma once
+
+#include "debug/modelcheck/mc.hpp"
+#include "parallel/chase_lev.hpp"
+#include "parallel/epoch_gate.hpp"
+#include "parallel/event_chunks.hpp"
+
+#include <cstddef>
+#include <memory>
+
+namespace litmus {
+
+namespace mc = pspl::mc;
+
+using Gate = pspl::detail::EpochGate<mc::ModelSync>;
+using Deque = pspl::detail::BasicChaseLevDeque<mc::ModelSync>;
+// Capacity 2 so three appends exercise the chunk-link rollover.
+using ChunkList = pspl::detail::BasicEventChunkList<int, 2, mc::ModelSync>;
+
+// -----------------------------------------------------------------------
+// L1: the publish edge. The dispatcher's plain refill write must be
+// visible to a worker whose acquire poll observed the epoch.
+// Kills: epoch_publish->relaxed, epoch_poll->relaxed.
+// -----------------------------------------------------------------------
+inline void epoch_publish(mc::Sim& sim)
+{
+    struct St {
+        Gate gate;
+        mc::plain<int> payload{0};
+    };
+    auto st = std::make_shared<St>();
+    sim.thread([st] { // dispatcher
+        st->payload = 42;
+        st->gate.publish(1);
+    });
+    sim.thread([st] { // worker
+        st->gate.enter();
+        while (!st->gate.active()) {
+            mc::yield();
+        }
+        const int v = st->payload;
+        MC_ASSERT(v == 42);
+        st->gate.chunk_done();
+        st->gate.leave();
+    });
+    sim.on_exit([st] { MC_ASSERT(!st->gate.active()); });
+}
+
+// -----------------------------------------------------------------------
+// L2: the drain edge. A chunk's plain result write must be visible to the
+// dispatcher once its acquire poll sees remaining == 0.
+// Kills: epoch_chunk_done->relaxed.
+// -----------------------------------------------------------------------
+inline void epoch_drain(mc::Sim& sim)
+{
+    struct St {
+        Gate gate;
+        mc::plain<int> result{0};
+    };
+    auto st = std::make_shared<St>();
+    sim.thread([st] { // dispatcher
+        st->gate.publish(1);
+        while (st->gate.active()) {
+            mc::yield();
+        }
+        const int r = st->result;
+        MC_ASSERT(r == 7);
+        while (!st->gate.quiescent()) {
+            mc::yield();
+        }
+    });
+    sim.thread([st] { // worker
+        st->gate.enter();
+        while (!st->gate.active()) {
+            mc::yield();
+        }
+        st->result = 7;
+        st->gate.chunk_done();
+        st->gate.leave();
+    });
+    sim.on_exit([st] { MC_ASSERT(st->gate.quiescent()); });
+}
+
+// -----------------------------------------------------------------------
+// L3: the quiescence edge. The dispatcher's *next* refill write must not
+// race the worker's reads from the previous epoch. Crucially the worker
+// keeps reading shared state AFTER its last chunk_done -- in the real
+// work() loop a worker past its final chunk still polls active() and can
+// touch the deque buffer in a trailing steal attempt -- so the read is
+// covered only by the leave release edge, not by chunk_done's.
+// Kills: epoch_leave->relaxed, epoch_quiescent_poll->relaxed.
+// -----------------------------------------------------------------------
+inline void quiescent_refill(mc::Sim& sim)
+{
+    struct St {
+        Gate gate;
+        mc::plain<int> buf{0};
+    };
+    auto st = std::make_shared<St>();
+    sim.thread([st] { // dispatcher
+        st->buf = 1;
+        st->gate.publish(1);
+        while (st->gate.active()) {
+            mc::yield();
+        }
+        while (!st->gate.quiescent()) {
+            mc::yield();
+        }
+        st->buf = 2; // next epoch's quiescent refill
+    });
+    sim.thread([st] { // worker
+        st->gate.enter();
+        while (!st->gate.active()) {
+            mc::yield();
+        }
+        const int v = st->buf;
+        MC_ASSERT(v == 1);
+        st->gate.chunk_done();
+        // Trailing shared read between the last chunk_done and leave, as
+        // in the tail of ThreadPool::work(): only leave orders it before
+        // the dispatcher's refill.
+        const int v2 = st->buf;
+        MC_ASSERT(v2 == 1);
+        st->gate.leave();
+    });
+    sim.on_exit([st] { MC_ASSERT(static_cast<int>(st->buf) == 2); });
+}
+
+// -----------------------------------------------------------------------
+// Deque tally state: exactly-once bookkeeping through relaxed atomics so
+// the tallies themselves add no synchronization to the protocol under
+// test.
+// -----------------------------------------------------------------------
+struct DequeSt {
+    Deque dq;
+    mc::atomic<int> t0{0, "take0"};
+    mc::atomic<int> t1{0, "take1"};
+    mc::atomic<int> t2{0, "take2"};
+
+    explicit DequeSt(std::size_t nchunks)
+    {
+        const std::size_t chunks[3] = {0, 1, 2};
+        dq.reset(chunks, nchunks);
+    }
+
+    void take(std::size_t c)
+    {
+        mc::atomic<int>& t = c == 0 ? t0 : c == 1 ? t1 : t2;
+        t.fetch_add(1, pspl::sync::relaxed);
+    }
+
+    int takes(int c)
+    {
+        mc::atomic<int>& t = c == 0 ? t0 : c == 1 ? t1 : t2;
+        return t.load(pspl::sync::relaxed);
+    }
+};
+
+// -----------------------------------------------------------------------
+// L4: owner + one thief over two chunks; every chunk executed exactly
+// once. The small sanity configuration.
+// -----------------------------------------------------------------------
+inline void deque_1v1(mc::Sim& sim)
+{
+    auto st = std::make_shared<DequeSt>(2);
+    sim.thread([st] { // owner
+        std::size_t c;
+        while (st->dq.pop(c)) {
+            st->take(c);
+        }
+    });
+    sim.thread([st] { // thief
+        for (int i = 0; i < 2; ++i) {
+            std::size_t c;
+            if (st->dq.steal(c)) {
+                st->take(c);
+            }
+        }
+    });
+    sim.on_exit([st] {
+        MC_ASSERT(st->takes(0) == 1);
+        MC_ASSERT(st->takes(1) == 1);
+    });
+}
+
+// -----------------------------------------------------------------------
+// L5: owner + two thieves over three chunks -- the configuration where
+// the pop/steal Dekker (reserve bottom with a seq_cst store, then read
+// top; steal reads both with seq_cst loads) is load-bearing. A stale top
+// in pop, or a stale bottom in steal, lets the owner take a slot a thief
+// has claimed (or vice versa): a chunk executes twice.
+// Kills: deque_pop_top_load->{relaxed,acquire},
+//        deque_pop_bottom_store->{relaxed,release},
+//        deque_steal_bottom_load->{relaxed,acquire}.
+// -----------------------------------------------------------------------
+inline void deque_2thief(mc::Sim& sim)
+{
+    auto st = std::make_shared<DequeSt>(3);
+    sim.thread([st] { // owner
+        std::size_t c;
+        while (st->dq.pop(c)) {
+            st->take(c);
+        }
+    });
+    for (int thief = 0; thief < 2; ++thief) {
+        sim.thread([st] {
+            for (int i = 0; i < 2; ++i) {
+                std::size_t c;
+                if (st->dq.steal(c)) {
+                    st->take(c);
+                }
+            }
+        });
+    }
+    sim.on_exit([st] {
+        MC_ASSERT(st->takes(0) == 1);
+        MC_ASSERT(st->takes(1) == 1);
+        MC_ASSERT(st->takes(2) == 1);
+    });
+}
+
+// -----------------------------------------------------------------------
+// L6: nested-inline dispatch. A chunk body that itself dispatches runs
+// the sub-chunks inline on the same worker (ThreadPool::run_inline); both
+// sub-results must reach the dispatcher through the single chunk_done
+// edge.
+// -----------------------------------------------------------------------
+inline void nested_inline(mc::Sim& sim)
+{
+    struct St {
+        Gate gate;
+        mc::plain<int> r1{0};
+        mc::plain<int> r2{0};
+    };
+    auto st = std::make_shared<St>();
+    sim.thread([st] { // dispatcher
+        st->gate.publish(1);
+        while (st->gate.active()) {
+            mc::yield();
+        }
+        const int a = st->r1;
+        const int b = st->r2;
+        MC_ASSERT(a == 1 && b == 2);
+        while (!st->gate.quiescent()) {
+            mc::yield();
+        }
+    });
+    sim.thread([st] { // worker: the chunk dispatches nested work inline
+        st->gate.enter();
+        while (!st->gate.active()) {
+            mc::yield();
+        }
+        st->r1 = 1; // nested sub-chunk 0, executed inline
+        st->r2 = 2; // nested sub-chunk 1, executed inline
+        st->gate.chunk_done();
+        st->gate.leave();
+    });
+}
+
+// -----------------------------------------------------------------------
+// L7: exception recovery then pool reuse. Epoch 1's chunk records an
+// exception under the pool's mutex instead of producing a result; the
+// epoch still drains, the dispatcher observes the recorded exception
+// after the drain edge, and epoch 2 reuses the same gate and produces a
+// normal result. The epoch_no atomic models the worker-wakeup
+// cv/m_epoch handshake of ThreadPool::worker_loop.
+// -----------------------------------------------------------------------
+inline void exception_recovery(mc::Sim& sim)
+{
+    struct St {
+        Gate gate;
+        mc::atomic<int> epoch_no{0, "epoch_no"};
+        mc::mutex exc_mutex;
+        mc::plain<int> exc{0};
+        mc::plain<int> result{0};
+    };
+    auto st = std::make_shared<St>();
+    sim.thread([st] { // dispatcher: two epochs
+        st->gate.publish(1);
+        st->epoch_no.store(1, pspl::sync::release);
+        while (st->gate.active()) {
+            mc::yield();
+        }
+        int e;
+        {
+            std::lock_guard<mc::mutex> lk(st->exc_mutex);
+            e = st->exc;
+            st->exc = 0; // rethrow clears the slot
+        }
+        MC_ASSERT(e == 1);
+        while (!st->gate.quiescent()) {
+            mc::yield();
+        }
+        st->gate.publish(1);
+        st->epoch_no.store(2, pspl::sync::release);
+        while (st->gate.active()) {
+            mc::yield();
+        }
+        const int r = st->result;
+        MC_ASSERT(r == 42);
+        while (!st->gate.quiescent()) {
+            mc::yield();
+        }
+    });
+    sim.thread([st] { // worker: throws in epoch 1, works in epoch 2
+        while (st->epoch_no.load(pspl::sync::acquire) != 1) {
+            mc::yield();
+        }
+        st->gate.enter();
+        while (st->gate.active()) {
+            // chunk throws; record_exception under the mutex
+            {
+                std::lock_guard<mc::mutex> lk(st->exc_mutex);
+                st->exc = 1;
+            }
+            st->gate.chunk_done();
+        }
+        st->gate.leave();
+        while (st->epoch_no.load(pspl::sync::acquire) != 2) {
+            mc::yield();
+        }
+        st->gate.enter();
+        while (st->gate.active()) {
+            st->result = 42;
+            st->gate.chunk_done();
+        }
+        st->gate.leave();
+    });
+    sim.on_exit([st] { MC_ASSERT(st->gate.quiescent()); });
+}
+
+// -----------------------------------------------------------------------
+// L8: single-thread drain -- the fork-safety path where the dispatching
+// thread executes every chunk itself because no worker ever wakes.
+// -----------------------------------------------------------------------
+inline void single_thread_drain(mc::Sim& sim)
+{
+    struct St {
+        Gate gate;
+        mc::plain<int> sum{0};
+    };
+    auto st = std::make_shared<St>();
+    sim.thread([st] {
+        st->gate.publish(2);
+        while (st->gate.active()) {
+            st->sum = static_cast<int>(st->sum) + 1;
+            st->gate.chunk_done();
+        }
+        MC_ASSERT(st->gate.quiescent());
+        MC_ASSERT(static_cast<int>(st->sum) == 2);
+    });
+}
+
+// -----------------------------------------------------------------------
+// L9: profiler chunk list. A producer appends three events across a
+// capacity-2 chunk rollover while a reader walks the published prefix
+// concurrently: the reader must observe a correct prefix, and following
+// the chunk link must land on fully initialized memory.
+// Kills: chunk_count_publish->relaxed, chunk_count_read->relaxed,
+//        chunk_link_publish->relaxed, chunk_link_read->relaxed.
+// -----------------------------------------------------------------------
+inline void chunk_published_prefix(mc::Sim& sim)
+{
+    struct St {
+        ChunkList list;
+    };
+    auto st = std::make_shared<St>();
+    sim.thread([st] { // producer
+        st->list.push(10);
+        st->list.push(20);
+        st->list.push(30);
+    });
+    sim.thread([st] { // concurrent snapshot reader
+        int n = 0;
+        int got[3] = {0, 0, 0};
+        st->list.for_each([&](int v) {
+            if (n < 3) {
+                got[n] = v;
+            }
+            ++n;
+        });
+        MC_ASSERT(n <= 3);
+        const int expect[3] = {10, 20, 30};
+        for (int i = 0; i < n; ++i) {
+            MC_ASSERT(got[i] == expect[i]);
+        }
+    });
+    sim.on_exit([st] {
+        int n = 0;
+        int last = 0;
+        st->list.for_each([&](int v) {
+            ++n;
+            last = v;
+        });
+        MC_ASSERT(n == 3);
+        MC_ASSERT(last == 30);
+    });
+}
+
+} // namespace litmus

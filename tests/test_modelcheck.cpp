@@ -1,0 +1,315 @@
+// Exhaustive interleaving verification of the thread-pool concurrency
+// protocols (ctest label: modelcheck).
+//
+// Two suites:
+//   * ModelCheckSelf   -- the checker must be able to *find* known weak
+//     behaviours (store buffering under relaxed, message passing without
+//     release, ABBA deadlock) and must prove classic SC guarantees; this
+//     calibrates trust in the litmus results below.
+//   * ModelCheckLitmus -- every protocol litmus from
+//     tests/modelcheck_litmus.hpp passes exhaustive exploration with the
+//     production memory orders.
+//
+// Exploration bounds come from the environment (PSPL_MC_MAX_EXECUTIONS,
+// PSPL_MC_PREEMPTION_BOUND, PSPL_MC_MAX_STEPS, PSPL_MC_NO_SLEEP_SETS);
+// unset means exhaustive, which is the CI default.
+
+#include "modelcheck_litmus.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+
+namespace mc = pspl::mc;
+
+namespace {
+
+// Print the exploration statistics so CI logs document the interleaving
+// counts each guarantee rests on.
+void report(const char* name, const mc::Result& r)
+{
+    std::printf("[   MC   ] %-28s %llu executions, %llu pruned, %llu transitions%s\n",
+                name,
+                static_cast<unsigned long long>(r.executions),
+                static_cast<unsigned long long>(r.pruned),
+                static_cast<unsigned long long>(r.transitions),
+                r.hit_execution_bound ? " (execution bound hit)" : " (exhaustive)");
+    std::fflush(stdout);
+}
+
+void expect_pass(const char* name, void (*prog)(mc::Sim&))
+{
+    const mc::Options opts = mc::Options::from_env();
+    const mc::Result r = mc::explore(prog, opts);
+    report(name, r);
+    EXPECT_FALSE(r.failed) << r.failure_kind << "\n" << r.failure;
+    if (opts.max_executions == 0) {
+        EXPECT_FALSE(r.hit_execution_bound);
+    }
+    EXPECT_GE(r.executions, 1u);
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// Checker self-calibration.
+// ---------------------------------------------------------------------------
+
+TEST(ModelCheckSelf, FindsStoreBufferingWeakBehaviour)
+{
+    // Classic SB: with relaxed accesses the outcome r1 == r2 == 0 is
+    // allowed, so an assertion forbidding it must fail.
+    auto prog = [](mc::Sim& sim) {
+        struct St {
+            mc::atomic<int> x{0, "x"};
+            mc::atomic<int> y{0, "y"};
+            mc::atomic<int> r1{0, "r1"};
+            mc::atomic<int> r2{0, "r2"};
+        };
+        auto st = std::make_shared<St>();
+        sim.thread([st] {
+            st->x.store(1, pspl::sync::relaxed);
+            st->r1.store(st->y.load(pspl::sync::relaxed), pspl::sync::relaxed);
+        });
+        sim.thread([st] {
+            st->y.store(1, pspl::sync::relaxed);
+            st->r2.store(st->x.load(pspl::sync::relaxed), pspl::sync::relaxed);
+        });
+        sim.on_exit([st] {
+            const int r1 = st->r1.load(pspl::sync::relaxed);
+            const int r2 = st->r2.load(pspl::sync::relaxed);
+            MC_ASSERT(r1 + r2 != 0);
+        });
+    };
+    const mc::Result r = mc::explore(prog);
+    report("self.sb_relaxed", r);
+    EXPECT_TRUE(r.failed);
+    EXPECT_STREQ(r.failure_kind.c_str(), "assert");
+}
+
+TEST(ModelCheckSelf, SeqCstForbidsStoreBuffering)
+{
+    // Same program with seq_cst: r1 == r2 == 0 is forbidden; the checker
+    // must prove the assertion over every interleaving.
+    auto prog = [](mc::Sim& sim) {
+        struct St {
+            mc::atomic<int> x{0, "x"};
+            mc::atomic<int> y{0, "y"};
+            mc::atomic<int> r1{0, "r1"};
+            mc::atomic<int> r2{0, "r2"};
+        };
+        auto st = std::make_shared<St>();
+        sim.thread([st] {
+            st->x.store(1);
+            st->r1.store(st->y.load(), pspl::sync::relaxed);
+        });
+        sim.thread([st] {
+            st->y.store(1);
+            st->r2.store(st->x.load(), pspl::sync::relaxed);
+        });
+        sim.on_exit([st] {
+            const int r1 = st->r1.load(pspl::sync::relaxed);
+            const int r2 = st->r2.load(pspl::sync::relaxed);
+            MC_ASSERT(r1 + r2 != 0);
+        });
+    };
+    const mc::Result r = mc::explore(prog);
+    report("self.sb_seq_cst", r);
+    EXPECT_FALSE(r.failed) << r.failure;
+}
+
+TEST(ModelCheckSelf, FindsMessagePassingRaceWithoutRelease)
+{
+    // MP with a relaxed flag store: the consumer's payload read races.
+    auto prog = [](mc::Sim& sim) {
+        struct St {
+            mc::plain<int> data{0};
+            mc::atomic<int> flag{0, "flag"};
+        };
+        auto st = std::make_shared<St>();
+        sim.thread([st] {
+            st->data = 1;
+            st->flag.store(1, pspl::sync::relaxed);
+        });
+        sim.thread([st] {
+            if (st->flag.load(pspl::sync::acquire) == 1) {
+                const int v = st->data;
+                MC_ASSERT(v == 1);
+            }
+        });
+    };
+    const mc::Result r = mc::explore(prog);
+    report("self.mp_relaxed", r);
+    EXPECT_TRUE(r.failed);
+    EXPECT_STREQ(r.failure_kind.c_str(), "race");
+}
+
+TEST(ModelCheckSelf, MessagePassingWithReleasePasses)
+{
+    auto prog = [](mc::Sim& sim) {
+        struct St {
+            mc::plain<int> data{0};
+            mc::atomic<int> flag{0, "flag"};
+        };
+        auto st = std::make_shared<St>();
+        sim.thread([st] {
+            st->data = 1;
+            st->flag.store(1, pspl::sync::release);
+        });
+        sim.thread([st] {
+            if (st->flag.load(pspl::sync::acquire) == 1) {
+                const int v = st->data;
+                MC_ASSERT(v == 1);
+            }
+        });
+    };
+    const mc::Result r = mc::explore(prog);
+    report("self.mp_release", r);
+    EXPECT_FALSE(r.failed) << r.failure;
+}
+
+TEST(ModelCheckSelf, FindsAbbaDeadlock)
+{
+    auto prog = [](mc::Sim& sim) {
+        struct St {
+            mc::mutex a;
+            mc::mutex b;
+        };
+        auto st = std::make_shared<St>();
+        sim.thread([st] {
+            std::lock_guard<mc::mutex> la(st->a);
+            std::lock_guard<mc::mutex> lb(st->b);
+        });
+        sim.thread([st] {
+            std::lock_guard<mc::mutex> lb(st->b);
+            std::lock_guard<mc::mutex> la(st->a);
+        });
+    };
+    const mc::Result r = mc::explore(prog);
+    report("self.abba", r);
+    EXPECT_TRUE(r.failed);
+    EXPECT_STREQ(r.failure_kind.c_str(), "deadlock");
+}
+
+TEST(ModelCheckSelf, CountsDependentInterleavings)
+{
+    // Two conflicting stores to one location: exactly two orders, and
+    // sleep sets must not prune either of them.
+    auto prog = [](mc::Sim& sim) {
+        struct St {
+            mc::atomic<int> x{0, "x"};
+        };
+        auto st = std::make_shared<St>();
+        sim.thread([st] { st->x.store(1, pspl::sync::relaxed); });
+        sim.thread([st] { st->x.store(2, pspl::sync::relaxed); });
+        sim.on_exit([st] {
+            const int v = st->x.load(pspl::sync::relaxed);
+            MC_ASSERT(v == 1 || v == 2);
+        });
+    };
+    const mc::Result r = mc::explore(prog);
+    report("self.two_stores", r);
+    EXPECT_FALSE(r.failed) << r.failure;
+    EXPECT_EQ(r.executions, 2u);
+}
+
+TEST(ModelCheckSelf, SleepSetsPruneIndependentInterleavings)
+{
+    // Four pairwise-independent stores: every raw interleaving (each
+    // thread contributes 3 visible ops counting its Start, so C(6,3) = 20
+    // schedules) collapses to a single Mazurkiewicz trace under sleep
+    // sets.
+    auto prog = [](mc::Sim& sim) {
+        struct St {
+            mc::atomic<int> a{0, "a"};
+            mc::atomic<int> b{0, "b"};
+            mc::atomic<int> c{0, "c"};
+            mc::atomic<int> d{0, "d"};
+        };
+        auto st = std::make_shared<St>();
+        sim.thread([st] {
+            st->a.store(1, pspl::sync::relaxed);
+            st->b.store(1, pspl::sync::relaxed);
+        });
+        sim.thread([st] {
+            st->c.store(1, pspl::sync::relaxed);
+            st->d.store(1, pspl::sync::relaxed);
+        });
+    };
+    mc::Options no_por;
+    no_por.sleep_sets = false;
+    const mc::Result raw = mc::explore(prog, no_por);
+    report("self.indep_raw", raw);
+    EXPECT_FALSE(raw.failed) << raw.failure;
+    EXPECT_EQ(raw.executions, 20u);
+
+    const mc::Result por = mc::explore(prog);
+    report("self.indep_por", por);
+    EXPECT_FALSE(por.failed) << por.failure;
+    EXPECT_LT(por.executions, 20u);
+}
+
+TEST(ModelCheckSelf, FlagsUnlockByNonOwner)
+{
+    auto prog = [](mc::Sim& sim) {
+        struct St {
+            mc::mutex m;
+        };
+        auto st = std::make_shared<St>();
+        sim.thread([st] { st->m.unlock(); });
+    };
+    const mc::Result r = mc::explore(prog);
+    report("self.bad_unlock", r);
+    EXPECT_TRUE(r.failed);
+    EXPECT_STREQ(r.failure_kind.c_str(), "lock-error");
+}
+
+// ---------------------------------------------------------------------------
+// Protocol litmus programs (production templates, production orders).
+// ---------------------------------------------------------------------------
+
+TEST(ModelCheckLitmus, EpochPublishMakesPayloadVisible)
+{
+    expect_pass("L1.epoch_publish", litmus::epoch_publish);
+}
+
+TEST(ModelCheckLitmus, EpochDrainOrdersChunkResults)
+{
+    expect_pass("L2.epoch_drain", litmus::epoch_drain);
+}
+
+TEST(ModelCheckLitmus, QuiescentRefillDoesNotRaceWorkers)
+{
+    expect_pass("L3.quiescent_refill", litmus::quiescent_refill);
+}
+
+TEST(ModelCheckLitmus, DequeOwnerThiefExactlyOnce)
+{
+    expect_pass("L4.deque_1v1", litmus::deque_1v1);
+}
+
+TEST(ModelCheckLitmus, DequeOwnerTwoThievesExactlyOnce)
+{
+    expect_pass("L5.deque_2thief", litmus::deque_2thief);
+}
+
+TEST(ModelCheckLitmus, NestedInlineChunkEffectsVisible)
+{
+    expect_pass("L6.nested_inline", litmus::nested_inline);
+}
+
+TEST(ModelCheckLitmus, ExceptionRecordedThenPoolReused)
+{
+    expect_pass("L7.exception_recovery", litmus::exception_recovery);
+}
+
+TEST(ModelCheckLitmus, SingleThreadDrain)
+{
+    expect_pass("L8.single_thread", litmus::single_thread_drain);
+}
+
+TEST(ModelCheckLitmus, ProfilerChunkPublishedPrefix)
+{
+    expect_pass("L9.chunk_prefix", litmus::chunk_published_prefix);
+}

@@ -1,0 +1,186 @@
+// Mutation matrix for the concurrency protocols (ctest labels:
+// modelcheck, mutation). Each KillRow weakens exactly one annotated
+// memory-order site (sync::Site) and re-runs the litmus that depends on
+// it: the model checker MUST find a failing interleaving, otherwise the
+// checker has lost the ability to defend that site and this test fails.
+//
+// SurvivorRows are weakenings the checker provably cannot or should not
+// flag, kept in-tree so the boundary of the guarantee is executable
+// documentation rather than folklore:
+//   * deque_steal_top_load: the epoch-pool specialization of the Chase-Lev
+//     deque has no concurrent owner push/grow (chunks are refilled only at
+//     quiescence), which removes the race this load's strength guards in
+//     the general deque.
+//   * epoch_enter: the enter increment is ordered by the release chain of
+//     the subsequent chunk_done/leave; plain coherence already forbids the
+//     dispatcher from missing it. The acq_rel annotation is defensive.
+//   * deque_pop_cas: the pop-side CAS only resolves the last-element race,
+//     and RMW atomicity alone (a CAS always sees the newest top) decides
+//     the winner; the epoch specialization's buffer is written solely at
+//     quiescent reset, so no payload edge rides on this order either.
+//     Note the asymmetry with deque_steal_cas below: the *steal* CAS is a
+//     kill row, because removing its seq_cst store breaks the SC floor
+//     under the owner's pop-side top load.
+//
+// If a survivor row ever starts failing, the model got sharper: promote
+// the row to the kill table.
+
+#include "modelcheck_litmus.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <ostream>
+
+namespace mc = pspl::mc;
+using pspl::sync::Site;
+
+namespace {
+
+const char* order_name(std::memory_order mo)
+{
+    switch (mo) {
+    case std::memory_order_relaxed: return "relaxed";
+    case std::memory_order_acquire: return "acquire";
+    case std::memory_order_release: return "release";
+    case std::memory_order_acq_rel: return "acq_rel";
+    case std::memory_order_seq_cst: return "seq_cst";
+    default: return "consume";
+    }
+}
+
+struct Row {
+    const char* site_name;
+    Site site;
+    std::memory_order weak;
+    const char* litmus_name;
+    void (*litmus)(mc::Sim&);
+};
+
+std::ostream& operator<<(std::ostream& os, const Row& row)
+{
+    return os << row.site_name << "->" << order_name(row.weak) << " vs "
+              << row.litmus_name;
+}
+
+std::string row_name(const testing::TestParamInfo<Row>& info)
+{
+    std::string n = std::string(info.param.site_name) + "_to_"
+                    + order_name(info.param.weak);
+    return n;
+}
+
+mc::Result run_mutated(const Row& row)
+{
+    mc::Options opts = mc::Options::from_env();
+    opts.mutations.push_back({row.site, row.weak});
+    return mc::explore(row.litmus, opts);
+}
+
+void report(const Row& row, const mc::Result& r)
+{
+    std::printf("[   MC   ] %s->%s (%s): %s after %llu executions%s%s\n",
+                row.site_name, order_name(row.weak), row.litmus_name,
+                r.failed ? "caught" : "survived",
+                static_cast<unsigned long long>(r.executions),
+                r.failed ? " as " : "",
+                r.failed ? r.failure_kind.c_str() : "");
+    std::fflush(stdout);
+}
+
+// ---------------------------------------------------------------------------
+// Kill rows: the checker must flag every one of these weakenings.
+// ---------------------------------------------------------------------------
+const Row kKillRows[] = {
+    // Epoch protocol (EpochGate).
+    {"epoch_publish", Site::epoch_publish, std::memory_order_relaxed,
+     "L1.epoch_publish", litmus::epoch_publish},
+    {"epoch_poll", Site::epoch_poll, std::memory_order_relaxed,
+     "L1.epoch_publish", litmus::epoch_publish},
+    {"epoch_chunk_done", Site::epoch_chunk_done, std::memory_order_relaxed,
+     "L2.epoch_drain", litmus::epoch_drain},
+    {"epoch_leave", Site::epoch_leave, std::memory_order_relaxed,
+     "L3.quiescent_refill", litmus::quiescent_refill},
+    {"epoch_quiescent_poll", Site::epoch_quiescent_poll,
+     std::memory_order_relaxed, "L3.quiescent_refill",
+     litmus::quiescent_refill},
+    // Chase-Lev pop/steal Dekker.
+    {"deque_pop_top_load", Site::deque_pop_top_load,
+     std::memory_order_relaxed, "L5.deque_2thief", litmus::deque_2thief},
+    {"deque_pop_top_load", Site::deque_pop_top_load,
+     std::memory_order_acquire, "L5.deque_2thief", litmus::deque_2thief},
+    {"deque_pop_bottom_store", Site::deque_pop_bottom_store,
+     std::memory_order_relaxed, "L5.deque_2thief", litmus::deque_2thief},
+    {"deque_pop_bottom_store", Site::deque_pop_bottom_store,
+     std::memory_order_release, "L5.deque_2thief", litmus::deque_2thief},
+    {"deque_steal_bottom_load", Site::deque_steal_bottom_load,
+     std::memory_order_relaxed, "L5.deque_2thief", litmus::deque_2thief},
+    {"deque_steal_bottom_load", Site::deque_steal_bottom_load,
+     std::memory_order_acquire, "L5.deque_2thief", litmus::deque_2thief},
+    // The steal CAS must be seq_cst: its success is a store to top, and
+    // only seq_cst stores anchor the SC floor that keeps the owner's
+    // pop-side top load from reading stale. Anything weaker lets the
+    // owner duplicate a stolen chunk.
+    {"deque_steal_cas", Site::deque_steal_cas, std::memory_order_relaxed,
+     "L5.deque_2thief", litmus::deque_2thief},
+    {"deque_steal_cas", Site::deque_steal_cas, std::memory_order_acq_rel,
+     "L5.deque_2thief", litmus::deque_2thief},
+    // Profiler chunk list.
+    {"chunk_count_publish", Site::chunk_count_publish,
+     std::memory_order_relaxed, "L9.chunk_prefix",
+     litmus::chunk_published_prefix},
+    {"chunk_count_read", Site::chunk_count_read, std::memory_order_relaxed,
+     "L9.chunk_prefix", litmus::chunk_published_prefix},
+    {"chunk_link_publish", Site::chunk_link_publish,
+     std::memory_order_relaxed, "L9.chunk_prefix",
+     litmus::chunk_published_prefix},
+    {"chunk_link_read", Site::chunk_link_read, std::memory_order_relaxed,
+     "L9.chunk_prefix", litmus::chunk_published_prefix},
+};
+
+// ---------------------------------------------------------------------------
+// Survivor rows: documented boundary of the model (see file comment).
+// ---------------------------------------------------------------------------
+const Row kSurvivorRows[] = {
+    {"deque_steal_top_load", Site::deque_steal_top_load,
+     std::memory_order_relaxed, "L5.deque_2thief", litmus::deque_2thief},
+    {"epoch_enter", Site::epoch_enter, std::memory_order_relaxed,
+     "L3.quiescent_refill", litmus::quiescent_refill},
+    {"deque_pop_cas", Site::deque_pop_cas, std::memory_order_relaxed,
+     "L5.deque_2thief", litmus::deque_2thief},
+};
+
+class MutationKill : public testing::TestWithParam<Row> {
+};
+
+class MutationSurvivor : public testing::TestWithParam<Row> {
+};
+
+} // namespace
+
+TEST_P(MutationKill, WeakeningIsCaught)
+{
+    const Row& row = GetParam();
+    const mc::Result r = run_mutated(row);
+    report(row, r);
+    EXPECT_TRUE(r.failed)
+            << row << " survived exploration (" << r.executions
+            << " executions): the checker no longer defends this site";
+}
+
+TEST_P(MutationSurvivor, DocumentedSurvivorStillPasses)
+{
+    const Row& row = GetParam();
+    const mc::Result r = run_mutated(row);
+    report(row, r);
+    EXPECT_FALSE(r.failed)
+            << row << " is now caught:\n"
+            << r.failure
+            << "\nThe model got sharper -- promote this row to kKillRows.";
+}
+
+INSTANTIATE_TEST_SUITE_P(Matrix, MutationKill, testing::ValuesIn(kKillRows),
+                         row_name);
+
+INSTANTIATE_TEST_SUITE_P(Matrix, MutationSurvivor,
+                         testing::ValuesIn(kSurvivorRows), row_name);

@@ -45,9 +45,19 @@ assumes and the batched-kernel design depends on:
      include of a TU).  This rule is enforced by the `pspl_header_check`
      CMake target (one generated TU per header; built by the CI lint job),
      not by this script -- a compiler is the only honest checker for it.
+ 11. Raw `std::atomic` / `std::memory_order` appear only in the sync-policy
+     seam (src/parallel/sync_policy.hpp) and the model checker's own
+     implementation (src/debug/modelcheck/).  Everything else goes through
+     `Sync::atomic<T>` + `Sync::order(Site, dflt)` so every synchronisation
+     site is (a) swappable for the model-checked policy and (b) weakened by
+     the mutation matrix.  A raw atomic elsewhere is a protocol the checker
+     cannot see.  Escape hatch for genuinely unportable cases: a comment
+     `pspl-lint: allow-raw-atomics -- <reason>` on the same or the
+     preceding line.
 
-Rules 1-9 are self-tested by tools/test_lint_invariants.py (fixtures prove
-each rule fires and each exemption holds); run it after editing a pattern.
+Rules 1-9 and 11 are self-tested by tools/test_lint_invariants.py (fixtures
+prove each rule fires and each exemption holds); run it after editing a
+pattern.
 
 Exit code 0 when clean, 1 with one `file:line: message` per violation.
 """
@@ -80,6 +90,13 @@ DISPATCH_ALLOC = re.compile(
     r"|(?<![\w.])(?:malloc|calloc|realloc)\s*\("
     r"|std::vector\s*<"
     r"|\.(?:push_back|emplace_back|resize)\s*\(")
+# Rule 11: synchronisation primitives outside the sync-policy seam.  The
+# \w* tail catches the convenience aliases (std::atomic_int, the
+# std::memory_order_* constants) and std::atomic_thread_fence alike.
+RAW_ATOMIC = re.compile(r"std::(?:atomic|memory_order)\w*")
+# The exemption marker lives in a comment, so it is matched against the RAW
+# file text (strip_comments blanks it out of `code`).
+ATOMIC_EXEMPT = re.compile(r"pspl-lint:\s*allow-raw-atomics\s*--\s*\S")
 
 
 def strip_comments(text: str) -> str:
@@ -332,8 +349,27 @@ def check_kernel_narrowing(path: Path, code: str, errors: list[str]) -> None:
                 "belongs to the template parameter")
 
 
+def check_raw_atomics(path: Path, raw: str, code: str,
+                      errors: list[str]) -> None:
+    raw_lines = raw.splitlines()
+    for m in RAW_ATOMIC.finditer(code):
+        ln = line_of(code, m.start())
+        # Marker on the violating line or the line above exempts it.
+        context = raw_lines[max(0, ln - 2):ln]
+        if any(ATOMIC_EXEMPT.search(line) for line in context):
+            continue
+        errors.append(
+            f"{path}:{ln}: raw '{m.group()}' outside the sync-policy seam "
+            "-- route it through Sync::atomic / Sync::order "
+            "(src/parallel/sync_policy.hpp) so the model checker and the "
+            "mutation matrix can see the site, or annotate the line with "
+            "'pspl-lint: allow-raw-atomics -- <reason>'")
+
+
 def main() -> int:
     errors: list[str] = []
+    sync_seam = SRC / "parallel" / "sync_policy.hpp"
+    modelcheck_dir = SRC / "debug" / "modelcheck"
     for path in sorted(SRC.rglob("*")):
         if path.suffix not in (".hpp", ".cpp"):
             continue
@@ -355,6 +391,8 @@ def main() -> int:
         if "profiling" not in path.name and "report" not in path.name \
                 and "hardware" not in path.name:
             check_io(rel, code, errors)
+        if path != sync_seam and modelcheck_dir not in path.parents:
+            check_raw_atomics(rel, raw, code, errors)
     if errors:
         print(f"lint_invariants: {len(errors)} violation(s)", file=sys.stderr)
         for e in errors:

@@ -7,8 +7,8 @@ can execute it directly:
 
   python3 tools/test_lint_invariants.py
 
-Every numbered rule (1-9) gets at least one fixture proving it FIRES on a
-seeded violation and one proving its documented exemption HOLDS -- the lint
+Every numbered rule (1-9, 11) gets at least one fixture proving it FIRES on
+a seeded violation and one proving its documented exemption HOLDS -- the lint
 is a gate, so a silently dead rule is as bad as a false positive.  The
 final integration tests run main() over a synthetic src/ tree to prove the
 path-level wiring (allocation choke point, src/parallel capture exemption,
@@ -260,6 +260,54 @@ def test_rule9_declaration_without_body_is_skipped():
 
 
 # ---------------------------------------------------------------------------
+# Rule 11: raw atomics stay inside the sync-policy seam.
+# ---------------------------------------------------------------------------
+def run_atomics(fixture: str) -> list[str]:
+    # check_raw_atomics takes both the raw text (exemption markers live in
+    # comments) and the stripped code (matching), so run_check does not fit.
+    errors: list[str] = []
+    lint.check_raw_atomics(Path("src/fixture.hpp"), fixture,
+                           lint.strip_comments(fixture), errors)
+    return errors
+
+
+def test_rule11_raw_atomic_fires():
+    errors = run_atomics("std::atomic<int> counter{0};\n")
+    assert len(errors) == 1 and "sync-policy seam" in errors[0]
+
+
+def test_rule11_memory_order_and_aliases_fire():
+    fixture = ("x.store(1, std::memory_order_release);\n"
+               "std::atomic_int n{0};\n"
+               "std::atomic_thread_fence(std::memory_order_seq_cst);\n")
+    errors = run_atomics(fixture)
+    assert len(errors) == 4  # fence line carries two tokens
+
+
+def test_rule11_comments_and_strings_are_exempt():
+    fixture = ("// replaced the raw std::atomic<int> with Sync::atomic\n"
+               'debug::fail("std::memory_order misuse");\n'
+               "typename Sync::template atomic<int> n{0};\n")
+    assert run_atomics(fixture) == []
+
+
+def test_rule11_marker_on_same_or_preceding_line_holds():
+    fixture = (
+        "std::atomic<int> a{0};  "
+        "// pspl-lint: allow-raw-atomics -- ABI fixture\n"
+        "// pspl-lint: allow-raw-atomics -- vendor header interop\n"
+        "std::atomic<int> b{0};\n")
+    assert run_atomics(fixture) == []
+
+
+def test_rule11_bare_marker_without_reason_does_not_exempt():
+    fixture = ("// pspl-lint: allow-raw-atomics\n"
+               "std::atomic<int> a{0};\n")
+    errors = run_atomics(fixture)
+    assert len(errors) == 1
+
+
+# ---------------------------------------------------------------------------
 # strip_comments underpins every rule: static_assert message strings must
 # never feed the pattern matchers (the contract-layer diagnostics quote the
 # very constructs the lint bans).
@@ -308,6 +356,15 @@ def test_main_exemptions_hold_on_a_clean_tree():
         # Measurement machinery: printf allowed in profiling/report/hardware.
         "src/parallel/profiling.cpp":
             '#include <cstdio>\nvoid dump() { printf("spans\\n"); }\n',
+        # Sync seam: the ONE header allowed to spell std::atomic.
+        "src/parallel/sync_policy.hpp":
+            "#pragma once\ntemplate <class T>\n"
+            "using atomic = std::atomic<T>;\n",
+        # The model checker's implementation is the other legal home.
+        "src/debug/modelcheck/mc.cpp":
+            "#include <atomic>\n"
+            "std::memory_order weaken() "
+            "{ return std::memory_order_relaxed; }\n",
     })
     assert exit_code == 0
 
@@ -319,6 +376,10 @@ def test_main_flags_a_dirty_tree():
             "{ return new double[n]; }\n",
         "src/core/driver.cpp":
             '#include <cstdio>\nvoid chat() { printf("hi\\n"); }\n',
+        # Raw atomic outside the seam: rule 11 must flag it.
+        "src/core/counter.hpp":
+            "#pragma once\n#include <atomic>\n"
+            "inline std::atomic<int> hits{0};\n",
     })
     assert exit_code == 1
 
